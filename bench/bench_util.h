@@ -1,0 +1,64 @@
+// Shared helpers for the per-figure/table benchmark binaries.
+//
+// Every bench prints (a) the paper's reported numbers for the artifact it
+// regenerates and (b) the numbers measured on this build, so the shape
+// comparison the reproduction targets is visible in one screenful. Absolute
+// values are not expected to match (the substrate is a synthetic trace, not
+// the authors' testbed); orderings and rough factors are.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace venn::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+// The default evaluation setup of §5.1: 50 jobs, Poisson 30-min arrivals,
+// four requirement categories over the Fig. 8a device regions.
+inline ExperimentConfig default_config(std::uint64_t seed = 42) {
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// A smaller setup for benches that sweep many points.
+inline ExperimentConfig quick_config(std::uint64_t seed = 42) {
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.num_devices = 6000;
+  cfg.num_jobs = 30;
+  return cfg;
+}
+
+struct PolicyRow {
+  Policy policy;
+  RunResult result;
+};
+
+// Run the given policies on one shared input trace; first policy is the
+// normalization baseline.
+inline std::vector<PolicyRow> run_policies(const ExperimentConfig& cfg,
+                                           const std::vector<Policy>& ps) {
+  const ExperimentInputs inputs = build_inputs(cfg);
+  std::vector<PolicyRow> rows;
+  rows.reserve(ps.size());
+  for (Policy p : ps) {
+    rows.push_back({p, run_with_inputs(cfg, p, inputs)});
+  }
+  return rows;
+}
+
+}  // namespace venn::bench

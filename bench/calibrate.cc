@@ -1,0 +1,76 @@
+// Calibration utility (not a paper artifact): sweeps contention knobs and
+// prints the regime statistics that the figure benches depend on — mean
+// scheduling delay vs response collection time (their ratio c drives the
+// Algorithm 2 activation condition), and the matching component's measured
+// contribution. Useful when porting the harness to a different trace scale.
+#include "bench_util.h"
+#include "sim/engine.h"
+#include "util/stats.h"
+
+using namespace venn;
+
+namespace {
+
+// Run Venn keeping a handle on the scheduler so matching stats are visible.
+void tiering_report(const ExperimentConfig& cfg,
+                    const ExperimentInputs& inputs) {
+  sim::Engine eng(cfg.seed ^ 0xC0FFEE);
+  auto sched = std::make_unique<VennScheduler>(cfg.venn, Rng(cfg.seed ^ 0xBEEF));
+  VennScheduler* raw = sched.get();
+  ResourceManager mgr(std::move(sched));
+  CoordinatorConfig ccfg;
+  ccfg.horizon = cfg.horizon;
+  Coordinator coord(eng, mgr, inputs.devices, inputs.jobs, ccfg);
+  coord.run();
+  const auto& ms = raw->matching_stats();
+  std::printf("    tiering: %lld/%lld requests tiered, %lld devices "
+              "filtered\n",
+              static_cast<long long>(ms.requests_tiered),
+              static_cast<long long>(ms.requests_seen),
+              static_cast<long long>(ms.devices_filtered));
+  if (ms.rounds_tiered > 0 && ms.rounds_untiered > 0) {
+    std::printf("    tiered rounds:   sched %6.0f s  resp %6.0f s (n=%lld)\n",
+                ms.sched_sum_tiered / ms.rounds_tiered,
+                ms.resp_sum_tiered / ms.rounds_tiered,
+                static_cast<long long>(ms.rounds_tiered));
+    std::printf("    untiered rounds: sched %6.0f s  resp %6.0f s (n=%lld)\n",
+                ms.sched_sum_untiered / ms.rounds_untiered,
+                ms.resp_sum_untiered / ms.rounds_untiered,
+                static_cast<long long>(ms.rounds_untiered));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Calibration — contention regime sweep",
+                "internal utility; c = resp/sched drives Algorithm 2");
+
+  std::printf("%-6s %-10s %-8s %10s %8s %8s %10s %10s\n", "jobs", "devices",
+              "inter(m)", "schedDelay", "resp", "c", "VennNoM", "Venn");
+  for (std::size_t jobs : {10, 20, 35, 50}) {
+    for (std::size_t devices : {10000, 20000}) {
+      for (double inter_min : {30.0, 90.0}) {
+        ExperimentConfig cfg = bench::default_config();
+        cfg.workload = trace::Workload::kLow;
+        cfg.num_jobs = jobs;
+        cfg.num_devices = devices;
+        cfg.job_trace.mean_interarrival = inter_min * kMinute;
+        const auto rows = bench::run_policies(
+            cfg, {Policy::kRandom, Policy::kVennNoMatch, Policy::kVenn});
+        const RunResult& base = rows[0].result;
+        const double sd = base.scheduling_delays().mean();
+        const double rt = base.response_times().mean();
+        std::printf("%-6zu %-10zu %-8.0f %10.0f %8.0f %8.2f %10s %10s\n",
+                    jobs, devices, inter_min, sd, rt, rt / std::max(sd, 1.0),
+                    format_ratio(improvement(base, rows[1].result)).c_str(),
+                    format_ratio(improvement(base, rows[2].result)).c_str());
+        if (jobs == 50) {
+          const ExperimentInputs inputs = build_inputs(cfg);
+          tiering_report(cfg, inputs);
+        }
+      }
+    }
+  }
+  return 0;
+}

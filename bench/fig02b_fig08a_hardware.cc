@@ -1,0 +1,61 @@
+// Fig. 2b / Fig. 8a: device hardware heterogeneity and the four eligibility
+// regions (General / Compute-Rich / Memory-Rich / High-Perf).
+//
+// Prints the joint (CPU, memory) score density as an ASCII heat map plus the
+// population share of each region. Expected shape: broad heterogeneity with
+// the High-Perf region a clear minority, and region nesting
+// General ⊇ {Compute, Memory} ⊇ High-Perf.
+#include <array>
+
+#include "bench_util.h"
+#include "trace/hardware.h"
+
+using namespace venn;
+
+int main() {
+  bench::header("Fig. 2b / Fig. 8a — device hardware heterogeneity",
+                "Figs. 2b & 8a (§2.1/§5.1), AI-Benchmark substitute");
+
+  trace::HardwareConfig cfg;
+  Rng rng(42);
+  constexpr int kGrid = 12;
+  std::array<std::array<int, kGrid>, kGrid> grid{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const DeviceSpec s = trace::sample_spec(cfg, rng);
+    const int x = std::min(kGrid - 1, static_cast<int>(s.cpu_score * kGrid));
+    const int y = std::min(kGrid - 1, static_cast<int>(s.mem_score * kGrid));
+    ++grid[y][x];
+  }
+
+  std::printf("mem\\cpu   (density, '.' low .. '@' high; | and - mark the "
+              "0.5 eligibility thresholds)\n");
+  const char shades[] = " .:-=+*#%@";
+  int maxc = 1;
+  for (const auto& row : grid) {
+    for (int c : row) maxc = std::max(maxc, c);
+  }
+  for (int y = kGrid - 1; y >= 0; --y) {
+    std::printf("%4.2f  ", (y + 0.5) / kGrid);
+    for (int x = 0; x < kGrid; ++x) {
+      const int shade = grid[y][x] * 9 / maxc;
+      std::printf("%c%s", shades[shade], x == kGrid / 2 - 1 ? "|" : " ");
+    }
+    std::printf("\n");
+    if (y == kGrid / 2) {
+      std::printf("      %s\n", std::string(2 * kGrid, '-').c_str());
+    }
+  }
+
+  Rng rng2(43);
+  const auto shares = trace::category_shares(cfg, 40000, rng2);
+  std::printf("\nEligible population share per requirement (Fig. 8a "
+              "regions):\n");
+  for (ResourceCategory c : all_categories()) {
+    std::printf("  %-14s %5.1f%%\n", category_name(c).c_str(),
+                shares[static_cast<int>(c)] * 100.0);
+  }
+  bench::note("Expected: General 100% > Compute/Memory > High-Perf (nested, "
+              "scarce).");
+  return 0;
+}

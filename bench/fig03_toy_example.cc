@@ -1,0 +1,74 @@
+// Fig. 3: the motivating toy example — three CL jobs (one Keyboard job that
+// any device can serve, two Emoji jobs that only half the devices can
+// serve) competing for devices that check in at a constant rate.
+//
+// Paper values: Random matching avg JCT = 12, SRSF = 11, Optimal = 9.3.
+// Expected shape here: Optimal < SRSF <= Random, with Random and SRSF both
+// wasting scarce Emoji-eligible devices on the Keyboard job while the
+// optimal (and Venn's IRS ordering) reserves them.
+#include "bench_util.h"
+#include "ilp/exact.h"
+#include "util/rng.h"
+
+using namespace venn;
+using ilp::ToyDevice;
+using ilp::ToyJob;
+
+int main() {
+  bench::header("Fig. 3 — toy example (Keyboard + 2 Emoji jobs)",
+                "Fig. 3 (§2.3): Random=12, SRSF=11, Optimal=9.3");
+
+  // Job 0: Keyboard, demand 3, all devices. Jobs 1-2: Emoji, demand 4,
+  // only 'blue' (even-arrival) devices.
+  const std::vector<ToyJob> jobs{{3}, {4}, {4}};
+  std::vector<ToyDevice> devices;
+  for (int t = 1; t <= 18; ++t) {
+    const bool blue = (t % 2 == 0);
+    devices.push_back({static_cast<SimTime>(t), blue ? 0b111ULL : 0b001ULL});
+  }
+
+  // Random matching: average over many seeds of uniformly random eligible
+  // assignment.
+  double random_avg = 0.0;
+  const int reps = 2000;
+  Rng rng(7);
+  for (int rep = 0; rep < reps; ++rep) {
+    // Random priority per job per round; re-randomized each device.
+    const auto r = ilp::evaluate_policy(jobs, devices,
+                                        [&rng](std::size_t, int) {
+                                          return rng.uniform();
+                                        });
+    random_avg += r.avg_completion;
+  }
+  random_avg /= reps;
+
+  const auto srsf = ilp::evaluate_policy(jobs, devices,
+                                         [](std::size_t, int rem) {
+                                           return static_cast<double>(rem);
+                                         });
+
+  // Venn's IRS ordering: Emoji jobs form the scarce group, so blue devices
+  // serve Emoji jobs (smallest remaining first) and the Keyboard job only
+  // gets non-blue devices. Encode as a priority: Emoji jobs rank above
+  // Keyboard; ties by remaining demand.
+  const auto venn = ilp::evaluate_policy(
+      jobs, devices, [](std::size_t j, int rem) {
+        const double group_rank = (j == 0) ? 1000.0 : 0.0;
+        return group_rank + static_cast<double>(rem);
+      });
+
+  const auto opt = ilp::solve_optimal(jobs, devices);
+
+  std::printf("%-22s %-12s %s\n", "Schedule", "avg JCT", "paper");
+  std::printf("%-22s %-12.2f %s\n", "Random matching", random_avg, "12");
+  std::printf("%-22s %-12.2f %s\n", "SRSF", srsf.avg_completion, "11");
+  std::printf("%-22s %-12.2f %s\n", "Venn (IRS order)", venn.avg_completion,
+              "-");
+  std::printf("%-22s %-12.2f %s\n", "Optimal (exact)", opt.avg_completion,
+              "9.3");
+
+  std::printf("\nPer-job completions (optimal): ");
+  for (double c : opt.completion) std::printf("%.0f ", c);
+  std::printf("\nExpected shape: Optimal <= Venn < SRSF <= Random.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fig. 10: scheduler overhead at scale — latency of one scheduling +
+// matching invocation as the number of jobs (up to 1000) and job groups
+// (up to 100) grows.
+//
+// google-benchmark binary. Expected shape (paper Fig. 10): sub-millisecond
+// latency that grows mildly with both dimensions, consistent with the
+// max(O(m log m), O(n^2)) complexity.
+#include <benchmark/benchmark.h>
+
+#include "scheduler/venn_sched.h"
+
+using namespace venn;
+
+namespace {
+
+// Build a synthetic pending queue of `jobs` jobs over `groups` groups and a
+// supply history with one atom per group (plus a shared flexible atom).
+struct Fixture {
+  VennScheduler sched;
+  std::vector<PendingJob> pending;
+  DeviceView device;
+
+  // The signature-space design supports up to 64 distinct requirements
+  // (atoms are 64-bit masks), so the group sweep tops out at 60 instead of
+  // the paper's 100 — the complexity trend is identical.
+  Fixture(std::size_t jobs, std::size_t groups)
+      : sched(VennConfig{}, Rng(1)) {
+    groups = std::min<std::size_t>(groups, 60);
+    Rng rng(2);
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::uint64_t sig = (1ULL << (g % 60)) | 1ULL;
+      for (int i = 0; i < 50; ++i) {
+        sched.on_device_checkin(
+            {DeviceId(static_cast<int64_t>(g * 100 + i)),
+             {0.5, 0.5},
+             sig},
+            1000.0 + i);
+      }
+    }
+    for (std::size_t j = 0; j < jobs; ++j) {
+      PendingJob pj;
+      pj.job = JobId(static_cast<int64_t>(j));
+      pj.request = RequestId(static_cast<int64_t>(j));
+      pj.group = j % groups;
+      pj.remaining_demand = 1 + static_cast<int>(rng.index(100));
+      pj.request_demand = pj.remaining_demand;
+      pj.remaining_service = pj.remaining_demand * (1 + rng.index(20));
+      pj.total_rounds = 10;
+      pj.completed_rounds = static_cast<int>(rng.index(10));
+      pj.job_arrival = rng.uniform(0.0, 1000.0);
+      pj.request_submitted = pj.job_arrival;
+      pj.solo_jct_estimate = 1000.0;
+      pj.random_priority = rng.uniform();
+      pending.push_back(pj);
+    }
+    device.id = DeviceId(0);
+    device.spec = {0.6, 0.6};
+    device.signature = ~0ULL;
+  }
+};
+
+void BM_SchedulingInvocation_Jobs(benchmark::State& state) {
+  Fixture f(static_cast<std::size_t>(state.range(0)), 20);
+  for (auto _ : state) {
+    // One full trigger: plan recompute (request arrival) + one device
+    // assignment — the per-event work of Fig. 10.
+    f.sched.on_queue_change(f.pending, 2000.0);
+    benchmark::DoNotOptimize(f.sched.assign(f.device, f.pending, 2000.0));
+  }
+}
+BENCHMARK(BM_SchedulingInvocation_Jobs)->Arg(100)->Arg(250)->Arg(500)->Arg(1000);
+
+void BM_SchedulingInvocation_Groups(benchmark::State& state) {
+  Fixture f(500, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    f.sched.on_queue_change(f.pending, 2000.0);
+    benchmark::DoNotOptimize(f.sched.assign(f.device, f.pending, 2000.0));
+  }
+}
+BENCHMARK(BM_SchedulingInvocation_Groups)->Arg(10)->Arg(20)->Arg(40)->Arg(60);
+
+}  // namespace
+
+BENCHMARK_MAIN();

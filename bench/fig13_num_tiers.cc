@@ -1,0 +1,37 @@
+// Fig. 13: sensitivity to the number of device tiers V in the matching
+// algorithm (1..4), on the Low workload where response collection time is a
+// meaningful share of JCT.
+//
+// Expected shape (paper Fig. 13): improvement grows from V=1 (no tiering)
+// and plateaus — finer tiers slow allocation by V without further response
+// time gains.
+#include "bench_util.h"
+#include "util/stats.h"
+
+using namespace venn;
+
+int main() {
+  bench::header("Fig. 13 — improvement vs number of tiers",
+                "Fig. 13 (§5.5), matching granularity sweep");
+
+  ExperimentConfig base_cfg = bench::default_config();
+  base_cfg.workload = trace::Workload::kLow;
+  // Low-contention regime (see fig11_breakdown.cc): matching only matters
+  // when response collection is a meaningful share of JCT.
+  base_cfg.num_devices = 20000;
+  base_cfg.job_trace.mean_interarrival = 90.0 * kMinute;
+  const auto inputs = build_inputs(base_cfg);
+  const RunResult rnd = run_with_inputs(base_cfg, Policy::kRandom, inputs);
+
+  std::printf("%-8s %12s\n", "tiers", "Venn impr.");
+  for (std::size_t tiers : {1, 2, 3, 4}) {
+    ExperimentConfig cfg = base_cfg;
+    cfg.venn.num_tiers = tiers;
+    const RunResult venn = run_with_inputs(cfg, Policy::kVenn, inputs);
+    std::printf("%-8zu %12s\n", tiers,
+                format_ratio(improvement(rnd, venn)).c_str());
+  }
+  bench::note("Paper: rising from V=1 then plateauing by V=3-4. Expected "
+              "shape: V>=2 at or above V=1, gains flattening.");
+  return 0;
+}

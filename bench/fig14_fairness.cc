@@ -1,0 +1,55 @@
+// Fig. 14: the fairness knob ε — (a) average JCT improvement over Random and
+// (b) the fraction of jobs meeting their fair-share JCT (T_i = M * sd_i), as
+// ε sweeps 0..6.
+//
+// Expected shape (paper Fig. 14): improvement decreases as ε grows while the
+// fair-share hit rate increases — the performance/fairness trade-off dial
+// (paper: ε = 2 gives 69% of jobs their fair-share JCT).
+#include "bench_util.h"
+#include "util/stats.h"
+
+using namespace venn;
+
+int main() {
+  bench::header("Fig. 14 — fairness knob sweep",
+                "Fig. 14a/b (§5.5), ε ∈ {0, 0.5, 1, 2, 4, 6}");
+
+  ExperimentConfig base_cfg = bench::default_config();
+  const auto inputs = build_inputs(base_cfg);
+  const RunResult rnd = run_with_inputs(base_cfg, Policy::kRandom, inputs);
+  const double rnd_fair = rnd.fair_share_hit_rate();
+
+  std::printf("%-8s %12s %18s\n", "epsilon", "Venn impr.",
+              "% jobs <= fair JCT");
+  for (double eps : {0.0, 0.5, 1.0, 2.0, 4.0, 6.0}) {
+    ExperimentConfig cfg = base_cfg;
+    cfg.venn.epsilon = eps;
+    const RunResult venn = run_with_inputs(cfg, Policy::kVenn, inputs);
+    std::printf("%-8.1f %12s %17.0f%%\n", eps,
+                format_ratio(improvement(rnd, venn)).c_str(),
+                venn.fair_share_hit_rate() * 100.0);
+  }
+  // Diagnostic slice: who meets the bound at the extremes.
+  for (double eps : {0.0, 4.0}) {
+    ExperimentConfig cfg = base_cfg;
+    cfg.venn.epsilon = eps;
+    const RunResult venn = run_with_inputs(cfg, Policy::kVenn, inputs);
+    const double m = venn.avg_concurrency();
+    std::printf("\n  eps=%.0f (avg concurrency %.1f): hit by category: ",
+                eps, m);
+    for (ResourceCategory c : all_categories()) {
+      int hit = 0, tot = 0;
+      for (const auto& j : venn.jobs) {
+        if (j.spec.category != c) continue;
+        ++tot;
+        if (j.finished && j.jct <= m * j.solo_jct_estimate) ++hit;
+      }
+      std::printf("%s %d/%d  ", category_name(c).c_str(), hit, tot);
+    }
+  }
+  std::printf("\n\n(Random baseline fair-share hit rate: %.0f%%)\n",
+              rnd_fair * 100.0);
+  bench::note("Expected shape: improvement column non-increasing in ε; "
+              "fair-share column non-decreasing (paper: 69% at ε=2).");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Plugging a custom policy into the resource manager.
+//
+// The Scheduler interface (src/scheduler/scheduler.h) is the extension
+// point: implement assign() (and optionally the notification hooks) and the
+// coordinator drives your policy exactly like the built-ins. This example
+// implements a two-class priority policy — "interactive" jobs (small
+// per-round demand) always preempt "batch" jobs — and compares it against
+// Venn and Random on the same trace.
+#include <cstdio>
+#include <memory>
+
+#include "core/experiment.h"
+
+using namespace venn;
+
+namespace {
+
+// Jobs with per-round demand below the threshold are "interactive" and win
+// any contested device; ties break by earliest arrival.
+class PriorityClassScheduler final : public Scheduler {
+ public:
+  explicit PriorityClassScheduler(int interactive_demand_max)
+      : threshold_(interactive_demand_max) {}
+
+  [[nodiscard]] std::string name() const override { return "PriorityClass"; }
+
+  [[nodiscard]] std::optional<std::size_t> assign(
+      const DeviceView&, std::span<const PendingJob> candidates,
+      SimTime) override {
+    std::size_t best = 0;
+    auto klass = [this](const PendingJob& pj) {
+      return pj.request_demand <= threshold_ ? 0 : 1;  // 0 = interactive
+    };
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      const auto& a = candidates[i];
+      const auto& b = candidates[best];
+      if (klass(a) < klass(b) ||
+          (klass(a) == klass(b) && a.job_arrival < b.job_arrival)) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+ private:
+  int threshold_;
+};
+
+}  // namespace
+
+int main() {
+  ExperimentConfig cfg;
+  cfg.seed = 5;
+  cfg.num_devices = 5000;
+  cfg.num_jobs = 20;
+  const ExperimentInputs inputs = build_inputs(cfg);
+
+  // Run the custom policy through the same coordinator the built-ins use.
+  sim::Engine engine(cfg.seed);
+  ResourceManager manager(std::make_unique<PriorityClassScheduler>(20));
+  CoordinatorConfig ccfg;
+  ccfg.horizon = cfg.horizon;
+  Coordinator coord(engine, manager, inputs.devices, inputs.jobs, ccfg);
+  coord.run();
+  const RunResult custom = collect_results(coord, "PriorityClass");
+
+  const RunResult random = run_with_inputs(cfg, Policy::kRandom, inputs);
+  const RunResult venn = run_with_inputs(cfg, Policy::kVenn, inputs);
+
+  std::printf("%-16s %12s %10s\n", "policy", "avg JCT", "vs Random");
+  for (const RunResult* r : {&random, &custom, &venn}) {
+    std::printf("%-16s %10.0f s %9.2fx\n", r->scheduler.c_str(), r->avg_jct(),
+                improvement(random, *r));
+  }
+  std::printf(
+      "\nThe custom class-based policy beats Random by protecting small\n"
+      "jobs but leaves contention-awareness on the table; Venn's IRS adds\n"
+      "the eligibility structure on top.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: schedule a handful of CL jobs over a synthetic device
+// population with Venn and print each job's completion time.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// This walks the whole public API surface end to end:
+//   1. generate a device population (hardware mixture + diurnal sessions),
+//   2. describe CL jobs (rounds, per-round demand, resource requirement),
+//   3. run them through the event-driven coordinator with the Venn policy,
+//   4. read back per-job and aggregate metrics.
+#include <cstdio>
+
+#include "core/experiment.h"
+
+using namespace venn;
+
+int main() {
+  // 1 + 2. The experiment config bundles population and workload generation;
+  // everything derives deterministically from the seed.
+  ExperimentConfig cfg;
+  cfg.seed = 7;
+  cfg.num_devices = 3000;
+  cfg.num_jobs = 8;
+  cfg.job_trace.min_rounds = 3;
+  cfg.job_trace.max_rounds = 10;
+  cfg.job_trace.min_demand = 5;
+  cfg.job_trace.max_demand = 40;
+
+  // 3. One call per policy; inputs are shared so comparisons are paired.
+  const ExperimentInputs inputs = build_inputs(cfg);
+  const RunResult venn = run_with_inputs(cfg, Policy::kVenn, inputs);
+  const RunResult random = run_with_inputs(cfg, Policy::kRandom, inputs);
+
+  // 4. Metrics.
+  std::printf("job  category       rounds demand     JCT (Venn)\n");
+  for (const auto& j : venn.jobs) {
+    std::printf("%-4lld %-14s %6d %6d %11.0f s\n",
+                static_cast<long long>(j.id.value()),
+                category_name(j.spec.category).c_str(), j.spec.rounds,
+                j.spec.demand, j.jct);
+  }
+  std::printf("\naverage JCT:  Venn %.0f s   Random %.0f s   (%.2fx better)\n",
+              venn.avg_jct(), random.avg_jct(), improvement(random, venn));
+  std::printf("scheduling delay mean: %.0f s, response collection mean: %.0f s\n",
+              venn.scheduling_delays().mean(), venn.response_times().mean());
+  return 0;
+}

@@ -1,0 +1,165 @@
+// venn_sim_cli — command-line experiment runner.
+//
+// Runs one simulated CL workload through a chosen policy and prints the full
+// metric set. Useful for sweeping configurations without writing code:
+//
+//   venn_sim_cli --policy=venn --jobs=50 --devices=7000 --workload=even
+//                --seed=42 --epsilon=0 --tiers=3 [--bias=compute]
+//                [--compare] [--breakdown]
+//
+//   --policy     random | fifo | srsf | venn | venn-nosched | venn-nomatch
+//   --workload   even | small | large | low | high
+//   --bias       general | compute | memory | resource   (§5.4 mixtures)
+//   --compare    additionally run all baselines on the same trace
+//   --breakdown  per-category and per-size JCT breakdowns
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/experiment.h"
+
+using namespace venn;
+
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> kv;
+
+  static Flags parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        f.kv[arg.substr(2)] = "1";  // boolean flag
+      } else {
+        f.kv[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+    return f;
+  }
+
+  std::string str(const std::string& key, const std::string& def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+  }
+  long num(const std::string& key, long def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : std::atol(it->second.c_str());
+  }
+  double real(const std::string& key, double def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : std::atof(it->second.c_str());
+  }
+  bool has(const std::string& key) const { return kv.contains(key); }
+};
+
+Policy parse_policy(const std::string& s) {
+  if (s == "random") return Policy::kRandom;
+  if (s == "fifo") return Policy::kFifo;
+  if (s == "srsf") return Policy::kSrsf;
+  if (s == "venn") return Policy::kVenn;
+  if (s == "venn-nosched") return Policy::kVennNoSched;
+  if (s == "venn-nomatch") return Policy::kVennNoMatch;
+  std::fprintf(stderr, "unknown --policy=%s\n", s.c_str());
+  std::exit(2);
+}
+
+trace::Workload parse_workload(const std::string& s) {
+  if (s == "even") return trace::Workload::kEven;
+  if (s == "small") return trace::Workload::kSmall;
+  if (s == "large") return trace::Workload::kLarge;
+  if (s == "low") return trace::Workload::kLow;
+  if (s == "high") return trace::Workload::kHigh;
+  std::fprintf(stderr, "unknown --workload=%s\n", s.c_str());
+  std::exit(2);
+}
+
+trace::BiasedWorkload parse_bias(const std::string& s) {
+  if (s == "general") return trace::BiasedWorkload::kGeneral;
+  if (s == "compute") return trace::BiasedWorkload::kComputeHeavy;
+  if (s == "memory") return trace::BiasedWorkload::kMemoryHeavy;
+  if (s == "resource") return trace::BiasedWorkload::kResourceHeavy;
+  std::fprintf(stderr, "unknown --bias=%s\n", s.c_str());
+  std::exit(2);
+}
+
+void print_run(const RunResult& r) {
+  std::printf("%-16s avg JCT %10.0f s   finished %zu/%zu   aborts %d\n",
+              r.scheduler.c_str(), r.avg_jct(), r.finished_jobs(),
+              r.jobs.size(), [&] {
+                int a = 0;
+                for (const auto& j : r.jobs) a += j.total_aborts;
+                return a;
+              }());
+  const auto sd = r.scheduling_delays();
+  const auto rt = r.response_times();
+  if (!sd.empty() && !rt.empty()) {
+    std::printf("  sched delay  mean %8.0f s  p50 %8.0f  p95 %8.0f\n",
+                sd.mean(), sd.median(), sd.percentile(95));
+    std::printf("  resp collect mean %8.0f s  p50 %8.0f  p95 %8.0f\n",
+                rt.mean(), rt.median(), rt.percentile(95));
+  }
+  std::printf("  avg concurrency %.1f   fair-share hit rate %.0f%%\n",
+              r.avg_concurrency(), r.fair_share_hit_rate() * 100.0);
+}
+
+void print_breakdown(const RunResult& r) {
+  std::printf("  per category:\n");
+  for (ResourceCategory c : all_categories()) {
+    std::size_t n = 0;
+    for (const auto& j : r.jobs) n += (j.spec.category == c) ? 1 : 0;
+    if (n == 0) continue;
+    std::printf("    %-14s n=%-3zu avg JCT %10.0f s\n",
+                category_name(c).c_str(), n,
+                avg_jct_where(r, [c](const JobResult& j) {
+                  return j.spec.category == c;
+                }));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  if (flags.has("help")) {
+    std::printf("see the header comment of examples/venn_sim_cli.cpp\n");
+    return 0;
+  }
+
+  ExperimentConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 42));
+  cfg.num_devices = static_cast<std::size_t>(flags.num("devices", 7000));
+  cfg.num_jobs = static_cast<std::size_t>(flags.num("jobs", 50));
+  cfg.workload = parse_workload(flags.str("workload", "even"));
+  if (flags.has("bias")) cfg.bias = parse_bias(flags.str("bias", ""));
+  cfg.venn.epsilon = flags.real("epsilon", 0.0);
+  cfg.venn.num_tiers = static_cast<std::size_t>(flags.num("tiers", 3));
+
+  const Policy policy = parse_policy(flags.str("policy", "venn"));
+  const ExperimentInputs inputs = build_inputs(cfg);
+
+  const RunResult main_run = run_with_inputs(cfg, policy, inputs);
+  print_run(main_run);
+  if (flags.has("breakdown")) print_breakdown(main_run);
+
+  if (flags.has("compare")) {
+    std::printf("\ncomparison on the same trace:\n");
+    const RunResult base = run_with_inputs(cfg, Policy::kRandom, inputs);
+    for (Policy p : {Policy::kRandom, Policy::kFifo, Policy::kSrsf,
+                     Policy::kVenn}) {
+      const RunResult r =
+          (p == Policy::kRandom) ? base : run_with_inputs(cfg, p, inputs);
+      std::printf("  %-8s %10.0f s   %s vs random\n", r.scheduler.c_str(),
+                  r.avg_jct(), format_ratio(improvement(base, r)).c_str());
+      if (flags.has("breakdown")) print_breakdown(r);
+    }
+  }
+  return 0;
+}

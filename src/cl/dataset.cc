@@ -1,0 +1,55 @@
+#include "cl/dataset.h"
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace venn::cl {
+
+ClientDataModel::ClientDataModel(const DatasetConfig& cfg, Rng& rng)
+    : cfg_(cfg) {
+  if (cfg.num_clients == 0 || cfg.num_classes == 0) {
+    throw std::invalid_argument("dataset needs clients and classes");
+  }
+  label_dist_.reserve(cfg.num_clients);
+  samples_.reserve(cfg.num_clients);
+  global_.assign(cfg.num_classes, 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < cfg.num_clients; ++i) {
+    label_dist_.push_back(rng.dirichlet(cfg.num_classes, cfg.dirichlet_alpha));
+    const double s =
+        std::max(1.0, rng.lognormal_mean_cv(cfg.mean_samples, cfg.samples_cv));
+    samples_.push_back(s);
+    for (std::size_t c = 0; c < cfg.num_classes; ++c) {
+      global_[c] += s * label_dist_.back()[c];
+    }
+    total += s;
+  }
+  for (auto& g : global_) g /= total;
+}
+
+std::vector<double> ClientDataModel::aggregate_distribution(
+    std::span<const std::size_t> cohort) const {
+  std::vector<double> agg(cfg_.num_classes, 0.0);
+  if (cohort.empty()) return agg;
+  double total = 0.0;
+  for (std::size_t c : cohort) {
+    const double s = samples_.at(c);
+    const auto& d = label_dist_.at(c);
+    for (std::size_t k = 0; k < cfg_.num_classes; ++k) agg[k] += s * d[k];
+    total += s;
+  }
+  if (total > 0.0) {
+    for (auto& a : agg) a /= total;
+  }
+  return agg;
+}
+
+double ClientDataModel::cohort_diversity(
+    std::span<const std::size_t> cohort) const {
+  if (cohort.empty()) return 0.0;
+  const auto agg = aggregate_distribution(cohort);
+  return 1.0 - js_divergence(agg, global_);
+}
+
+}  // namespace venn::cl

@@ -1,0 +1,40 @@
+#include "cl/fedsim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace venn::cl {
+
+double FedSim::step(std::size_t participants, double diversity) {
+  diversity = std::clamp(diversity, 0.0, 1.0);
+  const double ceiling =
+      cfg_.floor_accuracy + (cfg_.max_accuracy - cfg_.floor_accuracy) * diversity;
+  const double n = static_cast<double>(participants);
+  const double count_factor = n / (n + cfg_.n_half);
+  acc_ += cfg_.lr * std::max(0.0, ceiling - acc_) * count_factor;
+  history_.push_back(acc_);
+  return acc_;
+}
+
+std::vector<double> simulate_training(const ClientDataModel& data,
+                                      std::span<const std::size_t> pool,
+                                      std::size_t participants_per_round,
+                                      std::size_t rounds,
+                                      const FedSimConfig& cfg, Rng& rng) {
+  if (pool.empty()) throw std::invalid_argument("empty client pool");
+  FedSim sim(cfg);
+  // Smaller pools cap the achievable diversity: less total data.
+  const double p = static_cast<double>(pool.size());
+  const double pool_factor = p / (p + cfg.pool_half);
+  std::vector<std::size_t> cohort;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    cohort.clear();
+    for (std::size_t i = 0; i < participants_per_round; ++i) {
+      cohort.push_back(pool[rng.index(pool.size())]);
+    }
+    sim.step(cohort.size(), pool_factor * data.cohort_diversity(cohort));
+  }
+  return sim.history();
+}
+
+}  // namespace venn::cl

@@ -1,0 +1,68 @@
+// Statistical FedAvg convergence model.
+//
+// Substitute for training ResNet-18 / MobileNet-V2 on FEMNIST in the
+// paper's testbed (Figs. 4, 9). Accuracy follows a saturating update:
+//
+//   acc_{r+1} = acc_r + lr * (ceiling_r - acc_r) * count_factor(n_r)
+//   ceiling_r = acc_floor + (acc_max - acc_floor) * diversity_r
+//
+// where n_r is the number of reporting participants in round r,
+// count_factor(n) = n / (n + n_half) captures the diminishing returns of
+// adding participants, and diversity_r in [0,1] is the cohort diversity
+// from the dataset model. Low-diversity cohorts both slow progress and
+// depress the achievable ceiling — exactly the two effects the paper
+// attributes to contention (Fig. 4) — while a scheduler that only reorders
+// *when* rounds run (not *which data* they see in aggregate) converges to
+// the same final accuracy (Fig. 9: "Venn does not affect the final model
+// test accuracy but speeds up the overall convergence process").
+#pragma once
+
+#include <vector>
+
+#include "cl/dataset.h"
+
+namespace venn::cl {
+
+struct FedSimConfig {
+  double initial_accuracy = 0.10;
+  double max_accuracy = 0.80;   // ceiling with perfectly diverse cohorts
+  double floor_accuracy = 0.40; // ceiling as diversity -> 0
+  double lr = 0.06;             // per-round progress rate
+  double n_half = 25.0;         // participants at half count-efficiency
+  // Pool-mass saturation: a job confined to a pool of P clients can reach
+  // only a fraction P / (P + pool_half) of the diversity ceiling — a model
+  // of the reduced total training data available to a partitioned job
+  // (the second mechanism behind Fig. 4's degradation).
+  double pool_half = 30.0;
+};
+
+class FedSim {
+ public:
+  explicit FedSim(const FedSimConfig& cfg) : cfg_(cfg), acc_(cfg.initial_accuracy) {}
+
+  // Advance one round with `participants` reporting clients of the given
+  // cohort diversity (from ClientDataModel::cohort_diversity). Returns the
+  // new accuracy.
+  double step(std::size_t participants, double diversity);
+
+  [[nodiscard]] double accuracy() const { return acc_; }
+  [[nodiscard]] const std::vector<double>& history() const { return history_; }
+
+ private:
+  FedSimConfig cfg_;
+  double acc_;
+  std::vector<double> history_;
+};
+
+// Convenience: run `rounds` rounds sampling `participants_per_round` clients
+// uniformly from `pool` (a subset of the dataset's client indices), using
+// the cohort diversity of each sampled cohort. Returns the accuracy after
+// each round. This is the Fig. 4 experiment kernel: the pool shrinks as the
+// device population is partitioned among more jobs.
+std::vector<double> simulate_training(const ClientDataModel& data,
+                                      std::span<const std::size_t> pool,
+                                      std::size_t participants_per_round,
+                                      std::size_t rounds,
+                                      const FedSimConfig& cfg, Rng& rng);
+
+}  // namespace venn::cl

@@ -1,0 +1,294 @@
+#include "core/coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace venn {
+
+Coordinator::Coordinator(sim::Engine& engine, ResourceManager& manager,
+                         std::vector<Device> devices,
+                         std::vector<trace::JobSpec> specs,
+                         CoordinatorConfig cfg)
+    : engine_(engine),
+      manager_(manager),
+      devices_(std::move(devices)),
+      specs_(std::move(specs)),
+      cfg_(cfg) {
+  if (!devices_.empty()) {
+    double acc = 0.0;
+    for (const auto& d : devices_) acc += 1.0 / d.speed();
+    mean_exec_factor_ = acc / static_cast<double>(devices_.size());
+  }
+}
+
+double Coordinator::supply_rate(const Requirement& req) const {
+  // Daily-averaged check-in rate of eligible devices: one check-in per
+  // session, averaged over the span the sessions cover.
+  double checkins = 0.0;
+  SimTime span = 0.0;
+  for (const auto& d : devices_) {
+    if (!d.sessions().empty()) {
+      span = std::max(span, d.sessions().back().end);
+    }
+    if (!req.eligible(d.spec())) continue;
+    checkins += static_cast<double>(d.sessions().size());
+  }
+  if (span <= 0.0 || checkins <= 0.0) return 1e-9;
+  return checkins / span;
+}
+
+double Coordinator::solo_jct_estimate(const trace::JobSpec& spec) const {
+  const Requirement req = requirement_for(spec.category);
+  const double rate = supply_rate(req);
+
+  // A contention-free job draws from the idle pool; by Little's law the pool
+  // holds roughly (eligible check-in rate x mean session duration) devices,
+  // so requests up to the pool size fill near-instantly and only the excess
+  // waits for fresh check-ins.
+  double session_time = 0.0, session_count = 0.0;
+  for (const auto& d : devices_) {
+    for (const auto& s : d.sessions()) {
+      session_time += s.duration();
+      session_count += 1.0;
+    }
+  }
+  const double mean_session =
+      session_count > 0.0 ? session_time / session_count : kHour;
+  const double pool = rate * mean_session;
+  const double excess = std::max(0.0, static_cast<double>(spec.demand) - pool);
+  const double sched = excess / rate;
+
+  // Expected response collection: mean execution over the population with a
+  // tail factor (collection ends at the ~80th percentile responder).
+  const double resp = spec.nominal_task_s * mean_exec_factor_ *
+                      (1.0 + 1.5 * spec.task_cv);
+  return static_cast<double>(spec.rounds) * (sched + resp);
+}
+
+void Coordinator::run() {
+  // Job arrivals.
+  jobs_.reserve(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    jobs_.push_back(std::make_unique<Job>(JobId(static_cast<int64_t>(i)),
+                                          specs_[i]));
+    by_id_[jobs_.back()->id()] = jobs_.back().get();
+  }
+  unfinished_jobs_ = jobs_.size();
+  for (std::size_t i = 0; i < jobs_.size(); ++i) schedule_job_arrival(i);
+
+  // Device session starts.
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    for (const auto& session : devices_[d].sessions()) {
+      const SimTime t = session.start;
+      if (t > cfg_.horizon) break;
+      engine_.at(t, [this, d] { attempt_checkin(d); });
+    }
+  }
+
+  engine_.run_until(cfg_.horizon);
+}
+
+void Coordinator::schedule_job_arrival(std::size_t job_idx) {
+  Job* job = jobs_[job_idx].get();
+  engine_.at(job->spec().arrival, [this, job] {
+    manager_.register_job(job, solo_jct_estimate(job->spec()));
+    submit_request(job);
+  });
+}
+
+void Coordinator::submit_request(Job* job) {
+  manager_.open_request(job->id(), engine_.now(), engine_.rng().uniform());
+  // A new request may be satisfiable from devices already idling.
+  offer_idle_pool(engine_.now());
+}
+
+void Coordinator::offer_idle_pool(SimTime now) {
+  if (idle_pool_.empty()) return;
+  std::vector<std::size_t> order(idle_pool_.begin(), idle_pool_.end());
+  std::sort(order.begin(), order.end());  // determinism before shuffle
+  engine_.rng().shuffle(order);
+  for (std::size_t d : order) {
+    if (!idle_pool_.contains(d)) continue;  // consumed earlier this sweep
+    const auto outcome = manager_.offer(devices_[d], now);
+    if (outcome) {
+      idle_pool_.erase(d);
+      handle_outcome(d, *outcome);
+    }
+  }
+}
+
+void Coordinator::attempt_checkin(std::size_t dev_idx) {
+  Device& dev = devices_[dev_idx];
+  const SimTime now = engine_.now();
+
+  // Locate the session covering `now`.
+  SimTime session_end = -1.0;
+  for (const auto& s : dev.sessions()) {
+    if (s.contains(now)) {
+      session_end = s.end;
+      break;
+    }
+    if (s.start > now) break;
+  }
+  if (session_end < 0.0) return;  // no active session
+
+  if (dev.participated_on_day(Device::day_of(now))) {
+    // Budget spent: re-arm when it resets, if the session is still open.
+    const SimTime next_day = (Device::day_of(now) + 1) * kDay;
+    if (next_day < session_end && next_day < cfg_.horizon) {
+      engine_.at(next_day, [this, dev_idx] { attempt_checkin(dev_idx); });
+    }
+    return;
+  }
+
+  const auto outcome = manager_.device_checkin(dev, now);
+  if (outcome) {
+    handle_outcome(dev_idx, *outcome);
+    return;
+  }
+  // Park in the idle pool until the session ends.
+  idle_pool_.insert(dev_idx);
+  engine_.at(std::min(session_end, cfg_.horizon),
+             [this, dev_idx] { idle_pool_.erase(dev_idx); });
+}
+
+namespace {
+// Finest Fig. 8a region a device belongs to.
+int device_region(const DeviceSpec& s) {
+  const bool c = s.cpu_score >= kRichThreshold;
+  const bool m = s.mem_score >= kRichThreshold;
+  if (c && m) return static_cast<int>(ResourceCategory::kHighPerf);
+  if (c) return static_cast<int>(ResourceCategory::kComputeRich);
+  if (m) return static_cast<int>(ResourceCategory::kMemoryRich);
+  return static_cast<int>(ResourceCategory::kGeneral);
+}
+}  // namespace
+
+void Coordinator::handle_outcome(std::size_t dev_idx,
+                                 const AssignOutcome& outcome) {
+  Device& dev = devices_[dev_idx];
+  const SimTime now = engine_.now();
+  dev.mark_participation(Device::day_of(now));
+
+  // A device whose session outlasts today regains its participation budget
+  // at the next day boundary.
+  engine_.at((Device::day_of(now) + 1) * kDay,
+             [this, dev_idx] { attempt_checkin(dev_idx); });
+
+  Job* job = by_id_.at(outcome.job);
+  ++assign_matrix_[device_region(dev.spec())]
+                  [static_cast<int>(job->spec().category)];
+  const double exec = dev.sample_exec_time(job->spec().nominal_task_s,
+                                           job->spec().task_cv,
+                                           engine_.rng());
+
+  // The device's current session must outlast the computation, otherwise the
+  // task fails when the device goes offline (ephemerality).
+  SimTime session_end = cfg_.horizon;
+  for (const auto& s : dev.sessions()) {
+    if (s.contains(now)) {
+      session_end = s.end;
+      break;
+    }
+  }
+
+  const RequestId rid = outcome.request;
+  const JobId jid = outcome.job;
+  if (now + exec <= session_end) {
+    engine_.after(exec, [this, jid, rid, dev_idx, exec] {
+      on_response(jid, rid, dev_idx, exec);
+    });
+  } else {
+    engine_.at(session_end, [this, jid, rid] {
+      Job* j = by_id_.count(jid) ? by_id_.at(jid) : nullptr;
+      if (j == nullptr || !j->request() || j->request()->id != rid) return;
+      RoundRequest& req = j->mutable_request();
+      if (req.state == RequestState::kCompleted ||
+          req.state == RequestState::kAborted) {
+        return;
+      }
+      ++req.failures;
+      if (req.state == RequestState::kPending) {
+        --req.assigned;  // reopen one unit of demand
+        manager_.assignment_failed(jid, engine_.now());
+        offer_idle_pool(engine_.now());
+      }
+    });
+  }
+
+  if (outcome.fully_allocated) {
+    // Start the reporting deadline; the round may already be completable if
+    // >= 80% of responses landed while the tail of devices was acquired.
+    maybe_complete(job);
+    if (job->request() && job->request()->id == rid) {
+      engine_.after(outcome.deadline,
+                    [this, jid, rid] { on_deadline(jid, rid); });
+    }
+  }
+}
+
+void Coordinator::on_response(JobId jid, RequestId rid, std::size_t dev_idx,
+                              double response_time) {
+  auto it = by_id_.find(jid);
+  if (it == by_id_.end()) return;
+  Job* job = it->second;
+  if (!job->request() || job->request()->id != rid) return;
+  RoundRequest& req = job->mutable_request();
+  if (req.state == RequestState::kCompleted ||
+      req.state == RequestState::kAborted) {
+    return;
+  }
+  ++req.responses;
+  manager_.notify_response(jid, devices_[dev_idx].spec().capacity(),
+                           response_time, engine_.now());
+  maybe_complete(job);
+}
+
+void Coordinator::maybe_complete(Job* job) {
+  if (!job->request()) return;
+  RoundRequest& req = job->mutable_request();
+  if (req.state != RequestState::kAllocated) return;
+  if (req.responses < req.needed_responses()) return;
+
+  const SimTime now = engine_.now();
+  req.completed = now;
+  const SimTime sched_delay = req.scheduling_delay();
+  const SimTime resp_time = now - req.fully_allocated;
+  const JobId jid = job->id();
+
+  manager_.notify_round_complete(jid, sched_delay, resp_time, now);
+  job->complete_round(now);
+  manager_.close_request(jid, now);
+
+  if (job->finished()) {
+    finish_job(job);
+  } else {
+    submit_request(job);
+  }
+}
+
+void Coordinator::on_deadline(JobId jid, RequestId rid) {
+  auto it = by_id_.find(jid);
+  if (it == by_id_.end()) return;
+  Job* job = it->second;
+  if (!job->request() || job->request()->id != rid) return;
+  RoundRequest& req = job->mutable_request();
+  if (req.state != RequestState::kAllocated) return;  // completed already
+
+  VENN_DEBUG << "job " << jid << " round " << req.round << " aborted ("
+             << req.responses << "/" << req.needed_responses() << ")";
+  job->abort_request();
+  manager_.close_request(jid, engine_.now());
+  submit_request(job);
+}
+
+void Coordinator::finish_job(Job* job) {
+  job->set_completion_time(engine_.now());
+  manager_.deregister_job(job->id());
+  by_id_.erase(job->id());
+  if (unfinished_jobs_ > 0) --unfinished_jobs_;
+}
+
+}  // namespace venn

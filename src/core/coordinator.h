@@ -1,0 +1,102 @@
+// Simulation coordinator: drives the CL protocol end to end.
+//
+// Replays the device availability trace and the job workload against a
+// ResourceManager (the paper's "high-fidelity simulator that replays client
+// and job traces", §5.1):
+//
+//   job arrival  -> register + submit round-0 resource request
+//   session open -> device checks in; assigned or parked in the idle pool
+//   assignment   -> device computes (log-normal exec time); fails if its
+//                   session ends first (ephemerality)
+//   responses    -> round completes at >= 80% of target reports (§5.1);
+//                   the reporting deadline (5-15 min, from full allocation)
+//                   aborts and resubmits otherwise
+//   round done   -> next round submitted immediately; last round records JCT
+//
+// Each device participates in at most one job per day (§5.1 realism rule).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/resource_manager.h"
+#include "sim/engine.h"
+#include "trace/job_trace.h"
+
+namespace venn {
+
+struct CoordinatorConfig {
+  SimTime horizon = 28.0 * kDay;  // hard stop for the simulation
+};
+
+class Coordinator {
+ public:
+  // `devices` are fully generated (specs + sessions). `specs` define the
+  // workload. The coordinator owns the resulting Job objects.
+  Coordinator(sim::Engine& engine, ResourceManager& manager,
+              std::vector<Device> devices, std::vector<trace::JobSpec> specs,
+              CoordinatorConfig cfg = {});
+
+  // Schedules all trace events and runs the engine until every job finishes
+  // or the horizon is reached.
+  void run();
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Job>>& jobs() const {
+    return jobs_;
+  }
+  [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
+  [[nodiscard]] SimTime horizon() const { return cfg_.horizon; }
+
+  // Contention-free JCT estimate sd_i for a job spec given this device
+  // population (rounds x (solo scheduling delay + expected response time)).
+  // Used for the §4.4 fairness bound and the Fig. 14b metric.
+  [[nodiscard]] double solo_jct_estimate(const trace::JobSpec& spec) const;
+
+  // Assignment counts by (device region, job category): region is the finest
+  // eligibility region the device belongs to (Fig. 8a). Diagnostic for how
+  // each policy spends scarce devices.
+  [[nodiscard]] const std::array<std::array<std::int64_t, kNumCategories>,
+                                 kNumCategories>&
+  assignment_matrix() const {
+    return assign_matrix_;
+  }
+
+ private:
+  void schedule_job_arrival(std::size_t job_idx);
+  void submit_request(Job* job);
+  // Device checks in if a session covers `now` and today's participation
+  // budget is unspent; otherwise re-arms at the next day boundary while the
+  // session lasts (multi-day sessions — e.g. plugged-in desktops — regain
+  // their one-job-per-day budget at midnight).
+  void attempt_checkin(std::size_t dev_idx);
+  void handle_outcome(std::size_t dev_idx, const AssignOutcome& outcome);
+  void offer_idle_pool(SimTime now);
+  void on_response(JobId job, RequestId request, std::size_t dev_idx,
+                   double response_time);
+  void maybe_complete(Job* job);
+  void on_deadline(JobId job, RequestId request);
+  void finish_job(Job* job);
+
+  // Estimated eligible check-in rate (devices/sec, daily average) for a
+  // requirement, computed once from the generated population.
+  [[nodiscard]] double supply_rate(const Requirement& req) const;
+
+  sim::Engine& engine_;
+  ResourceManager& manager_;
+  std::vector<Device> devices_;
+  std::vector<trace::JobSpec> specs_;
+  CoordinatorConfig cfg_;
+
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::unordered_map<JobId, Job*> by_id_;
+  std::unordered_set<std::size_t> idle_pool_;  // device indices
+  std::size_t unfinished_jobs_ = 0;
+  double mean_exec_factor_ = 1.0;  // population mean of 1/speed
+  std::array<std::array<std::int64_t, kNumCategories>, kNumCategories>
+      assign_matrix_{};
+};
+
+}  // namespace venn

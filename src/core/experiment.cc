@@ -1,0 +1,102 @@
+#include "core/experiment.h"
+
+#include <stdexcept>
+
+#include "scheduler/fifo_sched.h"
+#include "scheduler/random_sched.h"
+#include "scheduler/srsf_sched.h"
+#include "sim/engine.h"
+
+namespace venn {
+
+std::string policy_name(Policy p) {
+  switch (p) {
+    case Policy::kRandom:
+      return "Random";
+    case Policy::kFifo:
+      return "FIFO";
+    case Policy::kSrsf:
+      return "SRSF";
+    case Policy::kVenn:
+      return "Venn";
+    case Policy::kVennNoSched:
+      return "Venn w/o sched";
+    case Policy::kVennNoMatch:
+      return "Venn w/o match";
+  }
+  throw std::invalid_argument("unknown Policy");
+}
+
+ExperimentInputs build_inputs(const ExperimentConfig& cfg) {
+  ExperimentInputs in;
+  // Dedicated streams so population and workload are independent of each
+  // other and of anything the policies draw later.
+  Rng root(cfg.seed);
+  Rng dev_rng = root.fork();
+  Rng job_rng = root.fork();
+
+  in.devices.reserve(cfg.num_devices);
+  trace::AvailabilityConfig avail = cfg.availability;
+  avail.horizon = cfg.horizon;
+  for (std::size_t i = 0; i < cfg.num_devices; ++i) {
+    const DeviceSpec spec = trace::sample_spec(cfg.hardware, dev_rng);
+    auto sessions = trace::generate_sessions(avail, dev_rng);
+    in.devices.emplace_back(DeviceId(static_cast<std::int64_t>(i)), spec,
+                            std::move(sessions));
+  }
+
+  const auto base = trace::generate_base_trace(cfg.job_trace, job_rng);
+  in.jobs = trace::sample_workload(base, cfg.workload, cfg.num_jobs,
+                                   cfg.job_trace, job_rng);
+  if (cfg.bias) trace::apply_bias(in.jobs, *cfg.bias, job_rng);
+  return in;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(Policy p, const VennConfig& venn,
+                                          std::uint64_t sched_seed) {
+  switch (p) {
+    case Policy::kRandom:
+      return std::make_unique<RandomScheduler>(Rng(sched_seed));
+    case Policy::kFifo:
+      return std::make_unique<FifoScheduler>();
+    case Policy::kSrsf:
+      return std::make_unique<SrsfScheduler>();
+    case Policy::kVenn: {
+      VennConfig c = venn;
+      c.enable_scheduling = true;
+      c.enable_matching = true;
+      return std::make_unique<VennScheduler>(c, Rng(sched_seed));
+    }
+    case Policy::kVennNoSched: {
+      VennConfig c = venn;
+      c.enable_scheduling = false;
+      c.enable_matching = true;
+      return std::make_unique<VennScheduler>(c, Rng(sched_seed));
+    }
+    case Policy::kVennNoMatch: {
+      VennConfig c = venn;
+      c.enable_scheduling = true;
+      c.enable_matching = false;
+      return std::make_unique<VennScheduler>(c, Rng(sched_seed));
+    }
+  }
+  throw std::invalid_argument("unknown Policy");
+}
+
+RunResult run_with_inputs(const ExperimentConfig& cfg, Policy p,
+                          const ExperimentInputs& inputs) {
+  sim::Engine engine(cfg.seed ^ 0xC0FFEE);
+  ResourceManager manager(make_scheduler(p, cfg.venn, cfg.seed ^ 0xBEEF));
+  CoordinatorConfig ccfg;
+  ccfg.horizon = cfg.horizon;
+  Coordinator coord(engine, manager, inputs.devices, inputs.jobs, ccfg);
+  coord.run();
+  return collect_results(coord, policy_name(p));
+}
+
+RunResult run_experiment(const ExperimentConfig& cfg, Policy p) {
+  const ExperimentInputs inputs = build_inputs(cfg);
+  return run_with_inputs(cfg, p, inputs);
+}
+
+}  // namespace venn

@@ -1,0 +1,77 @@
+// Experiment runner: one-call reproduction harness shared by all benches.
+//
+// Builds a device population (hardware mixture + diurnal availability), a
+// workload (base job trace + workload sampler + optional §5.4 bias), and
+// runs it through a chosen scheduling policy. The device/job traces depend
+// only on the seed — never on the policy — so cross-policy comparisons see
+// identical inputs (the paper's simulator replays the same traces for every
+// baseline).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/metrics.h"
+#include "scheduler/venn_sched.h"
+#include "trace/availability.h"
+#include "trace/hardware.h"
+#include "trace/job_trace.h"
+
+namespace venn {
+
+enum class Policy {
+  kRandom = 0,     // optimized random matching (normalization baseline)
+  kFifo,
+  kSrsf,
+  kVenn,           // IRS + matching (+ fairness if epsilon > 0)
+  kVennNoSched,    // matching only, FIFO order  ("Venn w/o sched", Fig. 11)
+  kVennNoMatch,    // IRS only                   ("Venn w/o match", Fig. 11)
+};
+
+[[nodiscard]] std::string policy_name(Policy p);
+
+struct ExperimentConfig {
+  std::uint64_t seed = 42;
+
+  // Population. Calibrated so that the default 50-job workloads run at the
+  // paper's contention level (per-round scheduling delays of minutes to a
+  // few hours, Fig. 5).
+  std::size_t num_devices = 7000;
+  trace::AvailabilityConfig availability;
+  trace::HardwareConfig hardware;
+
+  // Workload.
+  std::size_t num_jobs = 50;
+  trace::Workload workload = trace::Workload::kEven;
+  std::optional<trace::BiasedWorkload> bias;
+  trace::JobTraceConfig job_trace;
+
+  // Simulation.
+  SimTime horizon = 28.0 * kDay;
+
+  // Venn knobs (ignored by baselines).
+  VennConfig venn;
+};
+
+// Pre-generated inputs, reusable across policies.
+struct ExperimentInputs {
+  std::vector<Device> devices;
+  std::vector<trace::JobSpec> jobs;
+};
+[[nodiscard]] ExperimentInputs build_inputs(const ExperimentConfig& cfg);
+
+// Constructs the scheduler for a policy. `sched_seed` feeds the policy's
+// private random stream.
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    Policy p, const VennConfig& venn, std::uint64_t sched_seed);
+
+// End-to-end: build inputs, simulate, collect results.
+[[nodiscard]] RunResult run_experiment(const ExperimentConfig& cfg, Policy p);
+
+// As above but with inputs already built (saves regeneration when sweeping
+// policies on the same trace).
+[[nodiscard]] RunResult run_with_inputs(const ExperimentConfig& cfg, Policy p,
+                                        const ExperimentInputs& inputs);
+
+}  // namespace venn

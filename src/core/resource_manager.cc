@@ -1,0 +1,158 @@
+#include "core/resource_manager.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace venn {
+
+ResourceManager::ResourceManager(std::unique_ptr<Scheduler> scheduler)
+    : scheduler_(std::move(scheduler)) {
+  if (!scheduler_) throw std::invalid_argument("scheduler must not be null");
+}
+
+void ResourceManager::register_job(Job* job, double solo_jct_estimate) {
+  if (job == nullptr) throw std::invalid_argument("job must not be null");
+  if (jobs_.contains(job->id())) {
+    throw std::invalid_argument("job already registered");
+  }
+  JobEntry e;
+  e.job = job;
+  e.group =
+      sigs_.register_requirement(requirement_for(job->spec().category));
+  e.solo_jct_estimate = solo_jct_estimate;
+  jobs_.emplace(job->id(), e);
+}
+
+void ResourceManager::deregister_job(JobId id) {
+  if (jobs_.erase(id) == 0) {
+    throw std::invalid_argument("deregister_job: unknown job");
+  }
+}
+
+std::vector<PendingJob> ResourceManager::pending_view() const {
+  std::vector<PendingJob> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, e] : jobs_) {
+    const auto& req = e.job->request();
+    if (!req || !req->wants_devices()) continue;
+    PendingJob pj;
+    pj.job = id;
+    pj.request = req->id;
+    pj.group = e.group;
+    pj.remaining_demand = req->remaining_demand();
+    pj.request_demand = req->demand;
+    pj.remaining_service = e.job->remaining_service();
+    pj.total_rounds = e.job->spec().rounds;
+    pj.completed_rounds = e.job->completed_rounds();
+    pj.job_arrival = e.job->spec().arrival;
+    pj.request_submitted = req->submitted;
+    pj.solo_jct_estimate = e.solo_jct_estimate;
+    pj.random_priority = e.random_priority;
+    out.push_back(pj);
+  }
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(out.begin(), out.end(),
+            [](const PendingJob& a, const PendingJob& b) {
+              return a.job < b.job;
+            });
+  return out;
+}
+
+std::size_t ResourceManager::num_pending_jobs() const {
+  return pending_view().size();
+}
+
+void ResourceManager::notify_queue_change(SimTime now) {
+  const auto pending = pending_view();
+  scheduler_->on_queue_change(pending, now);
+}
+
+RoundRequest& ResourceManager::open_request(JobId id, SimTime now,
+                                            double random_priority) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) throw std::invalid_argument("open_request: unknown job");
+  JobEntry& e = it->second;
+  RoundRequest& req = e.job->open_request(RequestId(next_request_id_++), now);
+  e.random_priority = random_priority;
+  notify_queue_change(now);
+  return req;
+}
+
+void ResourceManager::close_request(JobId id, SimTime now) {
+  if (!jobs_.contains(id)) {
+    throw std::invalid_argument("close_request: unknown job");
+  }
+  notify_queue_change(now);
+}
+
+void ResourceManager::assignment_failed(JobId id, SimTime now) {
+  if (!jobs_.contains(id)) return;  // job may have finished meanwhile
+  notify_queue_change(now);
+}
+
+DeviceView ResourceManager::device_view(const Device& dev) const {
+  DeviceView v;
+  v.id = dev.id();
+  v.spec = dev.spec();
+  v.signature = sigs_.signature_of(dev.spec());
+  return v;
+}
+
+std::optional<AssignOutcome> ResourceManager::try_assign(const Device& dev,
+                                                         SimTime now) {
+  const DeviceView view = device_view(dev);
+
+  std::vector<PendingJob> candidates;
+  for (const auto& pj : pending_view()) {
+    if ((view.signature >> pj.group) & 1ULL) candidates.push_back(pj);
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  const auto pick = scheduler_->assign(view, candidates, now);
+  if (!pick) return std::nullopt;
+  const PendingJob& winner = candidates.at(*pick);
+
+  JobEntry& e = jobs_.at(winner.job);
+  RoundRequest& req = e.job->mutable_request();
+  if (req.id != winner.request || !req.wants_devices()) {
+    throw std::logic_error("scheduler picked a stale request");
+  }
+  ++req.assigned;
+
+  AssignOutcome out;
+  out.job = winner.job;
+  out.request = req.id;
+  out.round = req.round;
+  out.request_submitted = req.submitted;
+  out.deadline = req.deadline;
+  if (req.assigned >= req.demand) {
+    req.state = RequestState::kAllocated;
+    req.fully_allocated = now;
+    out.fully_allocated = true;
+  }
+  return out;
+}
+
+std::optional<AssignOutcome> ResourceManager::device_checkin(const Device& dev,
+                                                             SimTime now) {
+  scheduler_->on_device_checkin(device_view(dev), now);
+  return try_assign(dev, now);
+}
+
+std::optional<AssignOutcome> ResourceManager::offer(const Device& dev,
+                                                    SimTime now) {
+  return try_assign(dev, now);
+}
+
+void ResourceManager::notify_response(JobId job, double capacity,
+                                      double response_time, SimTime now) {
+  scheduler_->on_response(job, capacity, response_time, now);
+}
+
+void ResourceManager::notify_round_complete(JobId job, SimTime sched_delay,
+                                            SimTime response_time,
+                                            SimTime now) {
+  scheduler_->on_round_complete(job, sched_delay, response_time, now);
+}
+
+}  // namespace venn

@@ -1,0 +1,103 @@
+// The Venn resource manager — the system of Fig. 6.
+//
+// Venn "serves as a standalone CL resource manager that operates at a layer
+// above all CL jobs, and it is responsible for allocating each checked-in
+// resource to individual jobs" (§3). This class is that layer: jobs register
+// and submit per-round resource requests (step 0), devices check in as they
+// become available (step 1), and the manager — consulting its pluggable
+// scheduling policy — assigns one job per checked-in device (step 2).
+// Everything after assignment (computation, reporting, fault handling) is
+// the job/device protocol (steps 3-5) and is driven by the simulation
+// coordinator; per Appendix A, Venn deliberately delegates device selection
+// refinements, fault tolerance and privacy to the jobs themselves.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "device/device.h"
+#include "device/eligibility.h"
+#include "job/job.h"
+#include "scheduler/scheduler.h"
+
+namespace venn {
+
+// Result of offering one device to the manager.
+struct AssignOutcome {
+  JobId job;
+  RequestId request;
+  int round = 0;
+  bool fully_allocated = false;  // this assignment completed the allocation
+  SimTime request_submitted = 0.0;
+  SimTime deadline = 0.0;  // reporting deadline span for the request
+};
+
+class ResourceManager {
+ public:
+  explicit ResourceManager(std::unique_ptr<Scheduler> scheduler);
+
+  // ----- job lifecycle ---------------------------------------------------
+  // Registers a job; its requirement defines (or joins) a job group. The
+  // caller retains ownership and must keep the Job alive until
+  // deregister_job. `solo_jct_estimate` is the contention-free JCT estimate
+  // sd_i used by the fairness bound (§4.4).
+  void register_job(Job* job, double solo_jct_estimate);
+  void deregister_job(JobId id);
+
+  // Opens the next-round request for a registered job and notifies the
+  // policy of the queue change. `random_priority` seeds the optimized
+  // Random baseline's per-request ordering.
+  RoundRequest& open_request(JobId id, SimTime now, double random_priority);
+
+  // Marks the job's current request completed / aborted and notifies the
+  // policy. (The Job object records stats via its own methods.)
+  void close_request(JobId id, SimTime now);
+
+  // A pre-allocation device failure reopened one unit of demand.
+  void assignment_failed(JobId id, SimTime now);
+
+  // ----- device flow -----------------------------------------------------
+  // A device checks in (session start). Records supply with the policy and
+  // attempts an assignment.
+  [[nodiscard]] std::optional<AssignOutcome> device_checkin(const Device& dev,
+                                                            SimTime now);
+
+  // Re-offer an idle device (no supply re-recording).
+  [[nodiscard]] std::optional<AssignOutcome> offer(const Device& dev,
+                                                   SimTime now);
+
+  // ----- policy notifications passed through ------------------------------
+  void notify_response(JobId job, double capacity, double response_time,
+                       SimTime now);
+  void notify_round_complete(JobId job, SimTime sched_delay,
+                             SimTime response_time, SimTime now);
+
+  // ----- introspection ----------------------------------------------------
+  [[nodiscard]] const SignatureSpace& signatures() const { return sigs_; }
+  [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] std::size_t num_pending_jobs() const;
+  [[nodiscard]] DeviceView device_view(const Device& dev) const;
+
+  // The pending-job view handed to policies; public for tests.
+  [[nodiscard]] std::vector<PendingJob> pending_view() const;
+
+ private:
+  struct JobEntry {
+    Job* job = nullptr;
+    std::size_t group = 0;  // requirement index in sigs_
+    double solo_jct_estimate = 0.0;
+    double random_priority = 0.0;  // of the currently open request
+  };
+
+  std::optional<AssignOutcome> try_assign(const Device& dev, SimTime now);
+  void notify_queue_change(SimTime now);
+
+  std::unique_ptr<Scheduler> scheduler_;
+  SignatureSpace sigs_;
+  std::unordered_map<JobId, JobEntry> jobs_;
+  std::int64_t next_request_id_ = 0;
+};
+
+}  // namespace venn

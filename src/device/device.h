@@ -1,0 +1,69 @@
+// Device model: hardware spec, availability sessions, execution-time model.
+//
+// A device is available only during its sessions (charging + WiFi, paper
+// §2.1). When assigned a CL task it computes for a log-normally distributed
+// duration scaled by its hardware capacity; if its session ends first, the
+// task fails (ephemerality). Each device participates in at most one CL job
+// per day (paper §5.1: "Each unique device trace is limited to one CL job
+// per day for realism").
+#pragma once
+
+#include <vector>
+
+#include "device/eligibility.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace venn {
+
+// One contiguous availability interval [start, end).
+struct Session {
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+
+  [[nodiscard]] SimTime duration() const { return end - start; }
+  [[nodiscard]] bool contains(SimTime t) const { return t >= start && t < end; }
+};
+
+class Device {
+ public:
+  Device(DeviceId id, DeviceSpec spec, std::vector<Session> sessions);
+
+  [[nodiscard]] DeviceId id() const { return id_; }
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::vector<Session>& sessions() const {
+    return sessions_;
+  }
+
+  // Relative execution speed in (0, 1]: a speed-1.0 device finishes a task
+  // in its nominal duration; slower devices take proportionally longer.
+  // Affine in capacity so even the weakest devices make progress (the
+  // long tail of stragglers the matching algorithm of §4.3 targets).
+  [[nodiscard]] double speed() const;
+
+  // Samples the wall-clock execution time for a task with nominal duration
+  // `nominal` (the duration on a speed-1.0 device), log-normal noise with
+  // coefficient of variation `cv` (paper §4.3 cites log-normal response
+  // times).
+  [[nodiscard]] SimTime sample_exec_time(double nominal, double cv,
+                                         Rng& rng) const;
+
+  // --- one-job-per-day bookkeeping -------------------------------------
+  [[nodiscard]] bool participated_on_day(int day) const {
+    return last_participation_day_ == day;
+  }
+  void mark_participation(int day) { last_participation_day_ = day; }
+
+  // Day index of a simulation time.
+  [[nodiscard]] static int day_of(SimTime t) {
+    return static_cast<int>(t / kDay);
+  }
+
+ private:
+  DeviceId id_;
+  DeviceSpec spec_;
+  std::vector<Session> sessions_;  // sorted, non-overlapping
+  int last_participation_day_ = -1;
+};
+
+}  // namespace venn

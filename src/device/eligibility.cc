@@ -1,0 +1,60 @@
+#include "device/eligibility.h"
+
+#include <stdexcept>
+
+namespace venn {
+
+Requirement requirement_for(ResourceCategory c) {
+  switch (c) {
+    case ResourceCategory::kGeneral:
+      return {0.0, 0.0};
+    case ResourceCategory::kComputeRich:
+      return {kRichThreshold, 0.0};
+    case ResourceCategory::kMemoryRich:
+      return {0.0, kRichThreshold};
+    case ResourceCategory::kHighPerf:
+      return {kRichThreshold, kRichThreshold};
+  }
+  throw std::invalid_argument("unknown ResourceCategory");
+}
+
+std::string category_name(ResourceCategory c) {
+  switch (c) {
+    case ResourceCategory::kGeneral:
+      return "General";
+    case ResourceCategory::kComputeRich:
+      return "Compute-Rich";
+    case ResourceCategory::kMemoryRich:
+      return "Memory-Rich";
+    case ResourceCategory::kHighPerf:
+      return "High-Perf";
+  }
+  throw std::invalid_argument("unknown ResourceCategory");
+}
+
+std::vector<ResourceCategory> all_categories() {
+  return {ResourceCategory::kGeneral, ResourceCategory::kComputeRich,
+          ResourceCategory::kMemoryRich, ResourceCategory::kHighPerf};
+}
+
+std::size_t SignatureSpace::register_requirement(const Requirement& req) {
+  for (std::size_t i = 0; i < reqs_.size(); ++i) {
+    if (reqs_[i] == req) return i;
+  }
+  if (reqs_.size() >= kMaxRequirements) {
+    throw std::length_error("SignatureSpace: too many distinct requirements");
+  }
+  reqs_.push_back(req);
+  return reqs_.size() - 1;
+}
+
+SignatureSpace::Signature SignatureSpace::signature_of(
+    const DeviceSpec& spec) const {
+  Signature s = 0;
+  for (std::size_t i = 0; i < reqs_.size(); ++i) {
+    if (reqs_[i].eligible(spec)) s |= (Signature{1} << i);
+  }
+  return s;
+}
+
+}  // namespace venn

@@ -1,0 +1,85 @@
+// Tier partitioning and profiling for resource-aware device matching.
+//
+// Paper §4.3 / Algorithm 2: "Venn partitions the eligible devices into V
+// tiers based on their hardware capabilities ... Venn adaptively sets the
+// tier partition thresholds based on the hardware capacity distribution of
+// the devices that participated in earlier rounds" and "Venn profiles and
+// estimates the response collection time for each device tier v and
+// subsequently computes the speed-up factor g_v = t_v / t_0", using the 95th
+// percentile as the statistical tail latency.
+//
+// TierProfile accumulates (capacity, response-time) observations for one job
+// and answers: tier thresholds (capacity quantiles), the tier of a device,
+// and the per-tier speed-up factors g_v.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "device/eligibility.h"
+
+namespace venn {
+
+class TierProfile {
+ public:
+  // `num_tiers` is V in the paper (Fig. 13 sweeps 1..4). `tail_percentile`
+  // is the statistical tail used for response collection time (95th).
+  explicit TierProfile(std::size_t num_tiers, double tail_percentile = 95.0);
+
+  [[nodiscard]] std::size_t num_tiers() const { return num_tiers_; }
+
+  // Record one participant observation from a finished round.
+  void observe(double capacity, double response_time);
+
+  [[nodiscard]] std::size_t num_observations() const {
+    return capacities_.size();
+  }
+
+  // True once enough observations exist to build meaningful tiers (at least
+  // a handful per tier).
+  [[nodiscard]] bool ready() const;
+
+  // Pins the capacity thresholds externally instead of deriving them from
+  // this job's own participants. The Venn resource manager observes every
+  // device check-in, so it can partition the *eligible population* (§4.3
+  // "partitions the eligible devices into V tiers") rather than the job's
+  // participant sample — important because a tiered job's participants are
+  // tier-biased, and self-derived quantiles would drift toward the top of
+  // the range until the accepted band is a sliver of the pool. Must contain
+  // num_tiers + 1 ascending values starting at 0.
+  void set_external_thresholds(std::vector<double> thresholds);
+
+  // Capacity thresholds: tier v (0 = slowest) covers capacities in
+  // [threshold[v], threshold[v+1]). External if pinned, otherwise computed
+  // from observed participant quantiles. Requires ready().
+  [[nodiscard]] std::vector<double> thresholds() const;
+
+  // Tier index of a device capacity under the current thresholds.
+  // Requires ready().
+  [[nodiscard]] std::size_t tier_of(double capacity) const;
+
+  // Speed-up factor g_v = t_v / t_0 where t_v is the tail response time of
+  // tier v and t_0 the tail over all observations (non-tiered). Values < 1
+  // mean tier v responds faster than the mixed population. Requires ready().
+  [[nodiscard]] double speedup(std::size_t tier) const;
+
+  // Tail response time across all observations (t_0).
+  [[nodiscard]] std::optional<double> tail_response_time() const;
+
+ private:
+  std::size_t num_tiers_;
+  double tail_percentile_;
+  std::vector<double> capacities_;
+  std::vector<double> response_times_;  // parallel to capacities_
+  std::vector<double> external_thresholds_;  // empty = derive from samples
+};
+
+// The activation condition of Algorithm 2 (line 7 / Fig. 7): tier-based
+// matching is worthwhile iff  V + g_u * c  <  1 + c, i.e. the response-time
+// saving outweighs the V-fold slower allocation rate. `c` is the job's
+// response-collection-time : scheduling-delay ratio (c_i in the paper).
+[[nodiscard]] bool tiering_beneficial(std::size_t num_tiers, double g_u,
+                                      double c);
+
+}  // namespace venn

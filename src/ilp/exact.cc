@@ -1,0 +1,206 @@
+#include "ilp/exact.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace venn::ilp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// State key: (next device index, remaining demand vector). Demands are
+// packed 8 bits each (<= 16 jobs, each demand <= 255).
+struct StateKey {
+  std::size_t device = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool operator==(const StateKey&) const = default;
+};
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& k) const {
+    std::size_t h = std::hash<std::size_t>{}(k.device);
+    h ^= std::hash<std::uint64_t>{}(k.lo) + 0x9e3779b97f4a7c15ULL + (h << 6);
+    h ^= std::hash<std::uint64_t>{}(k.hi) + 0x9e3779b97f4a7c15ULL + (h << 6);
+    return h;
+  }
+};
+
+StateKey make_key(std::size_t device, const std::vector<int>& remaining) {
+  StateKey k;
+  k.device = device;
+  for (std::size_t j = 0; j < remaining.size(); ++j) {
+    const auto v = static_cast<std::uint64_t>(remaining[j]) & 0xFFULL;
+    if (j < 8) {
+      k.lo |= v << (8 * j);
+    } else {
+      k.hi |= v << (8 * (j - 8));
+    }
+  }
+  return k;
+}
+
+// Memoized value function: minimum achievable sum of completion times from
+// this state onward. Reconstruction re-derives the argmin per device using
+// the (cheap) memoized successors.
+class Solver {
+ public:
+  Solver(const std::vector<ToyJob>& jobs, const std::vector<ToyDevice>& devices)
+      : jobs_(jobs), devices_(devices) {}
+
+  double value(std::size_t device, std::vector<int>& remaining) {
+    bool done = true;
+    for (int r : remaining) {
+      if (r > 0) {
+        done = false;
+        break;
+      }
+    }
+    if (done) return 0.0;
+    if (device >= devices_.size()) return kInf;
+
+    const StateKey key = make_key(device, remaining);
+    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    double best = value(device + 1, remaining);  // skip this device
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      if (remaining[j] <= 0) continue;
+      if (((devices_[device].eligible >> j) & 1ULL) == 0) continue;
+      --remaining[j];
+      double c = value(device + 1, remaining);
+      if (c < kInf && remaining[j] == 0) c += devices_[device].arrival;
+      ++remaining[j];
+      best = std::min(best, c);
+    }
+    memo_[key] = best;
+    return best;
+  }
+
+  ExactResult reconstruct(std::vector<int> remaining) {
+    ExactResult out;
+    out.completion.assign(jobs_.size(), 0.0);
+    out.assignment.assign(devices_.size(), -1);
+
+    double total = value(0, remaining);
+    if (total == kInf) {
+      throw std::runtime_error(
+          "instance infeasible: not enough eligible devices");
+    }
+    out.avg_completion = total / static_cast<double>(jobs_.size());
+
+    double target = total;
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      bool all_done = true;
+      for (int r : remaining) {
+        if (r > 0) {
+          all_done = false;
+          break;
+        }
+      }
+      if (all_done) break;
+
+      // Try each option; follow the first whose cost matches the target.
+      bool advanced = false;
+      for (std::size_t j = 0; j < jobs_.size() && !advanced; ++j) {
+        if (remaining[j] <= 0) continue;
+        if (((devices_[d].eligible >> j) & 1ULL) == 0) continue;
+        --remaining[j];
+        double c = value(d + 1, remaining);
+        const bool completes = (remaining[j] == 0);
+        if (c < kInf && completes) c += devices_[d].arrival;
+        if (std::abs(c - target) < 1e-9) {
+          out.assignment[d] = static_cast<int>(j);
+          if (completes) {
+            out.completion[j] = devices_[d].arrival;
+            target -= devices_[d].arrival;
+          }
+          advanced = true;
+        } else {
+          ++remaining[j];
+        }
+      }
+      if (!advanced) {
+        // Skip must be optimal from here.
+        const double c = value(d + 1, remaining);
+        if (std::abs(c - target) > 1e-9) {
+          throw std::logic_error("reconstruction drift");
+        }
+      }
+    }
+    return out;
+  }
+
+ private:
+  const std::vector<ToyJob>& jobs_;
+  const std::vector<ToyDevice>& devices_;
+  std::unordered_map<StateKey, double, StateKeyHash> memo_;
+};
+
+}  // namespace
+
+ExactResult solve_optimal(const std::vector<ToyJob>& jobs,
+                          const std::vector<ToyDevice>& devices) {
+  if (jobs.empty()) throw std::invalid_argument("no jobs");
+  if (jobs.size() > 16) throw std::invalid_argument("at most 16 jobs");
+  for (const auto& j : jobs) {
+    if (j.demand < 0 || j.demand > 255) {
+      throw std::invalid_argument("demand out of range [0,255]");
+    }
+  }
+  for (std::size_t i = 1; i < devices.size(); ++i) {
+    if (devices[i].arrival < devices[i - 1].arrival) {
+      throw std::invalid_argument("devices must be sorted by arrival");
+    }
+  }
+
+  Solver solver(jobs, devices);
+  std::vector<int> remaining;
+  remaining.reserve(jobs.size());
+  for (const auto& j : jobs) remaining.push_back(j.demand);
+  return solver.reconstruct(std::move(remaining));
+}
+
+ExactResult evaluate_policy(
+    const std::vector<ToyJob>& jobs, const std::vector<ToyDevice>& devices,
+    const std::function<double(std::size_t job, int remaining)>& priority) {
+  ExactResult out;
+  out.completion.assign(jobs.size(), -1.0);
+  out.assignment.assign(devices.size(), -1);
+  std::vector<int> remaining;
+  remaining.reserve(jobs.size());
+  for (const auto& j : jobs) remaining.push_back(j.demand);
+
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    double best_p = kInf;
+    int best_j = -1;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      if (remaining[j] <= 0) continue;
+      if (((devices[d].eligible >> j) & 1ULL) == 0) continue;
+      const double p = priority(j, remaining[j]);
+      if (p < best_p) {
+        best_p = p;
+        best_j = static_cast<int>(j);
+      }
+    }
+    if (best_j < 0) continue;
+    out.assignment[d] = best_j;
+    if (--remaining[best_j] == 0) {
+      out.completion[static_cast<std::size_t>(best_j)] = devices[d].arrival;
+    }
+  }
+
+  double total = 0.0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (remaining[j] > 0) {
+      throw std::runtime_error("policy left a job unfinished");
+    }
+    total += out.completion[j];
+  }
+  out.avg_completion = total / static_cast<double>(jobs.size());
+  return out;
+}
+
+}  // namespace venn::ilp

@@ -1,0 +1,41 @@
+#include "job/job.h"
+
+namespace venn {
+
+RoundRequest& Job::open_request(RequestId rid, SimTime now) {
+  if (request_ && request_->state != RequestState::kAborted &&
+      request_->state != RequestState::kCompleted) {
+    throw std::logic_error("Job::open_request: a request is already open");
+  }
+  if (finished()) throw std::logic_error("Job::open_request: job finished");
+  RoundRequest r;
+  r.id = rid;
+  r.job = id_;
+  r.round = completed_rounds_;
+  r.demand = spec_.demand;
+  r.submitted = now;
+  r.deadline = spec_.deadline_s;
+  request_ = r;
+  return *request_;
+}
+
+void Job::abort_request() {
+  if (!request_) throw std::logic_error("Job::abort_request: no request");
+  request_->state = RequestState::kAborted;
+  ++pending_aborts_;
+  ++total_aborts_;
+}
+
+void Job::complete_round(SimTime now) {
+  if (!request_) throw std::logic_error("Job::complete_round: no request");
+  RoundRequest& r = *request_;
+  r.completed = now;
+  r.state = RequestState::kCompleted;
+  stats_.push_back({r.round, r.scheduling_delay(), r.response_collection_time(),
+                    pending_aborts_});
+  pending_aborts_ = 0;
+  ++completed_rounds_;
+  request_.reset();
+}
+
+}  // namespace venn

@@ -1,0 +1,91 @@
+// Runtime state of one CL job.
+//
+// Tracks round progress, the currently open resource request (at most one —
+// the paper studies synchronous CL jobs, §5.1, and notes the approach
+// extends to asynchronous jobs since decisions depend only on remaining
+// demand), and per-round metrics feeding JCT accounting.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "job/request.h"
+#include "trace/job_trace.h"
+#include "util/ids.h"
+
+namespace venn {
+
+struct RoundStats {
+  int round = 0;
+  SimTime scheduling_delay = 0.0;
+  SimTime response_collection = 0.0;
+  int aborts = 0;  // aborted attempts before this round succeeded
+};
+
+class Job {
+ public:
+  Job(JobId id, trace::JobSpec spec) : id_(id), spec_(std::move(spec)) {}
+
+  [[nodiscard]] JobId id() const { return id_; }
+  [[nodiscard]] const trace::JobSpec& spec() const { return spec_; }
+
+  [[nodiscard]] int completed_rounds() const { return completed_rounds_; }
+  [[nodiscard]] bool finished() const {
+    return completed_rounds_ >= spec_.rounds;
+  }
+
+  // Remaining service in device-rounds: the SRSF priority metric and the
+  // "total remaining demand" variant of the intra-group ordering (§4.2.1).
+  [[nodiscard]] double remaining_service() const {
+    return static_cast<double>(spec_.rounds - completed_rounds_) *
+           static_cast<double>(spec_.demand);
+  }
+
+  [[nodiscard]] const std::optional<RoundRequest>& request() const {
+    return request_;
+  }
+  [[nodiscard]] RoundRequest& mutable_request() {
+    if (!request_) throw std::logic_error("no open request");
+    return *request_;
+  }
+
+  // Opens a request for the next round (or a retry of the current round
+  // after an abort). Exactly one request may be open at a time.
+  RoundRequest& open_request(RequestId rid, SimTime now);
+
+  // Round attempt aborted: drop the request, remember the abort.
+  void abort_request();
+
+  // Round succeeded: record stats, close the request.
+  void complete_round(SimTime now);
+
+  [[nodiscard]] const std::vector<RoundStats>& round_stats() const {
+    return stats_;
+  }
+  [[nodiscard]] int total_aborts() const { return total_aborts_; }
+
+  [[nodiscard]] SimTime completion_time() const { return completion_time_; }
+  void set_completion_time(SimTime t) { completion_time_ = t; }
+  [[nodiscard]] bool completion_recorded() const {
+    return completion_time_ >= 0.0;
+  }
+
+  // Job completion time: arrival -> last round completed.
+  [[nodiscard]] SimTime jct() const {
+    if (!completion_recorded()) throw std::logic_error("job not finished");
+    return completion_time_ - spec_.arrival;
+  }
+
+ private:
+  JobId id_;
+  trace::JobSpec spec_;
+  std::optional<RoundRequest> request_;
+  int completed_rounds_ = 0;
+  int pending_aborts_ = 0;  // aborts of the round currently in flight
+  int total_aborts_ = 0;
+  std::vector<RoundStats> stats_;
+  SimTime completion_time_ = -1.0;
+};
+
+}  // namespace venn

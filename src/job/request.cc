@@ -1,0 +1,6 @@
+#include "job/request.h"
+
+// RoundRequest is a plain aggregate; logic lives inline in the header. This
+// translation unit exists so the module has a home for future out-of-line
+// helpers and to keep one .cc per header in the build.
+namespace venn {}

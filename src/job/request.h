@@ -1,0 +1,68 @@
+// Per-round resource request lifecycle.
+//
+// A CL job issues one resource request per training round (paper Fig. 6,
+// step 0), asking for `demand` devices. The request is *pending* until the
+// last needed device is assigned (that span is the scheduling delay of
+// Fig. 1), then *allocated* while responses stream in. The round succeeds
+// once 80% of the target participants report (paper §5.1) and aborts if the
+// reporting deadline passes first, in which case the job resubmits.
+#pragma once
+
+#include <cmath>
+
+#include "util/ids.h"
+
+namespace venn {
+
+enum class RequestState {
+  kPending,    // still acquiring devices
+  kAllocated,  // all devices assigned; collecting responses
+  kCompleted,  // >= 80% responses received
+  kAborted,    // deadline passed with < 80% responses
+};
+
+// Fraction of the target participants that must report for a round to
+// succeed (paper §5.1: "a minimum of 80% target participants").
+inline constexpr double kReportFraction = 0.8;
+
+struct RoundRequest {
+  RequestId id;
+  JobId job;
+  int round = 0;   // zero-based round index this request serves
+  int demand = 0;  // devices needed (D)
+
+  int assigned = 0;   // devices currently assigned (failures decrement
+                      // while pending)
+  int responses = 0;  // successful reports received
+  int failures = 0;   // devices that died before reporting
+
+  SimTime submitted = 0.0;
+  SimTime fully_allocated = -1.0;  // set when assigned first reaches demand
+  SimTime completed = -1.0;        // set on completion
+  SimTime deadline = 0.0;          // reporting deadline length (from full
+                                   // allocation)
+  RequestState state = RequestState::kPending;
+
+  // Number of responses required for success: ceil(0.8 * D), at least 1.
+  [[nodiscard]] int needed_responses() const {
+    return std::max(1, static_cast<int>(
+                           std::ceil(kReportFraction * demand - 1e-9)));
+  }
+
+  [[nodiscard]] int remaining_demand() const { return demand - assigned; }
+
+  [[nodiscard]] bool wants_devices() const {
+    return state == RequestState::kPending && remaining_demand() > 0;
+  }
+
+  // Scheduling delay (valid once fully allocated).
+  [[nodiscard]] SimTime scheduling_delay() const {
+    return fully_allocated - submitted;
+  }
+  // Response collection time (valid once completed).
+  [[nodiscard]] SimTime response_collection_time() const {
+    return completed - fully_allocated;
+  }
+};
+
+}  // namespace venn

@@ -1,0 +1,50 @@
+#include "scheduler/fairness.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace venn {
+
+double relative_usage(const JobFairnessInput& in) {
+  // Progress fair sharing would have achieved by now.
+  const double fair_progress =
+      std::clamp(in.elapsed / std::max(in.fair_jct, 1e-9), 0.0, 1.0);
+  const double r = (std::clamp(in.progress, 0.0, 1.0) + kUsageSmoothing) /
+                   (fair_progress + kUsageSmoothing);
+  return std::clamp(r, kMinUsage, kMaxUsage);
+}
+
+double adjusted_demand(double demand, double relative_usage, double epsilon) {
+  if (epsilon <= 0.0) return demand;
+  // One-sided: only jobs *behind* their fair share (r < 1) are boosted.
+  // Penalizing ahead-of-schedule jobs as well (the naive two-sided form)
+  // makes large ε degenerate into inverse-lag ordering, which delays short
+  // jobs past their own fair bounds and lowers the Fig. 14b hit rate.
+  const double r = std::min(1.0, relative_usage);
+  return demand * std::pow(r, epsilon * kEpsilonScale);
+}
+
+double adjusted_queue_len(double queue_len, double group_relative_usage,
+                          double epsilon) {
+  if (epsilon <= 0.0) return queue_len;
+  // One-sided for the same reason as adjusted_demand: behind groups look
+  // longer; ahead groups keep their true queue length.
+  const double r = std::clamp(group_relative_usage, kMinUsage, 1.0);
+  return queue_len * std::pow(1.0 / r, epsilon * kEpsilonScale);
+}
+
+double group_relative_usage(std::span<const JobFairnessInput> jobs) {
+  if (jobs.empty()) return 1.0;
+  double used = 0.0;
+  double fair = 0.0;
+  for (const auto& j : jobs) {
+    const double fair_progress =
+        std::clamp(j.elapsed / std::max(j.fair_jct, 1e-9), 0.0, 1.0);
+    used += (std::clamp(j.progress, 0.0, 1.0) + kUsageSmoothing) * j.fair_jct;
+    fair += (fair_progress + kUsageSmoothing) * j.fair_jct;
+  }
+  if (fair <= 0.0) return 1.0;
+  return std::clamp(used / fair, kMinUsage, kMaxUsage);
+}
+
+}  // namespace venn

@@ -1,0 +1,23 @@
+#include "scheduler/fifo_sched.h"
+
+#include <stdexcept>
+
+namespace venn {
+
+std::optional<std::size_t> FifoScheduler::assign(
+    const DeviceView& /*dev*/, std::span<const PendingJob> candidates,
+    SimTime /*now*/) {
+  if (candidates.empty()) throw std::invalid_argument("no candidates");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const auto& a = candidates[i];
+    const auto& b = candidates[best];
+    if (a.job_arrival < b.job_arrival ||
+        (a.job_arrival == b.job_arrival && a.job < b.job)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace venn

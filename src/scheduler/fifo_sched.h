@@ -1,0 +1,18 @@
+// FIFO scheduling baseline: devices go to the eligible job that arrived
+// earliest (paper §5.1 baseline). Ties break by job id for determinism.
+#pragma once
+
+#include "scheduler/scheduler.h"
+
+namespace venn {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "FIFO"; }
+
+  [[nodiscard]] std::optional<std::size_t> assign(
+      const DeviceView& dev, std::span<const PendingJob> candidates,
+      SimTime now) override;
+};
+
+}  // namespace venn

@@ -1,0 +1,75 @@
+// Intersection Resource Scheduling (IRS) — paper §4.2, Algorithm 1.
+//
+// IRS decides, for every kind of arriving device, which job group should be
+// served first. Job groups are resource-homogeneous (all jobs in a group
+// share one requirement); their eligible device sets can nest, overlap or
+// contain each other. We represent that structure exactly with *atoms*:
+// an atom is a distinct eligibility signature (the bitmask of groups a
+// device qualifies for), and every set expression of Algorithm 1 is a union
+// of atoms weighted by the atom's device arrival rate.
+//
+// The algorithm (two phases over groups sorted by eligible supply |S_j|):
+//  1. Initial allocation (lines 5-9): walk groups from scarcest to most
+//     abundant; each group claims all not-yet-claimed atoms it is eligible
+//     for. This favours groups with scarce resources, preventing delays
+//     from resource-rich groups.
+//  2. Reallocation (lines 10-23): walk groups from most abundant down; a
+//     group Gj holding resources may absorb the intersection S_j ∩ S_k from
+//     scarcer overlapping groups Gk as long as the delay-ratio test
+//     m'_j / |S'_j| > m'_k / |S_k| holds (line 15), accumulating the
+//     affected queue length m'_j += m'_k; the first failed test stops the
+//     scan (line 19).
+//
+// The output is a plan mapping each atom to an ordered list of groups: the
+// owner first, then the remaining eligible groups scarcest-first as a
+// fall-through order (used when the owner's jobs cannot take a device, e.g.
+// due to tier filtering or a queue drained since the last recompute).
+//
+// Complexity: O(n^2 · a) for n groups and a atoms (a <= 2^n but in practice
+// a handful); the per-device lookup is O(1) into the plan. Combined with
+// the O(m log m) intra-group sort this matches the paper's
+// max(O(m log m), O(n^2)) bound.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace venn {
+
+// One eligibility atom: a set of devices sharing the same signature.
+struct AtomSupply {
+  std::uint64_t signature = 0;  // bit g set => eligible for group index g
+  double rate = 0.0;            // device check-ins per unit time
+};
+
+// One resource-homogeneous job group with pending demand.
+struct GroupInput {
+  std::size_t index = 0;   // bit position in atom signatures
+  double queue_len = 0.0;  // m_j — jobs waiting (possibly fairness-adjusted)
+};
+
+struct IrsPlan {
+  // atom signature -> group indices in service order (owner first).
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> atom_order;
+
+  // Diagnostics (also used by tests and the fairness estimator):
+  // total eligible supply |S_j| and post-IRS allocated rate |S'_j|.
+  std::unordered_map<std::size_t, double> supply_rate;
+  std::unordered_map<std::size_t, double> allocated_rate;
+
+  // Service order for a device with the given (active-restricted) signature.
+  // Falls back to scarcest-first over the signature's groups when the exact
+  // atom was not part of the plan input (e.g. first device of its kind).
+  [[nodiscard]] std::vector<std::size_t> order_for(
+      std::uint64_t signature) const;
+};
+
+// Computes the IRS plan. `atoms` may include signatures with bits outside
+// `groups` — they are masked off; atoms reduced to signature 0 are ignored.
+// Group indices must be unique and < 64.
+[[nodiscard]] IrsPlan compute_irs_plan(std::span<const GroupInput> groups,
+                                       std::span<const AtomSupply> atoms);
+
+}  // namespace venn

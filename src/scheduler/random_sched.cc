@@ -1,0 +1,21 @@
+#include "scheduler/random_sched.h"
+
+#include <stdexcept>
+
+namespace venn {
+
+std::optional<std::size_t> RandomScheduler::assign(
+    const DeviceView& /*dev*/, std::span<const PendingJob> candidates,
+    SimTime /*now*/) {
+  if (candidates.empty()) throw std::invalid_argument("no candidates");
+  if (!optimized_) return rng_.index(candidates.size());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].random_priority < candidates[best].random_priority) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace venn

@@ -1,0 +1,38 @@
+// Random device-to-job matching — the behaviour of production CL resource
+// managers at Apple, Meta and Google (paper §2.2), and the normalization
+// baseline of every result table.
+//
+// Two variants:
+//  * plain:     each device is matched to a uniformly random eligible job
+//               (Meta-style centralized random matching);
+//  * optimized: jobs are scheduled in a randomized *order* — each request
+//               draws a random priority at submission and devices go to the
+//               eligible job with the lowest priority. The paper uses this
+//               stronger variant as its baseline since it "reduc[es] round
+//               abortions under contention" (§5.1).
+#pragma once
+
+#include "scheduler/scheduler.h"
+#include "util/rng.h"
+
+namespace venn {
+
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(Rng rng, bool optimized = true)
+      : rng_(std::move(rng)), optimized_(optimized) {}
+
+  [[nodiscard]] std::string name() const override {
+    return optimized_ ? "Random" : "Random(plain)";
+  }
+
+  [[nodiscard]] std::optional<std::size_t> assign(
+      const DeviceView& dev, std::span<const PendingJob> candidates,
+      SimTime now) override;
+
+ private:
+  Rng rng_;
+  bool optimized_;
+};
+
+}  // namespace venn

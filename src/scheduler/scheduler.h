@@ -1,0 +1,94 @@
+// Scheduler interface: device-to-job assignment policy.
+//
+// The resource manager (src/core/resource_manager.h) turns simulator events
+// into three kinds of notifications — device check-ins, request queue
+// changes, and response observations — and asks the policy one question:
+// given a checked-in device and the set of jobs that are eligible for it and
+// still need devices, which job (if any) gets the device?
+//
+// Baselines (paper §5.1): optimized Random matching, FIFO, SRSF.
+// Venn (paper §4) implements the same interface with IRS job ordering and
+// tier-based matching layered behind it.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "device/eligibility.h"
+#include "util/ids.h"
+
+namespace venn {
+
+// What a policy may know about a checked-in device.
+struct DeviceView {
+  DeviceId id;
+  DeviceSpec spec;
+  // Bitmask over the SignatureSpace of registered job requirements: bit g is
+  // set iff the device satisfies requirement (job group) g.
+  std::uint64_t signature = 0;
+};
+
+// What a policy may know about a job whose current request still needs
+// devices. One entry per job; `group` identifies its resource-homogeneous
+// job group (== its requirement's index in the SignatureSpace).
+struct PendingJob {
+  JobId job;
+  RequestId request;
+  std::size_t group = 0;
+
+  int remaining_demand = 0;      // devices still needed for this request
+  int request_demand = 0;        // D of the current request
+  double remaining_service = 0;  // device-rounds left (SRSF metric)
+  int total_rounds = 0;
+  int completed_rounds = 0;
+
+  SimTime job_arrival = 0.0;
+  SimTime request_submitted = 0.0;
+
+  // Estimated contention-free JCT (sd_i in §4.4), provided by the resource
+  // manager; feeds the fair-share bound T_i = M * sd_i.
+  double solo_jct_estimate = 0.0;
+
+  // Random priority fixed at request submission; the optimized Random
+  // baseline schedules whole jobs in a randomized order using this key
+  // (reduces round abortions vs per-device randomness, §5.1).
+  double random_priority = 0.0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // A device checked in (regardless of whether it will be assigned).
+  // Venn records supply rates per eligibility signature here (§4.4).
+  virtual void on_device_checkin(const DeviceView& /*dev*/, SimTime /*now*/) {}
+
+  // The pending-request set changed (request arrival, completion or abort).
+  // `pending` enumerates every job that currently wants devices. Venn
+  // recomputes its IRS plan here (§4.2: "Venn invokes Algorithm 1 on job's
+  // request arrival and completion").
+  virtual void on_queue_change(std::span<const PendingJob> /*pending*/,
+                               SimTime /*now*/) {}
+
+  // A device responded for `job`. `capacity` is the device capacity score,
+  // `response_time` the task execution span. Feeds tier profiling (§4.3).
+  virtual void on_response(JobId /*job*/, double /*capacity*/,
+                           double /*response_time*/, SimTime /*now*/) {}
+
+  // A round finished: its measured scheduling delay and response collection
+  // time. Feeds the c_i estimate of Algorithm 2.
+  virtual void on_round_complete(JobId /*job*/, SimTime /*sched_delay*/,
+                                 SimTime /*response_time*/, SimTime /*now*/) {}
+
+  // Core decision. `candidates` lists the pending jobs this device is
+  // eligible for (non-empty). Returns the index of the winning candidate or
+  // nullopt to leave the device idle (e.g. tier filtering).
+  [[nodiscard]] virtual std::optional<std::size_t> assign(
+      const DeviceView& dev, std::span<const PendingJob> candidates,
+      SimTime now) = 0;
+};
+
+}  // namespace venn

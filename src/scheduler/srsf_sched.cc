@@ -1,0 +1,30 @@
+#include "scheduler/srsf_sched.h"
+
+#include <stdexcept>
+
+namespace venn {
+
+std::optional<std::size_t> SrsfScheduler::assign(
+    const DeviceView& /*dev*/, std::span<const PendingJob> candidates,
+    SimTime /*now*/) {
+  if (candidates.empty()) throw std::invalid_argument("no candidates");
+  const auto service = [this](const PendingJob& pj) {
+    return per_round_ ? static_cast<double>(pj.remaining_demand)
+                      : pj.remaining_service;
+  };
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const auto& a = candidates[i];
+    const auto& b = candidates[best];
+    const double sa = service(a);
+    const double sb = service(b);
+    if (sa < sb || (sa == sb && (a.job_arrival < b.job_arrival ||
+                                 (a.job_arrival == b.job_arrival &&
+                                  a.job < b.job)))) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace venn

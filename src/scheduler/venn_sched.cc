@@ -1,0 +1,259 @@
+#include "scheduler/venn_sched.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace venn {
+
+VennScheduler::VennScheduler(VennConfig cfg, Rng rng)
+    : cfg_(cfg), rng_(std::move(rng)) {
+  if (cfg_.num_tiers == 0) throw std::invalid_argument("num_tiers >= 1");
+}
+
+std::string VennScheduler::name() const {
+  if (cfg_.enable_scheduling && cfg_.enable_matching) return "Venn";
+  if (cfg_.enable_scheduling) return "Venn w/o match";
+  if (cfg_.enable_matching) return "Venn w/o sched";
+  return "Venn (disabled)";
+}
+
+void VennScheduler::on_device_checkin(const DeviceView& dev, SimTime now) {
+  // §4.4: record every check-in's eligibility signature in the time-series
+  // store; IRS reads rates back over the trailing 24 h window.
+  supply_.record(dev.signature, now);
+  // Feed the per-group capacity reservoirs behind tier thresholds (§4.3).
+  const double cap = dev.spec.capacity();
+  for (std::size_t g = 0; g < 64; ++g) {
+    if ((dev.signature >> g) & 1ULL) {
+      auto& dq = group_caps_[g];
+      dq.push_back(cap);
+      if (dq.size() > kCapReservoir) dq.pop_front();
+    }
+  }
+}
+
+std::vector<double> VennScheduler::group_thresholds(std::size_t g) const {
+  auto it = group_caps_.find(g);
+  if (it == group_caps_.end() || it->second.size() < 10 * cfg_.num_tiers) {
+    return {};
+  }
+  std::vector<double> caps(it->second.begin(), it->second.end());
+  Summary s{std::span<const double>(caps)};
+  std::vector<double> th;
+  th.reserve(cfg_.num_tiers + 1);
+  th.push_back(0.0);
+  for (std::size_t v = 1; v < cfg_.num_tiers; ++v) {
+    th.push_back(s.percentile(100.0 * static_cast<double>(v) /
+                              static_cast<double>(cfg_.num_tiers)));
+  }
+  th.push_back(1.0 + 1e-12);
+  // Guard against degenerate (non-ascending) quantiles on flat reservoirs.
+  for (std::size_t i = 1; i < th.size(); ++i) {
+    th[i] = std::max(th[i], th[i - 1]);
+  }
+  return th;
+}
+
+JobMatcher& VennScheduler::matcher_for(JobId job) {
+  auto it = matchers_.find(job);
+  if (it == matchers_.end()) {
+    MatcherConfig mc;
+    mc.num_tiers = cfg_.num_tiers;
+    mc.tail_percentile = cfg_.tail_percentile;
+    mc.ewma_alpha = cfg_.ewma_alpha;
+    it = matchers_
+             .emplace(job, std::make_unique<JobMatcher>(mc, rng_.fork()))
+             .first;
+  }
+  return *it->second;
+}
+
+void VennScheduler::on_queue_change(std::span<const PendingJob> pending,
+                                    SimTime now) {
+  // --- group statistics + fairness inputs -------------------------------
+  struct GroupAgg {
+    double queue_len = 0.0;
+    std::vector<JobFairnessInput> jobs;
+  };
+  std::unordered_map<std::size_t, GroupAgg> agg;
+  const double num_jobs = std::max<double>(1.0, pending.size());
+
+  fairness_mult_.clear();
+  for (const auto& pj : pending) {
+    JobFairnessInput fin;
+    fin.progress = pj.total_rounds > 0
+                       ? static_cast<double>(pj.completed_rounds) /
+                             static_cast<double>(pj.total_rounds)
+                       : 0.0;
+    fin.elapsed = now - pj.job_arrival;
+    fin.fair_jct = num_jobs * std::max(pj.solo_jct_estimate, 1.0);
+
+    auto& g = agg[pj.group];
+    g.queue_len += 1.0;
+    g.jobs.push_back(fin);
+
+    // d'_i = d_i * r_i^ε; we store the multiplier and apply it to the live
+    // remaining demand at assignment time.
+    fairness_mult_[pj.job] =
+        adjusted_demand(1.0, relative_usage(fin), cfg_.epsilon);
+  }
+
+  // --- tier decision for newly opened requests ---------------------------
+  for (const auto& pj : pending) {
+    if (seen_requests_.insert(pj.request.value()).second) {
+      JobMatcher& m = matcher_for(pj.job);
+      auto th = group_thresholds(pj.group);
+      if (!th.empty()) m.set_thresholds(std::move(th));
+      m.begin_request(pj.request, now);
+      ++mstats_.requests_seen;
+      if (m.active_tier()) ++mstats_.requests_tiered;
+    }
+  }
+
+  // --- IRS plan over atoms from the supply store -------------------------
+  active_mask_ = 0;
+  std::vector<GroupInput> groups;
+  groups.reserve(agg.size());
+  for (const auto& [index, g] : agg) {
+    active_mask_ |= (1ULL << index);
+    GroupInput gi;
+    gi.index = index;
+    gi.queue_len = adjusted_queue_len(
+        g.queue_len, group_relative_usage(g.jobs), cfg_.epsilon);
+    groups.push_back(gi);
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const GroupInput& a, const GroupInput& b) {
+              return a.index < b.index;
+            });
+
+  std::vector<AtomSupply> atoms;
+  for (std::uint64_t key : supply_.keys()) {
+    const double rate = supply_.rate(key, now, cfg_.supply_window);
+    if (rate > 0.0) atoms.push_back({key, rate});
+  }
+  plan_ = compute_irs_plan(groups, atoms);
+
+  // Bound the §4.4 time-series store on multi-day runs: points older than
+  // twice the averaging window can never influence a rate query.
+  if (++queue_changes_ % 512 == 0) {
+    supply_.compact_all(now, 2.0 * cfg_.supply_window);
+  }
+}
+
+void VennScheduler::on_response(JobId job, double capacity,
+                                double response_time, SimTime /*now*/) {
+  matcher_for(job).observe_response(capacity, response_time);
+}
+
+void VennScheduler::on_round_complete(JobId job, SimTime sched_delay,
+                                      SimTime response_time, SimTime /*now*/) {
+  JobMatcher& m = matcher_for(job);
+  if (m.active_tier()) {
+    ++mstats_.rounds_tiered;
+    mstats_.resp_sum_tiered += response_time;
+    mstats_.sched_sum_tiered += sched_delay;
+  } else {
+    ++mstats_.rounds_untiered;
+    mstats_.resp_sum_untiered += response_time;
+    mstats_.sched_sum_untiered += sched_delay;
+  }
+  m.observe_round(sched_delay, response_time);
+}
+
+double VennScheduler::sort_key(const PendingJob& pj) const {
+  const double base = cfg_.order_by_total_remaining
+                          ? pj.remaining_service
+                          : static_cast<double>(pj.remaining_demand);
+  auto it = fairness_mult_.find(pj.job);
+  return it != fairness_mult_.end() ? base * it->second : base;
+}
+
+std::optional<std::size_t> VennScheduler::assign(
+    const DeviceView& dev, std::span<const PendingJob> candidates,
+    SimTime now) {
+  if (candidates.empty()) throw std::invalid_argument("no candidates");
+
+  // Candidate indices grouped by job group, each group sorted by the
+  // (fairness-adjusted) remaining demand — Algorithm 1 line 3.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> by_group;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    by_group[candidates[i].group].push_back(i);
+  }
+  for (auto& [g, idxs] : by_group) {
+    (void)g;
+    std::sort(idxs.begin(), idxs.end(), [&](std::size_t a, std::size_t b) {
+      const double ka = sort_key(candidates[a]);
+      const double kb = sort_key(candidates[b]);
+      if (ka != kb) return ka < kb;
+      return candidates[a].job < candidates[b].job;
+    });
+  }
+
+  // Group service order: the IRS plan for this device's atom, or FIFO-ish
+  // (arrival of each group's head job) when scheduling is disabled.
+  std::vector<std::size_t> group_order;
+  if (cfg_.enable_scheduling) {
+    const std::uint64_t sig = dev.signature & active_mask_;
+    for (std::size_t g : plan_.order_for(sig)) {
+      if (by_group.contains(g)) group_order.push_back(g);
+    }
+    // Groups that never appeared in the plan (e.g. stale plan): append.
+    for (const auto& [g, _] : by_group) {
+      if (std::find(group_order.begin(), group_order.end(), g) ==
+          group_order.end()) {
+        group_order.push_back(g);
+      }
+    }
+  } else {
+    // "Venn w/o sched": FIFO across all candidates, ignoring groups.
+    group_order.clear();
+    std::vector<std::size_t> all(candidates.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    std::sort(all.begin(), all.end(), [&](std::size_t a, std::size_t b) {
+      if (candidates[a].job_arrival != candidates[b].job_arrival) {
+        return candidates[a].job_arrival < candidates[b].job_arrival;
+      }
+      return candidates[a].job < candidates[b].job;
+    });
+    // Treat the FIFO order as one flat pseudo-group.
+    const double capacity = dev.spec.capacity();
+    for (std::size_t pos = 0; pos < all.size(); ++pos) {
+      const auto& pj = candidates[all[pos]];
+      if (cfg_.enable_matching && pos == 0) {
+        const auto mit = matchers_.find(pj.job);
+        if (mit != matchers_.end() && !mit->second->accepts(capacity)) {
+          ++mstats_.devices_filtered;
+          continue;  // head job filters; leftovers flow to later jobs
+        }
+      }
+      return all[pos];
+    }
+    return std::nullopt;
+  }
+
+  const double capacity = dev.spec.capacity();
+  (void)now;
+  for (std::size_t g : group_order) {
+    const auto& idxs = by_group.at(g);
+    for (std::size_t pos = 0; pos < idxs.size(); ++pos) {
+      const auto& pj = candidates[idxs[pos]];
+      // Tier filtering applies to the *served* job — the head of the group
+      // order (§4.3: "The matching algorithm is activated only for jobs that
+      // are currently served"). Leftover tiers flow to subsequent jobs.
+      if (cfg_.enable_matching && pos == 0) {
+        const auto mit = matchers_.find(pj.job);
+        if (mit != matchers_.end() && !mit->second->accepts(capacity)) {
+          ++mstats_.devices_filtered;
+          continue;
+        }
+      }
+      return idxs[pos];
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace venn

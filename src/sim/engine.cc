@@ -1,0 +1,30 @@
+#include "sim/engine.h"
+
+#include <stdexcept>
+
+namespace venn::sim {
+
+void Engine::every(SimTime period, std::function<bool()> fn) {
+  if (period <= 0.0) throw std::invalid_argument("period must be > 0");
+  // Self-rescheduling closure; stops when fn returns false.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, fn = std::move(fn), tick]() {
+    if (!fn()) return;
+    queue_.schedule_after(period, *tick);
+  };
+  queue_.schedule_after(period, *tick);
+}
+
+void Engine::run_until(SimTime t_max) {
+  const std::uint64_t start = queue_.executed();
+  for (;;) {
+    if (queue_.executed() - start > event_budget_) {
+      throw std::runtime_error("Engine: event budget exhausted");
+    }
+    const auto next = queue_.next_time();
+    if (!next || *next > t_max) return;
+    queue_.step();
+  }
+}
+
+}  // namespace venn::sim

@@ -1,0 +1,76 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace venn::sim {
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool EventHandle::active() const { return cancelled_ && !*cancelled_; }
+
+EventHandle EventQueue::schedule(SimTime t, EventFn fn) {
+  if (t < now_) {
+    throw std::invalid_argument("EventQueue::schedule: time in the past");
+  }
+  auto flag = std::make_shared<bool>(false);
+  queue_.push({t, next_seq_++, std::move(fn), flag});
+  return EventHandle(std::move(flag));
+}
+
+EventHandle EventQueue::schedule_after(SimTime delay, EventFn fn) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("EventQueue::schedule_after: negative delay");
+  }
+  return schedule(now_ + delay, std::move(fn));
+}
+
+void EventQueue::drop_cancelled() {
+  while (!queue_.empty() && *queue_.top().cancelled) queue_.pop();
+}
+
+bool EventQueue::step() {
+  drop_cancelled();
+  if (queue_.empty()) return false;
+  // Move the entry out before running: the callback may schedule new events.
+  Entry e = queue_.top();
+  queue_.pop();
+  now_ = e.t;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+void EventQueue::run_until(SimTime t_max) {
+  for (;;) {
+    drop_cancelled();
+    if (queue_.empty() || queue_.top().t > t_max) return;
+    step();
+  }
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+std::optional<SimTime> EventQueue::next_time() {
+  drop_cancelled();
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().t;
+}
+
+bool EventQueue::empty() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled();
+  return queue_.empty();
+}
+
+std::size_t EventQueue::pending() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled();
+  return queue_.size();
+}
+
+}  // namespace venn::sim

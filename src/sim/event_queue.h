@@ -1,0 +1,87 @@
+// Discrete-event simulation primitives: a cancellable priority event queue.
+//
+// The paper's evaluation is driven by "a high-fidelity simulator that replays
+// client and job traces" (§5.1); this queue is its beating heart. Events are
+// (time, sequence, callback) triples — the sequence number makes ties
+// deterministic (FIFO among same-time events) so every simulation run is
+// exactly reproducible for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace venn::sim {
+
+using EventFn = std::function<void()>;
+
+// Handle to a scheduled event; allows O(1) cancellation (lazy deletion).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event if it has not fired yet. Idempotent.
+  void cancel();
+
+  [[nodiscard]] bool active() const;
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class EventQueue {
+ public:
+  // Schedule `fn` at absolute time `t` (must be >= now()). Returns a handle
+  // usable for cancellation.
+  EventHandle schedule(SimTime t, EventFn fn);
+
+  // Convenience: schedule at now() + delay.
+  EventHandle schedule_after(SimTime delay, EventFn fn);
+
+  // Pop and run the earliest pending event; returns false if none remain.
+  bool step();
+
+  // Run until the queue drains or now() would exceed `t_max`.
+  void run_until(SimTime t_max);
+
+  // Run until the queue drains.
+  void run();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  // Timestamp of the earliest pending (non-cancelled) event, if any.
+  [[nodiscard]] std::optional<SimTime> next_time();
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime t;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace venn::sim

@@ -1,0 +1,77 @@
+#include "trace/availability.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace venn::trace {
+
+std::vector<Session> generate_sessions(const AvailabilityConfig& cfg,
+                                       Rng& rng) {
+  std::vector<Session> sessions;
+  const int days = static_cast<int>(std::ceil(cfg.horizon / kDay));
+  // Per-device preferred start hour, fixed across days (same person, same
+  // routine) with small day-to-day jitter.
+  const double preferred =
+      cfg.peak_hour + rng.normal(0.0, cfg.peak_spread_hours);
+
+  for (int day = 0; day < days; ++day) {
+    if (!rng.bernoulli(cfg.daily_online_prob)) continue;
+
+    const double jitter = rng.normal(0.0, 0.75);
+    double start_h = preferred + jitter;
+    const double dur_h = std::max(
+        0.25, rng.lognormal_mean_cv(cfg.mean_session_hours, cfg.session_cv));
+    SimTime start = day * kDay + start_h * kHour;
+    SimTime end = start + dur_h * kHour;
+    if (start < 0.0) start = 0.0;
+    if (end > start) sessions.push_back({start, end});
+
+    if (rng.bernoulli(cfg.extra_session_prob)) {
+      // Daytime top-up charge, uniform over working hours.
+      const double s_h = rng.uniform(9.0, 18.0);
+      const double d_h = std::max(
+          0.1, rng.lognormal_mean_cv(cfg.extra_session_hours, cfg.session_cv));
+      sessions.push_back({day * kDay + s_h * kHour,
+                          day * kDay + (s_h + d_h) * kHour});
+    }
+  }
+
+  std::sort(sessions.begin(), sessions.end(),
+            [](const Session& a, const Session& b) { return a.start < b.start; });
+
+  // Merge overlaps and clip to horizon.
+  std::vector<Session> merged;
+  for (const auto& s : sessions) {
+    Session clipped{std::max(0.0, s.start), std::min(cfg.horizon, s.end)};
+    if (clipped.end <= clipped.start) continue;
+    if (!merged.empty() && clipped.start < merged.back().end) {
+      merged.back().end = std::max(merged.back().end, clipped.end);
+    } else {
+      merged.push_back(clipped);
+    }
+  }
+  return merged;
+}
+
+std::vector<AvailabilityPoint> availability_curve(
+    const std::vector<Device>& devices, SimTime horizon, SimTime step) {
+  std::vector<AvailabilityPoint> curve;
+  if (devices.empty() || step <= 0.0) return curve;
+  for (SimTime t = 0.0; t <= horizon; t += step) {
+    std::size_t online = 0;
+    for (const auto& d : devices) {
+      for (const auto& s : d.sessions()) {
+        if (s.contains(t)) {
+          ++online;
+          break;
+        }
+        if (s.start > t) break;
+      }
+    }
+    curve.push_back(
+        {t, static_cast<double>(online) / static_cast<double>(devices.size())});
+  }
+  return curve;
+}
+
+}  // namespace venn::trace

@@ -1,0 +1,49 @@
+// Synthetic device-availability trace with a diurnal pattern.
+//
+// Substitute for the FedScale client-availability trace used by the paper
+// (§2.1, Fig. 2a: the fraction of available devices oscillates daily between
+// roughly 15% and 30% of the population). Devices are modelled as mostly
+// available during a personal "plugged-in window" (overnight charging +
+// WiFi) whose start hour varies across the population, plus occasional
+// daytime sessions. The scheduler only observes the resulting check-in /
+// leave event stream, so matching the rate shape is sufficient fidelity.
+#pragma once
+
+#include <vector>
+
+#include "device/device.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace venn::trace {
+
+struct AvailabilityConfig {
+  SimTime horizon = 7 * kDay;  // length of generated trace
+  // Mean of the population's preferred session start hour (local time).
+  double peak_hour = 22.0;
+  // Spread of preferred start hours across devices (hours).
+  double peak_spread_hours = 4.0;
+  // Mean / cv of session duration (log-normal).
+  double mean_session_hours = 6.0;
+  double session_cv = 0.5;
+  // Probability a device is online at all on a given day.
+  double daily_online_prob = 0.85;
+  // Probability of an extra short daytime session on a given day.
+  double extra_session_prob = 0.25;
+  double extra_session_hours = 1.5;
+};
+
+// Generates sorted, non-overlapping sessions for one device.
+std::vector<Session> generate_sessions(const AvailabilityConfig& cfg,
+                                       Rng& rng);
+
+// Fraction of `devices` online at each multiple of `step` over the horizon —
+// the series behind Fig. 2a.
+struct AvailabilityPoint {
+  SimTime t = 0.0;
+  double fraction_online = 0.0;
+};
+std::vector<AvailabilityPoint> availability_curve(
+    const std::vector<Device>& devices, SimTime horizon, SimTime step);
+
+}  // namespace venn::trace

@@ -1,0 +1,61 @@
+#include "trace/hardware.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace venn::trace {
+
+std::vector<HardwareCluster> HardwareConfig::default_clusters() {
+  // Calibrated against the Fig. 8a scatter: a low-end cluster below both
+  // thresholds, a mid-range cluster straddling them, asymmetric compute- and
+  // memory-leaning clusters, and a well-populated flagship cluster. Yields
+  // roughly 35% General-only, 17% Compute-only, 15% Memory-only and 28%
+  // High-Perf devices at the 0.5 thresholds (category_shares() measures the
+  // exact figures per seed).
+  return {
+      // weight, cpu_mean, mem_mean, cpu_sd, mem_sd, corr
+      {0.34, 0.30, 0.32, 0.11, 0.11, 0.55},  // budget / low-end
+      {0.16, 0.48, 0.47, 0.09, 0.10, 0.50},  // mid-range (straddles 0.5)
+      {0.14, 0.68, 0.38, 0.07, 0.08, 0.30},  // compute-leaning (gaming SoCs)
+      {0.12, 0.38, 0.66, 0.08, 0.08, 0.30},  // memory-leaning
+      {0.24, 0.70, 0.68, 0.09, 0.09, 0.65},  // flagship
+  };
+}
+
+DeviceSpec sample_spec(const HardwareConfig& cfg, Rng& rng) {
+  if (cfg.clusters.empty()) {
+    throw std::invalid_argument("HardwareConfig needs >= 1 cluster");
+  }
+  std::vector<double> weights;
+  weights.reserve(cfg.clusters.size());
+  for (const auto& c : cfg.clusters) weights.push_back(c.weight);
+  const auto& c = cfg.clusters[rng.weighted_index(weights)];
+
+  // Correlated bivariate normal via Cholesky of [[1, r], [r, 1]].
+  const double z1 = rng.normal(0.0, 1.0);
+  const double z2 = rng.normal(0.0, 1.0);
+  const double r = std::clamp(c.corr, -0.999, 0.999);
+  const double cpu = c.cpu_mean + c.cpu_sd * z1;
+  const double mem =
+      c.mem_mean + c.mem_sd * (r * z1 + std::sqrt(1.0 - r * r) * z2);
+  return {std::clamp(cpu, 0.0, 1.0), std::clamp(mem, 0.0, 1.0)};
+}
+
+std::array<double, kNumCategories> category_shares(const HardwareConfig& cfg,
+                                                   std::size_t n, Rng& rng) {
+  std::array<double, kNumCategories> shares{};
+  if (n == 0) return shares;
+  for (std::size_t i = 0; i < n; ++i) {
+    const DeviceSpec spec = sample_spec(cfg, rng);
+    for (ResourceCategory cat : all_categories()) {
+      if (requirement_for(cat).eligible(spec)) {
+        shares[static_cast<int>(cat)] += 1.0;
+      }
+    }
+  }
+  for (auto& s : shares) s /= static_cast<double>(n);
+  return shares;
+}
+
+}  // namespace venn::trace

@@ -1,0 +1,46 @@
+// Synthetic device hardware distribution.
+//
+// Substitute for the AI Benchmark smartphone data the paper uses for
+// Fig. 2b / Fig. 8a. Devices are drawn from a mixture of clusters in the
+// normalized (CPU score, memory score) square — budget phones pile up in the
+// lower-left, flagships in the upper-right, plus mid-range bands — so that
+// the four eligibility regions of Fig. 8a (General / Compute-Rich /
+// Memory-Rich / High-Perf) receive realistic, *unequal* population shares
+// with High-Perf the scarcest.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "device/eligibility.h"
+#include "util/rng.h"
+
+namespace venn::trace {
+
+struct HardwareCluster {
+  double weight = 1.0;     // relative population share
+  double cpu_mean = 0.5;   // cluster centre
+  double mem_mean = 0.5;
+  double cpu_sd = 0.1;     // cluster spread
+  double mem_sd = 0.1;
+  double corr = 0.6;       // cpu/mem correlation within the cluster
+};
+
+struct HardwareConfig {
+  std::vector<HardwareCluster> clusters = default_clusters();
+
+  // Default mixture: ~55% budget/low-end, ~25% mid-range, ~12% compute-
+  // leaning, ~8% flagship. Yields roughly 25-30% Compute-Rich, 25-30%
+  // Memory-Rich and 12-18% High-Perf devices at the 0.5 thresholds.
+  static std::vector<HardwareCluster> default_clusters();
+};
+
+// Sample one device spec (scores clamped to [0, 1]).
+DeviceSpec sample_spec(const HardwareConfig& cfg, Rng& rng);
+
+// Population shares of each resource category under `cfg` (estimated by
+// sampling `n` specs): index by static_cast<int>(ResourceCategory).
+std::array<double, kNumCategories> category_shares(const HardwareConfig& cfg,
+                                                   std::size_t n, Rng& rng);
+
+}  // namespace venn::trace

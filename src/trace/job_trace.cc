@@ -1,0 +1,165 @@
+#include "trace/job_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace venn::trace {
+
+SimTime JobSpec::deadline_rule(int max_demand) const {
+  const double frac =
+      std::clamp(static_cast<double>(demand) / static_cast<double>(max_demand),
+                 0.0, 1.0);
+  return 5.0 * kMinute + 10.0 * kMinute * frac;
+}
+
+std::string workload_name(Workload w) {
+  switch (w) {
+    case Workload::kEven:
+      return "Even";
+    case Workload::kSmall:
+      return "Small";
+    case Workload::kLarge:
+      return "Large";
+    case Workload::kLow:
+      return "Low";
+    case Workload::kHigh:
+      return "High";
+  }
+  throw std::invalid_argument("unknown Workload");
+}
+
+std::string biased_workload_name(BiasedWorkload w) {
+  switch (w) {
+    case BiasedWorkload::kGeneral:
+      return "General";
+    case BiasedWorkload::kComputeHeavy:
+      return "Compute-heavy";
+    case BiasedWorkload::kMemoryHeavy:
+      return "Memory-heavy";
+    case BiasedWorkload::kResourceHeavy:
+      return "Resource-heavy";
+  }
+  throw std::invalid_argument("unknown BiasedWorkload");
+}
+
+std::vector<Workload> all_workloads() {
+  return {Workload::kEven, Workload::kSmall, Workload::kLarge, Workload::kLow,
+          Workload::kHigh};
+}
+
+std::vector<BiasedWorkload> all_biased_workloads() {
+  return {BiasedWorkload::kGeneral, BiasedWorkload::kComputeHeavy,
+          BiasedWorkload::kMemoryHeavy, BiasedWorkload::kResourceHeavy};
+}
+
+namespace {
+// Log-uniform integer in [lo, hi].
+int log_uniform_int(int lo, int hi, Rng& rng) {
+  if (lo < 1 || hi < lo) throw std::invalid_argument("log_uniform_int range");
+  const double u = rng.uniform(std::log(static_cast<double>(lo)),
+                               std::log(static_cast<double>(hi) + 1.0));
+  return std::clamp(static_cast<int>(std::exp(u)), lo, hi);
+}
+}  // namespace
+
+std::vector<JobSpec> generate_base_trace(const JobTraceConfig& cfg, Rng& rng) {
+  std::vector<JobSpec> trace;
+  trace.reserve(cfg.base_trace_size);
+  for (std::size_t i = 0; i < cfg.base_trace_size; ++i) {
+    JobSpec j;
+    j.rounds = log_uniform_int(cfg.min_rounds, cfg.max_rounds, rng);
+    j.demand = log_uniform_int(cfg.min_demand, cfg.max_demand, rng);
+    j.nominal_task_s = cfg.nominal_task_s;
+    j.task_cv = cfg.task_cv;
+    j.deadline_s = j.deadline_rule(cfg.max_demand);
+    trace.push_back(j);
+  }
+  return trace;
+}
+
+std::vector<JobSpec> sample_workload(const std::vector<JobSpec>& base,
+                                     Workload w, std::size_t n,
+                                     const JobTraceConfig& cfg, Rng& rng) {
+  if (base.empty()) throw std::invalid_argument("empty base trace");
+
+  double avg_total = 0.0, avg_demand = 0.0;
+  for (const auto& j : base) {
+    avg_total += j.total_demand();
+    avg_demand += j.demand;
+  }
+  avg_total /= static_cast<double>(base.size());
+  avg_demand /= static_cast<double>(base.size());
+
+  std::vector<const JobSpec*> pool;
+  for (const auto& j : base) {
+    const bool keep = [&] {
+      switch (w) {
+        case Workload::kEven:
+          return true;
+        case Workload::kSmall:
+          return j.total_demand() < avg_total;
+        case Workload::kLarge:
+          return j.total_demand() >= avg_total;
+        case Workload::kLow:
+          return static_cast<double>(j.demand) < avg_demand;
+        case Workload::kHigh:
+          return static_cast<double>(j.demand) >= avg_demand;
+      }
+      return true;
+    }();
+    if (keep) pool.push_back(&j);
+  }
+  if (pool.empty()) throw std::logic_error("workload filter left no jobs");
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(n);
+  SimTime t = 0.0;
+  const auto cats = all_categories();
+  const std::vector<double> weights(cfg.category_weights.begin(),
+                                    cfg.category_weights.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    JobSpec j = *pool[rng.index(pool.size())];
+    t += rng.exponential(1.0 / cfg.mean_interarrival);
+    j.arrival = t;
+    j.category = cats[rng.weighted_index(weights)];
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+void apply_bias(std::vector<JobSpec>& jobs, BiasedWorkload bias, Rng& rng) {
+  const ResourceCategory heavy = [&] {
+    switch (bias) {
+      case BiasedWorkload::kGeneral:
+        return ResourceCategory::kGeneral;
+      case BiasedWorkload::kComputeHeavy:
+        return ResourceCategory::kComputeRich;
+      case BiasedWorkload::kMemoryHeavy:
+        return ResourceCategory::kMemoryRich;
+      case BiasedWorkload::kResourceHeavy:
+        return ResourceCategory::kHighPerf;
+    }
+    throw std::invalid_argument("unknown BiasedWorkload");
+  }();
+
+  std::vector<ResourceCategory> others;
+  for (ResourceCategory c : all_categories()) {
+    if (c != heavy) others.push_back(c);
+  }
+
+  // Half the jobs (randomly chosen) go to the heavy category; the remainder
+  // spread evenly over the other three (§5.4).
+  std::vector<std::size_t> idx(jobs.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  rng.shuffle(idx);
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    if (k < idx.size() / 2) {
+      jobs[idx[k]].category = heavy;
+    } else {
+      jobs[idx[k]].category = others[k % others.size()];
+    }
+  }
+}
+
+}  // namespace venn::trace

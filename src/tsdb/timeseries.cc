@@ -1,0 +1,95 @@
+#include "tsdb/timeseries.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace venn::tsdb {
+
+void Series::append(SimTime t, double value) {
+  if (!points_.empty() && t < points_.back().t) {
+    throw std::invalid_argument("Series::append: timestamps must not regress");
+  }
+  points_.push_back({t, value});
+}
+
+std::size_t Series::upper_bound(SimTime t) const {
+  return static_cast<std::size_t>(
+      std::upper_bound(points_.begin(), points_.end(), t,
+                       [](SimTime v, const Point& p) { return v < p.t; }) -
+      points_.begin());
+}
+
+std::size_t Series::count_in_window(SimTime now, SimTime window) const {
+  if (points_.empty()) return 0;
+  const std::size_t hi = upper_bound(now);
+  const std::size_t lo = upper_bound(now - window);
+  return hi - lo;
+}
+
+double Series::sum_in_window(SimTime now, SimTime window) const {
+  if (points_.empty()) return 0.0;
+  const std::size_t hi = upper_bound(now);
+  const std::size_t lo = upper_bound(now - window);
+  double acc = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) acc += points_[i].value;
+  return acc;
+}
+
+std::optional<double> Series::rate_in_window(SimTime now,
+                                             SimTime window) const {
+  if (points_.empty()) return std::nullopt;
+  const double age = now - points_.front().t;
+  const double denom = std::max(1e-9, std::min(window, age));
+  return static_cast<double>(count_in_window(now, window)) / denom;
+}
+
+void Series::compact(SimTime now, SimTime horizon) {
+  const SimTime cutoff = now - horizon;
+  while (!points_.empty() && points_.front().t < cutoff) points_.pop_front();
+}
+
+SimTime Series::first_timestamp() const {
+  if (points_.empty()) throw std::logic_error("empty series");
+  return points_.front().t;
+}
+
+SimTime Series::last_timestamp() const {
+  if (points_.empty()) throw std::logic_error("empty series");
+  return points_.back().t;
+}
+
+void TimeSeriesStore::record(std::uint64_t key, SimTime t, double value) {
+  series_[key].append(t, value);
+}
+
+const Series* TimeSeriesStore::find(std::uint64_t key) const {
+  auto it = series_.find(key);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+double TimeSeriesStore::rate(std::uint64_t key, SimTime now,
+                             SimTime window) const {
+  const Series* s = find(key);
+  if (s == nullptr) return 0.0;
+  return s->rate_in_window(now, window).value_or(0.0);
+}
+
+std::vector<std::uint64_t> TimeSeriesStore::keys() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(series_.size());
+  for (const auto& [k, _] : series_) out.push_back(k);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void TimeSeriesStore::compact_all(SimTime now, SimTime horizon) {
+  for (auto& [_, s] : series_) s.compact(now, horizon);
+}
+
+std::size_t TimeSeriesStore::total_points() const {
+  std::size_t n = 0;
+  for (const auto& [_, s] : series_) n += s.size();
+  return n;
+}
+
+}  // namespace venn::tsdb

@@ -1,0 +1,81 @@
+// Strongly typed identifiers used throughout the Venn library.
+//
+// Devices, jobs, job groups, requests and tiers all carry integer ids; a
+// dedicated wrapper per entity prevents accidentally passing a DeviceId where
+// a JobId is expected. The wrappers are trivially copyable, hashable and
+// totally ordered so they can be used directly as container keys.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace venn {
+
+// CRTP-free tagged integer. `Tag` is an empty struct unique per id family.
+template <typename Tag>
+class TypedId {
+ public:
+  using underlying_type = std::int64_t;
+
+  constexpr TypedId() = default;
+  constexpr explicit TypedId(underlying_type v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(TypedId a, TypedId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(TypedId a, TypedId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(TypedId a, TypedId b) {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator<=(TypedId a, TypedId b) {
+    return a.value_ <= b.value_;
+  }
+  friend constexpr bool operator>(TypedId a, TypedId b) {
+    return a.value_ > b.value_;
+  }
+  friend constexpr bool operator>=(TypedId a, TypedId b) {
+    return a.value_ >= b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, TypedId id) {
+    return os << id.value_;
+  }
+
+ private:
+  underlying_type value_ = -1;  // -1 denotes "invalid / unset".
+};
+
+struct DeviceIdTag {};
+struct JobIdTag {};
+struct GroupIdTag {};
+struct RequestIdTag {};
+
+using DeviceId = TypedId<DeviceIdTag>;
+using JobId = TypedId<JobIdTag>;
+using GroupId = TypedId<GroupIdTag>;
+using RequestId = TypedId<RequestIdTag>;
+
+// Simulated time, in seconds since simulation start.
+using SimTime = double;
+
+inline constexpr SimTime kSecond = 1.0;
+inline constexpr SimTime kMinute = 60.0;
+inline constexpr SimTime kHour = 3600.0;
+inline constexpr SimTime kDay = 24.0 * kHour;
+
+}  // namespace venn
+
+namespace std {
+template <typename Tag>
+struct hash<venn::TypedId<Tag>> {
+  size_t operator()(venn::TypedId<Tag> id) const noexcept {
+    return std::hash<std::int64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,43 @@
+// Minimal leveled logging. Off by default so simulations stay quiet; benches
+// and examples can raise the level for progress output. Not thread-safe by
+// design — the simulator is single-threaded (discrete-event).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace venn {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emit one line to stderr with a level prefix.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace internal {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace venn
+
+#define VENN_LOG(level)                                   \
+  if (static_cast<int>(level) < static_cast<int>(::venn::log_level())) { \
+  } else                                                  \
+    ::venn::internal::LogMessage(level).stream()
+
+#define VENN_DEBUG VENN_LOG(::venn::LogLevel::kDebug)
+#define VENN_INFO VENN_LOG(::venn::LogLevel::kInfo)
+#define VENN_WARN VENN_LOG(::venn::LogLevel::kWarning)
+#define VENN_ERROR VENN_LOG(::venn::LogLevel::kError)

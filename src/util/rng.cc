@@ -1,0 +1,98 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace venn {
+
+Rng Rng::fork() {
+  // Draw two words to decorrelate child streams from subsequent parent draws.
+  const std::uint64_t a = engine_();
+  const std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0x9E3779B97F4A7C15ULL);
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  std::lognormal_distribution<double> d(mu, sigma);
+  return d(engine_);
+}
+
+double Rng::lognormal_mean_cv(double mean, double cv) {
+  if (mean <= 0.0) throw std::invalid_argument("lognormal mean must be > 0");
+  if (cv <= 0.0) return mean;
+  // mean = exp(mu + sigma^2/2); var = mean^2 * (exp(sigma^2) - 1).
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return lognormal(mu, std::sqrt(sigma2));
+}
+
+double Rng::exponential(double rate) {
+  std::exponential_distribution<double> d(rate);
+  return d(engine_);
+}
+
+std::int64_t Rng::poisson(double mean) {
+  std::poisson_distribution<std::int64_t> d(mean);
+  return d(engine_);
+}
+
+std::vector<double> Rng::dirichlet(std::size_t dim, double alpha) {
+  std::gamma_distribution<double> gamma(alpha, 1.0);
+  std::vector<double> v(dim);
+  double sum = 0.0;
+  for (auto& x : v) {
+    x = gamma(engine_);
+    sum += x;
+  }
+  if (sum <= 0.0) {
+    // Degenerate draw (possible for tiny alpha): fall back to uniform.
+    std::fill(v.begin(), v.end(), 1.0 / static_cast<double>(dim));
+    return v;
+  }
+  for (auto& x : v) x /= sum;
+  return v;
+}
+
+std::size_t Rng::index(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::index requires n > 0");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n) - 1));
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (total <= 0.0) {
+    throw std::invalid_argument("weighted_index needs a positive weight");
+  }
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= std::max(weights[i], 0.0);
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace venn

@@ -1,0 +1,117 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace venn {
+
+Summary::Summary(std::span<const double> samples)
+    : samples_(samples.begin(), samples.end()), sorted_(false) {}
+
+void Summary::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Summary::merge(const Summary& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+double Summary::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) throw std::logic_error("mean of empty Summary");
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Summary::variance() const {
+  if (samples_.empty()) throw std::logic_error("variance of empty Summary");
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : samples_) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::min() const {
+  if (samples_.empty()) throw std::logic_error("min of empty Summary");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) throw std::logic_error("max of empty Summary");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    auto& mut = const_cast<std::vector<double>&>(samples_);
+    std::sort(mut.begin(), mut.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) throw std::logic_error("percentile of empty Summary");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile range");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> samples,
+                                    std::size_t points) {
+  std::vector<CdfPoint> out;
+  if (samples.empty() || points == 0) return out;
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(points);
+    const auto idx = static_cast<std::size_t>(
+        std::min<double>(std::ceil(frac * static_cast<double>(sorted.size())),
+                         static_cast<double>(sorted.size())) -
+        1.0);
+    out.push_back({sorted[idx], frac});
+  }
+  return out;
+}
+
+namespace {
+double entropy_term(double x) { return x > 0.0 ? -x * std::log2(x) : 0.0; }
+}  // namespace
+
+double js_divergence(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("js_divergence: dimension mismatch");
+  }
+  double h_m = 0.0, h_p = 0.0, h_q = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double m = 0.5 * (p[i] + q[i]);
+    h_m += entropy_term(m);
+    h_p += entropy_term(p[i]);
+    h_q += entropy_term(q[i]);
+  }
+  const double js = h_m - 0.5 * (h_p + h_q);
+  return std::clamp(js, 0.0, 1.0);
+}
+
+std::string format_ratio(double ratio, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fx", decimals, ratio);
+  return buf;
+}
+
+}  // namespace venn

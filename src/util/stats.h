@@ -1,0 +1,63 @@
+// Summary statistics used by the metrics layer and the benchmark harnesses.
+//
+// The evaluation in the paper reports means, percentile breakdowns (Table 2),
+// tail latencies (95th percentile response time, §4.3) and CDFs (Fig. 8b);
+// this header provides those primitives over plain double samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace venn {
+
+// Accumulates samples; all queries are O(n log n) worst case (sorting lazily).
+class Summary {
+ public:
+  Summary() = default;
+  explicit Summary(std::span<const double> samples);
+
+  void add(double x);
+  void merge(const Summary& other);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  // Linear-interpolated percentile, p in [0, 100]. Requires non-empty.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// An empirical CDF over the given samples, evaluated at `points` equally
+// spaced quantiles; used to print figure series (e.g. Fig. 8b).
+struct CdfPoint {
+  double value = 0.0;     // sample value
+  double fraction = 0.0;  // P(X <= value)
+};
+std::vector<CdfPoint> empirical_cdf(std::span<const double> samples,
+                                    std::size_t points = 20);
+
+// Jensen-Shannon divergence between two discrete distributions of equal
+// dimension (bases-2 logarithm, so the result lies in [0, 1]). Used by the
+// CL convergence model to score participant data diversity.
+double js_divergence(std::span<const double> p, std::span<const double> q);
+
+// Format helper: "1.88x"-style ratio strings used by the bench tables.
+std::string format_ratio(double ratio, int decimals = 2);
+
+}  // namespace venn

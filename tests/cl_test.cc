@@ -1,0 +1,157 @@
+// Unit tests for the CL convergence substrate (dataset + FedSim).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cl/dataset.h"
+#include "cl/fedsim.h"
+
+namespace venn::cl {
+namespace {
+
+DatasetConfig small_cfg() {
+  DatasetConfig c;
+  c.num_clients = 300;
+  c.num_classes = 10;
+  return c;
+}
+
+TEST(Dataset, DistributionsAreNormalized) {
+  Rng rng(1);
+  ClientDataModel data(small_cfg(), rng);
+  EXPECT_EQ(data.num_clients(), 300u);
+  for (std::size_t i = 0; i < data.num_clients(); i += 37) {
+    const auto& d = data.label_distribution(i);
+    const double sum = std::accumulate(d.begin(), d.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_GE(data.sample_count(i), 1.0);
+  }
+  const auto& g = data.global_distribution();
+  EXPECT_NEAR(std::accumulate(g.begin(), g.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(Dataset, AggregateOfAllClientsIsGlobal) {
+  Rng rng(2);
+  ClientDataModel data(small_cfg(), rng);
+  std::vector<std::size_t> all(data.num_clients());
+  std::iota(all.begin(), all.end(), 0u);
+  const auto agg = data.aggregate_distribution(all);
+  const auto& g = data.global_distribution();
+  for (std::size_t k = 0; k < g.size(); ++k) {
+    EXPECT_NEAR(agg[k], g[k], 1e-9);
+  }
+  EXPECT_NEAR(data.cohort_diversity(all), 1.0, 1e-9);
+}
+
+TEST(Dataset, SmallCohortsAreLessDiverse) {
+  Rng rng(3);
+  ClientDataModel data(small_cfg(), rng);
+  std::vector<std::size_t> one{0};
+  std::vector<std::size_t> many(100);
+  std::iota(many.begin(), many.end(), 0u);
+  EXPECT_LT(data.cohort_diversity(one), data.cohort_diversity(many));
+}
+
+TEST(Dataset, EmptyCohort) {
+  Rng rng(4);
+  ClientDataModel data(small_cfg(), rng);
+  EXPECT_DOUBLE_EQ(data.cohort_diversity({}), 0.0);
+}
+
+TEST(Dataset, RejectsDegenerateConfig) {
+  Rng rng(5);
+  DatasetConfig c;
+  c.num_clients = 0;
+  EXPECT_THROW(ClientDataModel(c, rng), std::invalid_argument);
+}
+
+TEST(Dataset, LowerAlphaMeansMoreSkew) {
+  Rng rng(6);
+  DatasetConfig skewed = small_cfg();
+  skewed.dirichlet_alpha = 0.05;
+  DatasetConfig uniform = small_cfg();
+  uniform.dirichlet_alpha = 50.0;
+  ClientDataModel s(skewed, rng);
+  ClientDataModel u(uniform, rng);
+  // Single-client cohorts: skewed clients diverge more from global.
+  double skew_div = 0.0, unif_div = 0.0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    std::vector<std::size_t> one{i};
+    skew_div += s.cohort_diversity(one);
+    unif_div += u.cohort_diversity(one);
+  }
+  EXPECT_LT(skew_div, unif_div);
+}
+
+TEST(FedSim, AccuracyIsMonotoneAndBounded) {
+  FedSimConfig cfg;
+  FedSim sim(cfg);
+  double prev = sim.accuracy();
+  for (int r = 0; r < 300; ++r) {
+    const double a = sim.step(100, 1.0);
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+  EXPECT_LE(prev, cfg.max_accuracy + 1e-9);
+  EXPECT_GT(prev, cfg.max_accuracy - 0.02);  // converged near ceiling
+  EXPECT_EQ(sim.history().size(), 300u);
+}
+
+TEST(FedSim, LowDiversityDepressesCeiling) {
+  FedSimConfig cfg;
+  FedSim diverse(cfg), biased(cfg);
+  for (int r = 0; r < 400; ++r) {
+    diverse.step(100, 1.0);
+    biased.step(100, 0.3);
+  }
+  EXPECT_GT(diverse.accuracy(), biased.accuracy());
+  EXPECT_LT(biased.accuracy(),
+            cfg.floor_accuracy +
+                (cfg.max_accuracy - cfg.floor_accuracy) * 0.3 + 1e-6);
+}
+
+TEST(FedSim, MoreParticipantsConvergeFaster) {
+  FedSimConfig cfg;
+  FedSim big(cfg), small(cfg);
+  for (int r = 0; r < 50; ++r) {
+    big.step(200, 1.0);
+    small.step(5, 1.0);
+  }
+  EXPECT_GT(big.accuracy(), small.accuracy());
+}
+
+TEST(FedSim, SimulateTrainingFig4Shape) {
+  // Fig. 4 mechanism: partitioning the client pool among more jobs lowers
+  // each job's cohort diversity and degrades round-to-accuracy.
+  Rng rng(7);
+  DatasetConfig dcfg;
+  dcfg.num_clients = 2000;
+  dcfg.num_classes = 30;
+  dcfg.dirichlet_alpha = 0.1;
+  ClientDataModel data(dcfg, rng);
+  FedSimConfig fcfg;
+
+  auto run_partitioned = [&](std::size_t num_jobs) {
+    const std::size_t part = data.num_clients() / num_jobs;
+    std::vector<std::size_t> pool(part);
+    std::iota(pool.begin(), pool.end(), 0u);  // first partition
+    const auto hist =
+        simulate_training(data, pool, 100, 100, fcfg, rng);
+    return hist.back();
+  };
+
+  const double acc1 = run_partitioned(1);
+  const double acc20 = run_partitioned(20);
+  EXPECT_GT(acc1, acc20);
+}
+
+TEST(FedSim, EmptyPoolThrows) {
+  Rng rng(8);
+  ClientDataModel data(small_cfg(), rng);
+  EXPECT_THROW(
+      (void)simulate_training(data, {}, 10, 10, FedSimConfig{}, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace venn::cl

@@ -1,0 +1,241 @@
+// Protocol-level tests for the coordinator: the CL round lifecycle under
+// controlled device populations — deadline aborts, ephemeral-device
+// failures, the one-job-per-day rule and idle-pool behaviour.
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "core/resource_manager.h"
+#include "scheduler/fifo_sched.h"
+#include "sim/engine.h"
+#include "trace/availability.h"
+#include "trace/hardware.h"
+
+namespace venn {
+namespace {
+
+trace::JobSpec one_job(int rounds, int demand, SimTime arrival = 0.0,
+                       double nominal = 60.0, SimTime deadline = 600.0) {
+  trace::JobSpec s;
+  s.rounds = rounds;
+  s.demand = demand;
+  s.category = ResourceCategory::kGeneral;
+  s.arrival = arrival;
+  s.nominal_task_s = nominal;
+  s.task_cv = 0.0;  // deterministic execution by default
+  s.deadline_s = deadline;
+  return s;
+}
+
+// `n` always-on devices of the given spec.
+std::vector<Device> always_on(int n, DeviceSpec spec, SimTime horizon) {
+  std::vector<Device> out;
+  for (int i = 0; i < n; ++i) {
+    out.emplace_back(DeviceId(i), spec,
+                     std::vector<Session>{{0.0, horizon}});
+  }
+  return out;
+}
+
+RunResult run(std::vector<Device> devices, std::vector<trace::JobSpec> jobs,
+              SimTime horizon = 14.0 * kDay) {
+  sim::Engine engine(1);
+  ResourceManager mgr(std::make_unique<FifoScheduler>());
+  CoordinatorConfig cfg;
+  cfg.horizon = horizon;
+  Coordinator coord(engine, mgr, std::move(devices), std::move(jobs), cfg);
+  coord.run();
+  return collect_results(coord, "FIFO");
+}
+
+TEST(Coordinator, SingleRoundCompletesFromIdlePool) {
+  // 10 devices online at t=0; job arrives at t=100 needing 5: instant fill,
+  // response collection = deterministic exec time of a speed-s device.
+  auto devices = always_on(10, {0.5, 0.5}, kDay);
+  const Device probe(DeviceId(99), {0.5, 0.5}, {});
+  const double exec = 60.0 / probe.speed();
+  const RunResult r = run(std::move(devices), {one_job(1, 5, 100.0)});
+  ASSERT_EQ(r.finished_jobs(), 1u);
+  ASSERT_EQ(r.jobs[0].rounds.size(), 1u);
+  EXPECT_NEAR(r.jobs[0].rounds[0].scheduling_delay, 0.0, 1e-9);
+  EXPECT_NEAR(r.jobs[0].rounds[0].response_collection, exec, 1e-6);
+  EXPECT_NEAR(r.jobs[0].jct, exec, 1e-6);
+}
+
+TEST(Coordinator, SchedulingDelayWaitsForCheckins) {
+  // Devices come online one per hour; a demand-3 job submitted at t=0 is
+  // fully allocated when the third device appears.
+  std::vector<Device> devices;
+  for (int i = 0; i < 5; ++i) {
+    devices.emplace_back(
+        DeviceId(i), DeviceSpec{0.5, 0.5},
+        std::vector<Session>{{(i + 1) * kHour, (i + 1) * kHour + 10 * kHour}});
+  }
+  const RunResult r = run(std::move(devices), {one_job(1, 3)});
+  ASSERT_EQ(r.finished_jobs(), 1u);
+  EXPECT_NEAR(r.jobs[0].rounds[0].scheduling_delay, 3 * kHour, 1.0);
+}
+
+TEST(Coordinator, EightyPercentRuleIgnoresStragglers) {
+  // 10 devices: 8 fast, 2 very slow. Round of demand 10 completes when the
+  // 8th (fast) response arrives; the slow pair never gates completion.
+  std::vector<Device> devices;
+  for (int i = 0; i < 8; ++i) {
+    devices.emplace_back(DeviceId(i), DeviceSpec{1.0, 1.0},
+                         std::vector<Session>{{0.0, kDay}});
+  }
+  for (int i = 8; i < 10; ++i) {
+    devices.emplace_back(DeviceId(i), DeviceSpec{0.0, 0.0},
+                         std::vector<Session>{{0.0, kDay}});
+  }
+  const double fast_exec = 60.0 / Device(DeviceId(0), {1.0, 1.0}, {}).speed();
+  const RunResult r = run(std::move(devices), {one_job(1, 10)});
+  ASSERT_EQ(r.finished_jobs(), 1u);
+  EXPECT_NEAR(r.jobs[0].rounds[0].response_collection, fast_exec, 1e-6);
+}
+
+TEST(Coordinator, DeadlineAbortsAndRetries) {
+  // Demand 5 but only 4 devices can ever respond (the 5th fails: its
+  // session ends before it finishes). With <80%*5=4 responses... 4 of 5 is
+  // exactly 80%, so make 2 fail: 3 responses < 4 needed -> deadline abort,
+  // retry also fails, job never finishes (censored at horizon).
+  std::vector<Device> devices;
+  for (int i = 0; i < 3; ++i) {
+    devices.emplace_back(DeviceId(i), DeviceSpec{0.5, 0.5},
+                         std::vector<Session>{{0.0, 30 * kDay}});
+  }
+  // Two ephemeral devices whose sessions end mid-computation (exec ~120 s).
+  for (int i = 3; i < 5; ++i) {
+    devices.emplace_back(DeviceId(i), DeviceSpec{0.5, 0.5},
+                         std::vector<Session>{{0.0, 10.0}});
+  }
+  sim::Engine engine(1);
+  ResourceManager mgr(std::make_unique<FifoScheduler>());
+  CoordinatorConfig cfg;
+  cfg.horizon = 2.0 * kDay;
+  Coordinator coord(engine, mgr, std::move(devices), {one_job(1, 5)}, cfg);
+  coord.run();
+  const RunResult r = collect_results(coord, "FIFO");
+  EXPECT_EQ(r.finished_jobs(), 0u);
+  EXPECT_GE(r.jobs[0].total_aborts, 1);
+}
+
+TEST(Coordinator, FailedPendingAssignmentReopensDemand) {
+  // Demand 3. Devices 0 and 1 are assigned at t=0, but device 0's session
+  // ends at t=10 — before it can finish — while the request is still
+  // pending (2/3 assigned). The freed unit of demand must be re-openable:
+  // devices arriving at 1 h and 2 h complete the allocation.
+  std::vector<Device> devices;
+  devices.emplace_back(DeviceId(0), DeviceSpec{0.5, 0.5},
+                       std::vector<Session>{{0.0, 10.0}});  // dies at t=10
+  devices.emplace_back(DeviceId(1), DeviceSpec{0.5, 0.5},
+                       std::vector<Session>{{0.0, kDay}});
+  devices.emplace_back(DeviceId(2), DeviceSpec{0.5, 0.5},
+                       std::vector<Session>{{kHour, kDay}});
+  devices.emplace_back(DeviceId(3), DeviceSpec{0.5, 0.5},
+                       std::vector<Session>{{2 * kHour, kDay}});
+  const RunResult r = run(std::move(devices), {one_job(1, 3)});
+  ASSERT_EQ(r.finished_jobs(), 1u);
+  // Full allocation required the 2 h arrival (the failed unit re-opened).
+  EXPECT_GE(r.jobs[0].rounds[0].scheduling_delay, 2 * kHour - 1.0);
+}
+
+TEST(Coordinator, OneJobPerDayPerDevice) {
+  // 5 always-on devices, one 3-round job of demand 5: every round consumes
+  // all devices for the day, so rounds complete ~one per day.
+  auto devices = always_on(5, {0.5, 0.5}, 10 * kDay);
+  const RunResult r = run(std::move(devices), {one_job(3, 5)});
+  ASSERT_EQ(r.finished_jobs(), 1u);
+  // Three rounds need three distinct days of participation.
+  EXPECT_GE(r.jobs[0].jct, 2 * kDay);
+  EXPECT_LE(r.jobs[0].jct, 4 * kDay);
+}
+
+TEST(Coordinator, IneligibleDevicesNeverAssigned) {
+  // High-perf job, low-end population: the job can never start.
+  auto devices = always_on(20, {0.1, 0.1}, 5 * kDay);
+  trace::JobSpec hp = one_job(1, 2);
+  hp.category = ResourceCategory::kHighPerf;
+  const RunResult r = run(std::move(devices), {hp}, 5 * kDay);
+  EXPECT_EQ(r.finished_jobs(), 0u);
+  EXPECT_EQ(r.jobs[0].completed_rounds, 0);
+  EXPECT_TRUE(r.jobs[0].rounds.empty());
+}
+
+TEST(Coordinator, AssignmentMatrixAccountsEveryAssignment) {
+  auto devices = always_on(30, {0.6, 0.6}, 5 * kDay);
+  sim::Engine engine(1);
+  ResourceManager mgr(std::make_unique<FifoScheduler>());
+  CoordinatorConfig cfg;
+  cfg.horizon = 5 * kDay;
+  Coordinator coord(engine, mgr, std::move(devices), {one_job(2, 8)}, cfg);
+  coord.run();
+  std::int64_t total = 0;
+  for (const auto& row : coord.assignment_matrix()) {
+    for (std::int64_t c : row) total += c;
+  }
+  EXPECT_EQ(total, 16);  // 2 rounds x 8 devices, no failures
+}
+
+TEST(Coordinator, SoloJctEstimateIsPositiveAndScalesWithRounds) {
+  auto devices = always_on(50, {0.5, 0.5}, 7 * kDay);
+  sim::Engine engine(1);
+  ResourceManager mgr(std::make_unique<FifoScheduler>());
+  Coordinator coord(engine, mgr, std::move(devices), {}, {});
+  const double one = coord.solo_jct_estimate(one_job(1, 10));
+  const double ten = coord.solo_jct_estimate(one_job(10, 10));
+  EXPECT_GT(one, 0.0);
+  EXPECT_NEAR(ten / one, 10.0, 1e-6);
+}
+
+TEST(Coordinator, HorizonCensorsUnfinishedJobs) {
+  auto devices = always_on(2, {0.5, 0.5}, 100 * kDay);
+  // Demand 10 with only 2 devices/day: cannot finish within 1 day horizon.
+  const RunResult r = run(std::move(devices), {one_job(1, 10)}, 1.0 * kDay);
+  EXPECT_EQ(r.finished_jobs(), 0u);
+  EXPECT_NEAR(r.jobs[0].jct, 1.0 * kDay, 1.0);  // censored at horizon
+}
+
+// Property sweep: under arbitrary seeds, protocol invariants hold for a
+// mixed population and several jobs.
+class ProtocolInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProtocolInvariantTest, RoundAccountingConsistent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  trace::HardwareConfig hw;
+  trace::AvailabilityConfig av;
+  av.horizon = 14 * kDay;
+  std::vector<Device> devices;
+  for (int i = 0; i < 400; ++i) {
+    devices.emplace_back(DeviceId(i), trace::sample_spec(hw, rng),
+                         trace::generate_sessions(av, rng));
+  }
+  std::vector<trace::JobSpec> jobs;
+  for (int j = 0; j < 5; ++j) {
+    trace::JobSpec s = one_job(1 + static_cast<int>(rng.index(4)),
+                               2 + static_cast<int>(rng.index(10)),
+                               rng.uniform(0.0, kDay));
+    s.task_cv = 0.3;
+    jobs.push_back(s);
+  }
+  const RunResult r = run(std::move(devices), jobs);
+  for (const auto& j : r.jobs) {
+    EXPECT_LE(j.completed_rounds, j.spec.rounds);
+    EXPECT_EQ(static_cast<int>(j.rounds.size()), j.completed_rounds);
+    if (j.finished) {
+      EXPECT_EQ(j.completed_rounds, j.spec.rounds);
+      double lower = 0.0;
+      for (const auto& round : j.rounds) {
+        EXPECT_GE(round.scheduling_delay, -1e-9);
+        EXPECT_GE(round.response_collection, -1e-9);
+        EXPECT_LE(round.response_collection, j.spec.deadline_s + 1e-6);
+        lower += round.scheduling_delay + round.response_collection;
+      }
+      EXPECT_GE(j.jct + 1e-6, lower);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolInvariantTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace venn

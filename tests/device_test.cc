@@ -1,0 +1,228 @@
+// Unit tests for the device model: eligibility algebra, device state,
+// tier profiling (Algorithm 2 substrate).
+#include <gtest/gtest.h>
+
+#include "device/device.h"
+#include "device/eligibility.h"
+#include "device/tiering.h"
+#include "util/rng.h"
+
+namespace venn {
+namespace {
+
+TEST(Requirement, EligibilityIsRectangular) {
+  const Requirement r{0.5, 0.3};
+  EXPECT_TRUE(r.eligible({0.5, 0.3}));
+  EXPECT_TRUE(r.eligible({0.9, 0.9}));
+  EXPECT_FALSE(r.eligible({0.49, 0.9}));
+  EXPECT_FALSE(r.eligible({0.9, 0.29}));
+}
+
+TEST(Requirement, SubsetRelation) {
+  const Requirement general{0.0, 0.0};
+  const Requirement compute{0.5, 0.0};
+  const Requirement memory{0.0, 0.5};
+  const Requirement hp{0.5, 0.5};
+  EXPECT_TRUE(hp.subset_of(compute));
+  EXPECT_TRUE(hp.subset_of(memory));
+  EXPECT_TRUE(hp.subset_of(general));
+  EXPECT_TRUE(compute.subset_of(general));
+  EXPECT_FALSE(general.subset_of(compute));
+  EXPECT_FALSE(compute.subset_of(memory));
+  EXPECT_TRUE(general.subset_of(general));
+}
+
+TEST(Categories, NestingMatchesFig8a) {
+  // Every High-Perf device qualifies for all four categories; a General-only
+  // device qualifies only for General.
+  const DeviceSpec hp_dev{0.8, 0.8};
+  const DeviceSpec low_dev{0.2, 0.2};
+  for (ResourceCategory c : all_categories()) {
+    EXPECT_TRUE(requirement_for(c).eligible(hp_dev)) << category_name(c);
+  }
+  EXPECT_TRUE(requirement_for(ResourceCategory::kGeneral).eligible(low_dev));
+  EXPECT_FALSE(
+      requirement_for(ResourceCategory::kComputeRich).eligible(low_dev));
+  EXPECT_FALSE(
+      requirement_for(ResourceCategory::kMemoryRich).eligible(low_dev));
+  EXPECT_FALSE(requirement_for(ResourceCategory::kHighPerf).eligible(low_dev));
+}
+
+TEST(SignatureSpace, RegistersIdempotently) {
+  SignatureSpace sigs;
+  const auto a = sigs.register_requirement({0.5, 0.0});
+  const auto b = sigs.register_requirement({0.0, 0.5});
+  const auto c = sigs.register_requirement({0.5, 0.0});  // duplicate
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(sigs.size(), 2u);
+}
+
+TEST(SignatureSpace, SignatureBitsMatchEligibility) {
+  SignatureSpace sigs;
+  const auto g = sigs.register_requirement(requirement_for(ResourceCategory::kGeneral));
+  const auto c = sigs.register_requirement(requirement_for(ResourceCategory::kComputeRich));
+  const auto m = sigs.register_requirement(requirement_for(ResourceCategory::kMemoryRich));
+  const auto h = sigs.register_requirement(requirement_for(ResourceCategory::kHighPerf));
+
+  const auto sig_hp = sigs.signature_of({0.9, 0.9});
+  EXPECT_EQ(sig_hp, (1ULL << g) | (1ULL << c) | (1ULL << m) | (1ULL << h));
+
+  const auto sig_cpu = sigs.signature_of({0.9, 0.1});
+  EXPECT_EQ(sig_cpu, (1ULL << g) | (1ULL << c));
+
+  const auto sig_low = sigs.signature_of({0.1, 0.1});
+  EXPECT_EQ(sig_low, (1ULL << g));
+}
+
+TEST(SignatureSpace, CapacityIsWeightedScore) {
+  const DeviceSpec s{1.0, 0.0};
+  EXPECT_DOUBLE_EQ(s.capacity(), 0.6);
+  const DeviceSpec s2{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(s2.capacity(), 0.4);
+}
+
+TEST(Device, ValidatesSessions) {
+  EXPECT_THROW(Device(DeviceId(0), {0.5, 0.5}, {{2.0, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(Device(DeviceId(0), {0.5, 0.5}, {{0.0, 5.0}, {4.0, 8.0}}),
+               std::invalid_argument);
+  // Valid: sorted, non-overlapping.
+  const Device d(DeviceId(0), {0.5, 0.5}, {{0.0, 5.0}, {6.0, 8.0}});
+  EXPECT_EQ(d.sessions().size(), 2u);
+}
+
+TEST(Device, SpeedIncreasesWithCapacity) {
+  const Device slow(DeviceId(0), {0.0, 0.0}, {});
+  const Device fast(DeviceId(1), {1.0, 1.0}, {});
+  EXPECT_LT(slow.speed(), fast.speed());
+  EXPECT_NEAR(slow.speed(), 0.12, 1e-9);
+  EXPECT_NEAR(fast.speed(), 1.0, 1e-9);
+  // AI-Benchmark-scale spread: the fastest device is ~8x the slowest.
+  EXPECT_NEAR(fast.speed() / slow.speed(), 8.33, 0.1);
+}
+
+TEST(Device, ExecTimeScalesInverselyWithSpeed) {
+  Rng rng(1);
+  const Device slow(DeviceId(0), {0.0, 0.0}, {});
+  const Device fast(DeviceId(1), {1.0, 1.0}, {});
+  double slow_sum = 0.0, fast_sum = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    slow_sum += slow.sample_exec_time(60.0, 0.3, rng);
+    fast_sum += fast.sample_exec_time(60.0, 0.3, rng);
+  }
+  EXPECT_NEAR(slow_sum / fast_sum, fast.speed() / slow.speed(), 0.3);
+}
+
+TEST(Device, ExecTimeRejectsBadNominal) {
+  Rng rng(1);
+  const Device d(DeviceId(0), {0.5, 0.5}, {});
+  EXPECT_THROW((void)d.sample_exec_time(0.0, 0.3, rng), std::invalid_argument);
+}
+
+TEST(Device, ParticipationOncePerDay) {
+  Device d(DeviceId(0), {0.5, 0.5}, {});
+  EXPECT_FALSE(d.participated_on_day(0));
+  d.mark_participation(0);
+  EXPECT_TRUE(d.participated_on_day(0));
+  EXPECT_FALSE(d.participated_on_day(1));
+  EXPECT_EQ(Device::day_of(0.0), 0);
+  EXPECT_EQ(Device::day_of(kDay - 1.0), 0);
+  EXPECT_EQ(Device::day_of(kDay), 1);
+}
+
+TEST(TierProfile, NotReadyUntilEnoughSamples) {
+  TierProfile p(3);
+  EXPECT_FALSE(p.ready());
+  for (int i = 0; i < 14; ++i) p.observe(0.5, 60.0);
+  EXPECT_FALSE(p.ready());
+  p.observe(0.5, 60.0);
+  EXPECT_TRUE(p.ready());  // 5 per tier
+}
+
+TEST(TierProfile, ThresholdsAreQuantiles) {
+  TierProfile p(2);
+  for (int i = 0; i < 10; ++i) {
+    p.observe(i < 5 ? 0.2 : 0.8, 60.0);
+  }
+  const auto th = p.thresholds();
+  ASSERT_EQ(th.size(), 3u);
+  EXPECT_DOUBLE_EQ(th.front(), 0.0);
+  EXPECT_GT(th[1], 0.2);
+  EXPECT_LE(th[1], 0.8);
+  EXPECT_GT(th.back(), 1.0);
+}
+
+TEST(TierProfile, TierOfRespectsThresholds) {
+  TierProfile p(2);
+  for (int i = 0; i < 10; ++i) p.observe(i < 5 ? 0.2 : 0.8, 60.0);
+  EXPECT_EQ(p.tier_of(0.1), 0u);
+  EXPECT_EQ(p.tier_of(0.9), 1u);
+}
+
+TEST(TierProfile, FastTierHasSpeedupBelowOne) {
+  TierProfile p(2);
+  // Slow devices (low capacity): 200 s. Fast devices: 50 s.
+  for (int i = 0; i < 20; ++i) {
+    p.observe(0.2, 200.0);
+    p.observe(0.8, 50.0);
+  }
+  EXPECT_LT(p.speedup(1), 1.0);   // fast tier beats the mixed tail
+  EXPECT_GE(p.speedup(0), 1.0);   // slow tier is at or above it
+}
+
+TEST(TierProfile, SingleTierSpeedupIsOne) {
+  TierProfile p(1);
+  for (int i = 0; i < 10; ++i) p.observe(0.5, 60.0 + i);
+  EXPECT_NEAR(p.speedup(0), 1.0, 1e-9);
+}
+
+TEST(TierProfile, RejectsBadConfig) {
+  EXPECT_THROW(TierProfile(0), std::invalid_argument);
+  EXPECT_THROW(TierProfile(3, 0.0), std::invalid_argument);
+  EXPECT_THROW(TierProfile(3, 101.0), std::invalid_argument);
+}
+
+TEST(TierProfile, SpeedupOutOfRangeThrows) {
+  TierProfile p(2);
+  for (int i = 0; i < 10; ++i) p.observe(0.5, 60.0);
+  EXPECT_THROW((void)p.speedup(2), std::out_of_range);
+}
+
+TEST(TieringCondition, MatchesAlgorithm2Line7) {
+  // V + g*c < 1 + c.
+  EXPECT_TRUE(tiering_beneficial(3, 0.3, 5.0));   // 3 + 1.5 < 6
+  EXPECT_FALSE(tiering_beneficial(3, 0.3, 2.0));  // 3 + 0.6 >= 3
+  EXPECT_FALSE(tiering_beneficial(3, 1.2, 100.0));  // slow tier never helps
+  // V = 1 is a no-op: 1 + g*c < 1 + c iff g < 1.
+  EXPECT_TRUE(tiering_beneficial(1, 0.9, 1.0));
+  EXPECT_FALSE(tiering_beneficial(1, 1.0, 1.0));
+}
+
+// Property sweep over tier counts: thresholds are monotone and tier_of is
+// consistent with them for any profiled distribution.
+class TierCountTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TierCountTest, ThresholdsMonotoneAndConsistent) {
+  const std::size_t tiers = GetParam();
+  TierProfile p(tiers);
+  Rng rng(static_cast<std::uint64_t>(tiers));
+  for (int i = 0; i < 200; ++i) {
+    const double cap = rng.uniform();
+    p.observe(cap, 30.0 + 120.0 * (1.0 - cap));
+  }
+  const auto th = p.thresholds();
+  ASSERT_EQ(th.size(), tiers + 1);
+  for (std::size_t i = 1; i < th.size(); ++i) EXPECT_GE(th[i], th[i - 1]);
+  for (double cap : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const std::size_t v = p.tier_of(cap);
+    EXPECT_LT(v, tiers);
+    EXPECT_GE(cap, th[v]);
+    EXPECT_LT(cap, th[v + 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiers, TierCountTest, ::testing::Values(1, 2, 3, 4, 8));
+
+}  // namespace
+}  // namespace venn

@@ -1,0 +1,132 @@
+// End-to-end integration tests: full experiment runs through every policy.
+//
+// These are small-scale versions of the paper's simulation (§5.1): a device
+// population with diurnal availability and heterogeneous hardware, a job
+// workload with Poisson arrivals, and a complete run through the
+// coordinator + resource manager + policy stack.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace venn {
+namespace {
+
+ExperimentConfig small_config(std::uint64_t seed = 42) {
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.num_devices = 800;
+  cfg.num_jobs = 10;
+  cfg.horizon = 10.0 * kDay;
+  cfg.job_trace.base_trace_size = 100;
+  cfg.job_trace.min_rounds = 2;
+  cfg.job_trace.max_rounds = 8;
+  cfg.job_trace.min_demand = 3;
+  cfg.job_trace.max_demand = 20;
+  cfg.job_trace.mean_interarrival = 20.0 * kMinute;
+  return cfg;
+}
+
+TEST(Integration, AllPoliciesCompleteAllJobs) {
+  const auto cfg = small_config();
+  const auto inputs = build_inputs(cfg);
+  for (Policy p : {Policy::kRandom, Policy::kFifo, Policy::kSrsf,
+                   Policy::kVenn, Policy::kVennNoSched, Policy::kVennNoMatch}) {
+    const RunResult r = run_with_inputs(cfg, p, inputs);
+    EXPECT_EQ(r.jobs.size(), cfg.num_jobs) << policy_name(p);
+    EXPECT_EQ(r.finished_jobs(), cfg.num_jobs)
+        << policy_name(p) << " left jobs unfinished";
+    EXPECT_GT(r.avg_jct(), 0.0) << policy_name(p);
+  }
+}
+
+TEST(Integration, DeterministicAcrossRuns) {
+  const auto cfg = small_config(7);
+  const RunResult a = run_experiment(cfg, Policy::kVenn);
+  const RunResult b = run_experiment(cfg, Policy::kVenn);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].jct, b.jobs[i].jct) << "job " << i;
+    EXPECT_EQ(a.jobs[i].completed_rounds, b.jobs[i].completed_rounds);
+  }
+}
+
+TEST(Integration, SeedsChangeOutcome) {
+  const RunResult a = run_experiment(small_config(1), Policy::kRandom);
+  const RunResult b = run_experiment(small_config(2), Policy::kRandom);
+  EXPECT_NE(a.avg_jct(), b.avg_jct());
+}
+
+TEST(Integration, EveryCompletedRoundHasSaneMetrics) {
+  const auto cfg = small_config(11);
+  const RunResult r = run_experiment(cfg, Policy::kVenn);
+  for (const auto& j : r.jobs) {
+    EXPECT_EQ(static_cast<int>(j.rounds.size()), j.completed_rounds);
+    for (const auto& round : j.rounds) {
+      EXPECT_GE(round.scheduling_delay, 0.0);
+      EXPECT_GE(round.response_collection, 0.0);
+      // Response collection is bounded by the reporting deadline.
+      EXPECT_LE(round.response_collection, j.spec.deadline_s + 1e-6);
+    }
+  }
+}
+
+TEST(Integration, JctIsAtLeastSumOfRoundTimes) {
+  const auto cfg = small_config(13);
+  const RunResult r = run_experiment(cfg, Policy::kFifo);
+  for (const auto& j : r.jobs) {
+    if (!j.finished) continue;
+    double lower = 0.0;
+    for (const auto& round : j.rounds) {
+      lower += round.scheduling_delay + round.response_collection;
+    }
+    EXPECT_GE(j.jct, lower - 1e-6);
+  }
+}
+
+TEST(Integration, VennBeatsRandomUnderContention) {
+  // Heavier contention: more jobs, fewer devices. Venn should outperform
+  // random matching on average JCT (Table 1's headline direction).
+  ExperimentConfig cfg = small_config(17);
+  cfg.num_devices = 500;
+  cfg.num_jobs = 20;
+  cfg.horizon = 14.0 * kDay;
+  const auto inputs = build_inputs(cfg);
+  const RunResult rnd = run_with_inputs(cfg, Policy::kRandom, inputs);
+  const RunResult venn = run_with_inputs(cfg, Policy::kVenn, inputs);
+  EXPECT_GT(improvement(rnd, venn), 1.0);
+}
+
+TEST(Integration, FairShareHitRateWithinBounds) {
+  const RunResult r = run_experiment(small_config(19), Policy::kVenn);
+  EXPECT_GE(r.fair_share_hit_rate(), 0.0);
+  EXPECT_LE(r.fair_share_hit_rate(), 1.0);
+}
+
+TEST(Integration, BiasedWorkloadRuns) {
+  ExperimentConfig cfg = small_config(23);
+  cfg.bias = trace::BiasedWorkload::kComputeHeavy;
+  const RunResult r = run_experiment(cfg, Policy::kVenn);
+  EXPECT_EQ(r.finished_jobs(), cfg.num_jobs);
+  // Half the jobs must target the biased category.
+  std::size_t heavy = 0;
+  for (const auto& j : r.jobs) {
+    if (j.spec.category == ResourceCategory::kComputeRich) ++heavy;
+  }
+  EXPECT_EQ(heavy, cfg.num_jobs / 2);
+}
+
+TEST(Integration, SchedulingDelayDominatesUnderHighContention) {
+  // Fig. 5's observation: with many jobs on a constrained pool, scheduling
+  // delay becomes a significant JCT component.
+  ExperimentConfig cfg = small_config(29);
+  cfg.num_devices = 400;
+  cfg.num_jobs = 25;
+  cfg.horizon = 14.0 * kDay;
+  const RunResult r = run_experiment(cfg, Policy::kRandom);
+  const auto sd = r.scheduling_delays();
+  ASSERT_FALSE(sd.empty());
+  EXPECT_GT(sd.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace venn

@@ -1,0 +1,249 @@
+// Unit tests for Intersection Resource Scheduling (Algorithm 1).
+//
+// The Fig. 8a structure is the canonical instance: four groups
+// (General ⊇ Compute, Memory ⊇ High-Perf) over four atoms
+// {G}, {G,C}, {G,M}, {G,C,M,H}.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "scheduler/irs.h"
+#include "util/rng.h"
+
+namespace venn {
+namespace {
+
+// Group bit indices for readability.
+constexpr std::size_t G = 0, C = 1, M = 2, H = 3;
+
+std::vector<AtomSupply> fig8a_atoms(double g_only, double gc, double gm,
+                                    double gcmh) {
+  return {
+      {(1ULL << G), g_only},
+      {(1ULL << G) | (1ULL << C), gc},
+      {(1ULL << G) | (1ULL << M), gm},
+      {(1ULL << G) | (1ULL << C) | (1ULL << M) | (1ULL << H), gcmh},
+  };
+}
+
+TEST(Irs, EmptyGroupsYieldEmptyPlan) {
+  const IrsPlan plan = compute_irs_plan({}, {});
+  EXPECT_TRUE(plan.atom_order.empty());
+}
+
+TEST(Irs, SingleGroupOwnsItsAtoms) {
+  std::vector<GroupInput> groups{{G, 3.0}};
+  const auto atoms = fig8a_atoms(0.5, 0.2, 0.2, 0.1);
+  const IrsPlan plan = compute_irs_plan(groups, atoms);
+  // All four atoms carry the G bit and mask down to the single active group,
+  // merging into one atom owned by G with the full rate.
+  ASSERT_EQ(plan.atom_order.size(), 1u);
+  const auto& order = plan.atom_order.at(1ULL << G);
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order.front(), G);
+  EXPECT_NEAR(plan.supply_rate.at(G), 1.0, 1e-9);
+  EXPECT_NEAR(plan.allocated_rate.at(G), 1.0, 1e-9);
+}
+
+TEST(Irs, ScarcestGroupClaimsSharedAtomFirst) {
+  // Equal queues: initial allocation is a scarcity partition; the HP group
+  // (supply 0.1) keeps the shared {G,C,M,H} atom.
+  std::vector<GroupInput> groups{{G, 5.0}, {C, 5.0}, {M, 5.0}, {H, 5.0}};
+  const auto atoms = fig8a_atoms(0.5, 0.2, 0.2, 0.1);
+  const IrsPlan plan = compute_irs_plan(groups, atoms);
+  const auto& hp_atom_order = plan.atom_order.at(
+      (1ULL << G) | (1ULL << C) | (1ULL << M) | (1ULL << H));
+  EXPECT_EQ(hp_atom_order.front(), H);
+  EXPECT_EQ(plan.atom_order.at((1ULL << G) | (1ULL << C)).front(), C);
+  EXPECT_EQ(plan.atom_order.at((1ULL << G) | (1ULL << M)).front(), M);
+  EXPECT_EQ(plan.atom_order.at(1ULL << G).front(), G);
+}
+
+TEST(Irs, SupplyRatesAreUnionsOfAtoms) {
+  std::vector<GroupInput> groups{{G, 1.0}, {C, 1.0}, {M, 1.0}, {H, 1.0}};
+  const auto atoms = fig8a_atoms(0.4, 0.25, 0.2, 0.15);
+  const IrsPlan plan = compute_irs_plan(groups, atoms);
+  EXPECT_NEAR(plan.supply_rate.at(G), 1.0, 1e-9);
+  EXPECT_NEAR(plan.supply_rate.at(C), 0.40, 1e-9);
+  EXPECT_NEAR(plan.supply_rate.at(M), 0.35, 1e-9);
+  EXPECT_NEAR(plan.supply_rate.at(H), 0.15, 1e-9);
+}
+
+TEST(Irs, LongQueueAbsorbsIntersectionFromScarcerGroup) {
+  // Two groups: A (abundant, long queue) and B (scarce). Lemma 2's test
+  // m'_A/|S'_A| > m'_B/|S_B| decides whether A takes the intersection.
+  // A-only atom rate 0.2, shared atom 0.8 (B ⊂ A).
+  std::vector<AtomSupply> atoms{
+      {(1ULL << 0), 0.2},
+      {(1ULL << 0) | (1ULL << 1), 0.8},
+  };
+  // Queue 10 vs 1: 10/0.2 = 50 > 1/0.8 = 1.25 -> A absorbs the intersection.
+  {
+    std::vector<GroupInput> groups{{0, 10.0}, {1, 1.0}};
+    const IrsPlan plan = compute_irs_plan(groups, atoms);
+    EXPECT_EQ(plan.atom_order.at((1ULL << 0) | (1ULL << 1)).front(), 0u);
+    EXPECT_NEAR(plan.allocated_rate.at(0), 1.0, 1e-9);
+    EXPECT_NEAR(plan.allocated_rate.at(1), 0.0, 1e-9);
+  }
+  // Queue 1 vs 10: 1/0.2 = 5 < 10/0.8 = 12.5 -> B keeps its atom.
+  {
+    std::vector<GroupInput> groups{{0, 1.0}, {1, 10.0}};
+    const IrsPlan plan = compute_irs_plan(groups, atoms);
+    EXPECT_EQ(plan.atom_order.at((1ULL << 0) | (1ULL << 1)).front(), 1u);
+  }
+}
+
+TEST(Irs, RatioTestMovesTripleAtomToDenserQueue) {
+  // Phase-1 scarcity partition gives the triple atom to C (scarcest:
+  // 0.14 + 0.13 = 0.27). In phase 2, B (supply 0.29, allocated only the
+  // {A,B} atom = 0.16) has delay ratio 12/0.16 = 75 against C's
+  // 12/0.27 ≈ 44, so B legitimately absorbs the intersection (line 15).
+  std::vector<AtomSupply> atoms{
+      {(1ULL << 0), 0.30},                           // A only
+      {(1ULL << 0) | (1ULL << 1), 0.16},             // A ∩ B
+      {(1ULL << 0) | (1ULL << 2), 0.14},             // A ∩ C
+      {(1ULL << 0) | (1ULL << 1) | (1ULL << 2), 0.13},  // A ∩ B ∩ C
+  };
+  std::vector<GroupInput> groups{{0, 12.0}, {1, 12.0}, {2, 12.0}};
+  const IrsPlan plan = compute_irs_plan(groups, atoms);
+  const auto triple = (1ULL << 0) | (1ULL << 1) | (1ULL << 2);
+  EXPECT_EQ(plan.atom_order.at(triple).front(), 1u);
+  // But with a short B queue the ratio fails (3/0.16 ≈ 19 < 44) and C keeps
+  // its claim.
+  std::vector<GroupInput> groups2{{0, 12.0}, {1, 3.0}, {2, 12.0}};
+  const IrsPlan plan2 = compute_irs_plan(groups2, atoms);
+  EXPECT_EQ(plan2.atom_order.at(triple).front(), 2u);
+}
+
+TEST(Irs, FallThroughOrderIsScarcestFirst) {
+  std::vector<GroupInput> groups{{G, 1.0}, {C, 1.0}, {M, 1.0}, {H, 1.0}};
+  const auto atoms = fig8a_atoms(0.4, 0.25, 0.2, 0.15);
+  const IrsPlan plan = compute_irs_plan(groups, atoms);
+  const auto order = plan.atom_order.at(
+      (1ULL << G) | (1ULL << C) | (1ULL << M) | (1ULL << H));
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], H);  // owner
+  EXPECT_EQ(order[1], M);  // scarcest remaining (0.35)
+  EXPECT_EQ(order[2], C);  // 0.40
+  EXPECT_EQ(order[3], G);  // 1.0
+}
+
+TEST(Irs, OrderForUnseenSignatureFallsBackToScarcity) {
+  std::vector<GroupInput> groups{{G, 1.0}, {C, 1.0}};
+  std::vector<AtomSupply> atoms{{(1ULL << G), 0.9},
+                                {(1ULL << G) | (1ULL << C), 0.1}};
+  const IrsPlan plan = compute_irs_plan(groups, atoms);
+  // Signature never seen as an atom: C-only devices.
+  const auto order = plan.order_for(1ULL << C);
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], C);
+  EXPECT_TRUE(plan.order_for(0).empty());
+}
+
+TEST(Irs, MasksAtomsOutsideActiveGroups) {
+  std::vector<GroupInput> groups{{G, 1.0}};
+  std::vector<AtomSupply> atoms{
+      {(1ULL << G) | (1ULL << 9), 0.5},  // bit 9 not active
+      {(1ULL << 9), 0.5},                // masks to zero: ignored
+  };
+  const IrsPlan plan = compute_irs_plan(groups, atoms);
+  EXPECT_EQ(plan.atom_order.size(), 1u);
+  EXPECT_TRUE(plan.atom_order.contains(1ULL << G));
+  EXPECT_NEAR(plan.supply_rate.at(G), 0.5, 1e-9);
+}
+
+TEST(Irs, RejectsInvalidGroups) {
+  std::vector<AtomSupply> atoms{{1ULL, 1.0}};
+  std::vector<GroupInput> dup{{0, 1.0}, {0, 1.0}};
+  EXPECT_THROW((void)compute_irs_plan(dup, atoms), std::invalid_argument);
+  std::vector<GroupInput> big{{64, 1.0}};
+  EXPECT_THROW((void)compute_irs_plan(big, atoms), std::invalid_argument);
+}
+
+TEST(Irs, ZeroAndNegativeRatesIgnored) {
+  std::vector<GroupInput> groups{{G, 1.0}, {C, 1.0}};
+  std::vector<AtomSupply> atoms{{(1ULL << G), 0.0},
+                                {(1ULL << G) | (1ULL << C), -1.0}};
+  const IrsPlan plan = compute_irs_plan(groups, atoms);
+  EXPECT_TRUE(plan.atom_order.empty());
+  EXPECT_NEAR(plan.supply_rate.at(G), 0.0, 1e-12);
+}
+
+TEST(Irs, DuplicateAtomSignaturesMerge) {
+  std::vector<GroupInput> groups{{G, 1.0}};
+  std::vector<AtomSupply> atoms{{(1ULL << G), 0.3}, {(1ULL << G), 0.2}};
+  const IrsPlan plan = compute_irs_plan(groups, atoms);
+  EXPECT_NEAR(plan.supply_rate.at(G), 0.5, 1e-9);
+}
+
+// Property sweep over many random instances: structural invariants of the
+// plan hold for arbitrary group/atom configurations.
+class IrsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IrsPropertyTest, PlanInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n_groups = 2 + rng.index(5);   // 2..6 groups
+  const std::size_t n_atoms = 1 + rng.index(8);    // 1..8 atoms
+
+  std::vector<GroupInput> groups;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    groups.push_back({g, 1.0 + static_cast<double>(rng.index(20))});
+  }
+  std::vector<AtomSupply> atoms;
+  for (std::size_t a = 0; a < n_atoms; ++a) {
+    std::uint64_t sig = 0;
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      if (rng.bernoulli(0.5)) sig |= (1ULL << g);
+    }
+    atoms.push_back({sig, rng.uniform(0.0, 1.0)});
+  }
+
+  const IrsPlan plan = compute_irs_plan(groups, atoms);
+
+  double total_atom_rate = 0.0;
+  std::unordered_map<std::uint64_t, double> atom_rate;
+  for (const auto& a : atoms) {
+    if (a.signature != 0 && a.rate > 0.0) {
+      atom_rate[a.signature] += a.rate;
+      total_atom_rate += a.rate;
+    }
+  }
+
+  // (1) Every plan entry's order lists only eligible groups, each once, and
+  //     covers all eligible active groups.
+  for (const auto& [sig, order] : plan.atom_order) {
+    std::set<std::size_t> seen;
+    for (std::size_t g : order) {
+      EXPECT_TRUE((sig >> g) & 1ULL) << "ineligible group in order";
+      EXPECT_TRUE(seen.insert(g).second) << "duplicate group in order";
+    }
+    std::size_t eligible = 0;
+    for (const auto& g : groups) {
+      if ((sig >> g.index) & 1ULL) ++eligible;
+    }
+    EXPECT_EQ(order.size(), eligible);
+  }
+
+  // (2) Allocated rates are non-negative and sum to the total atom rate
+  //     (each atom owned by exactly one group).
+  double total_allocated = 0.0;
+  for (const auto& [g, rate] : plan.allocated_rate) {
+    (void)g;
+    EXPECT_GE(rate, -1e-9);
+    total_allocated += rate;
+  }
+  EXPECT_NEAR(total_allocated, total_atom_rate, 1e-6);
+
+  // (3) Supply never below allocation for... (allocation can exceed own
+  //     supply only never: owned atoms are always eligible).
+  for (const auto& g : groups) {
+    EXPECT_LE(plan.allocated_rate.at(g.index),
+              plan.supply_rate.at(g.index) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrsPropertyTest, ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace venn

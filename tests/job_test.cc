@@ -1,0 +1,138 @@
+// Unit tests for the job/request lifecycle.
+#include <gtest/gtest.h>
+
+#include "job/job.h"
+
+namespace venn {
+namespace {
+
+trace::JobSpec make_spec(int rounds = 3, int demand = 10) {
+  trace::JobSpec s;
+  s.rounds = rounds;
+  s.demand = demand;
+  s.arrival = 100.0;
+  s.deadline_s = 600.0;
+  return s;
+}
+
+TEST(RoundRequest, NeededResponsesIsCeil80Percent) {
+  RoundRequest r;
+  r.demand = 10;
+  EXPECT_EQ(r.needed_responses(), 8);
+  r.demand = 1;
+  EXPECT_EQ(r.needed_responses(), 1);
+  r.demand = 5;
+  EXPECT_EQ(r.needed_responses(), 4);
+  r.demand = 7;  // 5.6 -> 6
+  EXPECT_EQ(r.needed_responses(), 6);
+  r.demand = 100;
+  EXPECT_EQ(r.needed_responses(), 80);
+}
+
+TEST(RoundRequest, WantsDevicesOnlyWhilePendingWithDemand) {
+  RoundRequest r;
+  r.demand = 2;
+  EXPECT_TRUE(r.wants_devices());
+  r.assigned = 2;
+  EXPECT_FALSE(r.wants_devices());
+  r.assigned = 1;
+  r.state = RequestState::kAllocated;
+  EXPECT_FALSE(r.wants_devices());
+}
+
+TEST(RoundRequest, DelayAccessors) {
+  RoundRequest r;
+  r.submitted = 10.0;
+  r.fully_allocated = 25.0;
+  r.completed = 40.0;
+  EXPECT_DOUBLE_EQ(r.scheduling_delay(), 15.0);
+  EXPECT_DOUBLE_EQ(r.response_collection_time(), 15.0);
+}
+
+TEST(Job, OpenRequestInitializesFromSpec) {
+  Job job(JobId(1), make_spec(3, 10));
+  const RoundRequest& r = job.open_request(RequestId(0), 200.0);
+  EXPECT_EQ(r.round, 0);
+  EXPECT_EQ(r.demand, 10);
+  EXPECT_DOUBLE_EQ(r.submitted, 200.0);
+  EXPECT_DOUBLE_EQ(r.deadline, 600.0);
+  EXPECT_EQ(r.state, RequestState::kPending);
+}
+
+TEST(Job, DoubleOpenThrows) {
+  Job job(JobId(1), make_spec());
+  job.open_request(RequestId(0), 200.0);
+  EXPECT_THROW(job.open_request(RequestId(1), 201.0), std::logic_error);
+}
+
+TEST(Job, CompleteRoundAdvances) {
+  Job job(JobId(1), make_spec(2, 4));
+  RoundRequest& r = job.open_request(RequestId(0), 0.0);
+  r.assigned = 4;
+  r.state = RequestState::kAllocated;
+  r.fully_allocated = 50.0;
+  job.complete_round(80.0);
+  EXPECT_EQ(job.completed_rounds(), 1);
+  EXPECT_FALSE(job.finished());
+  EXPECT_FALSE(job.request().has_value());
+  ASSERT_EQ(job.round_stats().size(), 1u);
+  EXPECT_DOUBLE_EQ(job.round_stats()[0].scheduling_delay, 50.0);
+  EXPECT_DOUBLE_EQ(job.round_stats()[0].response_collection, 30.0);
+  EXPECT_EQ(job.round_stats()[0].aborts, 0);
+
+  RoundRequest& r2 = job.open_request(RequestId(1), 80.0);
+  EXPECT_EQ(r2.round, 1);
+  r2.assigned = 4;
+  r2.state = RequestState::kAllocated;
+  r2.fully_allocated = 90.0;
+  job.complete_round(100.0);
+  EXPECT_TRUE(job.finished());
+  EXPECT_THROW(job.open_request(RequestId(2), 100.0), std::logic_error);
+}
+
+TEST(Job, AbortTracksRetries) {
+  Job job(JobId(1), make_spec(1, 4));
+  job.open_request(RequestId(0), 0.0);
+  job.abort_request();
+  EXPECT_EQ(job.total_aborts(), 1);
+  // Re-open after abort is allowed.
+  RoundRequest& retry = job.open_request(RequestId(1), 100.0);
+  EXPECT_EQ(retry.round, 0);  // same round retried
+  retry.assigned = 4;
+  retry.state = RequestState::kAllocated;
+  retry.fully_allocated = 150.0;
+  job.complete_round(160.0);
+  ASSERT_EQ(job.round_stats().size(), 1u);
+  EXPECT_EQ(job.round_stats()[0].aborts, 1);
+  EXPECT_EQ(job.total_aborts(), 1);
+}
+
+TEST(Job, RemainingServiceShrinksWithRounds) {
+  Job job(JobId(1), make_spec(3, 10));
+  EXPECT_DOUBLE_EQ(job.remaining_service(), 30.0);
+  RoundRequest& r = job.open_request(RequestId(0), 0.0);
+  r.assigned = 10;
+  r.state = RequestState::kAllocated;
+  r.fully_allocated = 1.0;
+  job.complete_round(2.0);
+  EXPECT_DOUBLE_EQ(job.remaining_service(), 20.0);
+}
+
+TEST(Job, JctRequiresCompletion) {
+  Job job(JobId(1), make_spec());
+  EXPECT_FALSE(job.completion_recorded());
+  EXPECT_THROW((void)job.jct(), std::logic_error);
+  job.set_completion_time(500.0);
+  EXPECT_TRUE(job.completion_recorded());
+  EXPECT_DOUBLE_EQ(job.jct(), 400.0);  // arrival = 100
+}
+
+TEST(Job, MutableRequestThrowsWithoutRequest) {
+  Job job(JobId(1), make_spec());
+  EXPECT_THROW((void)job.mutable_request(), std::logic_error);
+  EXPECT_THROW(job.abort_request(), std::logic_error);
+  EXPECT_THROW(job.complete_round(1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace venn

@@ -1,0 +1,104 @@
+// Unit tests for the metrics layer (JCT accounting and breakdowns).
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+
+namespace venn {
+namespace {
+
+JobResult make_result(int id, double jct, bool finished = true,
+                      double solo = 100.0,
+                      ResourceCategory cat = ResourceCategory::kGeneral) {
+  JobResult j;
+  j.id = JobId(id);
+  j.spec.category = cat;
+  j.spec.rounds = 2;
+  j.spec.demand = 10;
+  j.spec.arrival = 0.0;
+  j.finished = finished;
+  j.jct = jct;
+  j.solo_jct_estimate = solo;
+  return j;
+}
+
+TEST(Metrics, AvgJct) {
+  RunResult r;
+  r.jobs.push_back(make_result(1, 100.0));
+  r.jobs.push_back(make_result(2, 300.0));
+  EXPECT_DOUBLE_EQ(r.avg_jct(), 200.0);
+  EXPECT_EQ(r.finished_jobs(), 2u);
+}
+
+TEST(Metrics, AvgJctEmptyThrows) {
+  RunResult r;
+  EXPECT_THROW((void)r.avg_jct(), std::logic_error);
+}
+
+TEST(Metrics, ImprovementRatio) {
+  RunResult base, fast;
+  base.jobs.push_back(make_result(1, 200.0));
+  fast.jobs.push_back(make_result(1, 100.0));
+  EXPECT_DOUBLE_EQ(improvement(base, fast), 2.0);
+}
+
+TEST(Metrics, RoundSummaries) {
+  RunResult r;
+  JobResult j = make_result(1, 100.0);
+  j.rounds.push_back({0, 10.0, 5.0, 0});
+  j.rounds.push_back({1, 30.0, 15.0, 1});
+  r.jobs.push_back(j);
+  EXPECT_DOUBLE_EQ(r.scheduling_delays().mean(), 20.0);
+  EXPECT_DOUBLE_EQ(r.response_times().mean(), 10.0);
+}
+
+TEST(Metrics, AvgConcurrencySequentialJobsIsOne) {
+  RunResult r;
+  JobResult a = make_result(1, 100.0);
+  a.spec.arrival = 0.0;
+  JobResult b = make_result(2, 100.0);
+  b.spec.arrival = 100.0;
+  r.jobs = {a, b};
+  EXPECT_NEAR(r.avg_concurrency(), 1.0, 1e-9);
+}
+
+TEST(Metrics, AvgConcurrencyParallelJobs) {
+  RunResult r;
+  for (int i = 0; i < 4; ++i) {
+    JobResult j = make_result(i, 100.0);
+    j.spec.arrival = 0.0;  // all overlap fully
+    r.jobs.push_back(j);
+  }
+  EXPECT_NEAR(r.avg_concurrency(), 4.0, 1e-9);
+}
+
+TEST(Metrics, FairShareHitRate) {
+  RunResult r;
+  // Two fully-overlapping jobs: M = 2. Job 1 meets 2*100; job 2 does not.
+  r.jobs.push_back(make_result(1, 150.0, true, 100.0));
+  r.jobs.push_back(make_result(2, 150.0, true, 50.0));
+  // concurrency: busy=300, makespan=150 -> M=2. Bounds: 200 and 100.
+  EXPECT_NEAR(r.fair_share_hit_rate(), 0.5, 1e-9);
+}
+
+TEST(Metrics, UnfinishedJobsNeverHitFairShare) {
+  RunResult r;
+  r.jobs.push_back(make_result(1, 1.0, /*finished=*/false, 1e9));
+  EXPECT_DOUBLE_EQ(r.fair_share_hit_rate(), 0.0);
+}
+
+TEST(Metrics, AvgJctWhereFiltersPredicates) {
+  RunResult r;
+  r.jobs.push_back(make_result(1, 100.0, true, 1.0,
+                               ResourceCategory::kGeneral));
+  r.jobs.push_back(make_result(2, 300.0, true, 1.0,
+                               ResourceCategory::kHighPerf));
+  const double hp = avg_jct_where(r, [](const JobResult& j) {
+    return j.spec.category == ResourceCategory::kHighPerf;
+  });
+  EXPECT_DOUBLE_EQ(hp, 300.0);
+  const double none = avg_jct_where(r, [](const JobResult&) { return false; });
+  EXPECT_DOUBLE_EQ(none, 0.0);
+}
+
+}  // namespace
+}  // namespace venn

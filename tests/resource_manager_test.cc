@@ -1,0 +1,180 @@
+// Unit tests for the resource manager (Fig. 6 workflow, steps 0-2).
+#include <gtest/gtest.h>
+
+#include "core/resource_manager.h"
+#include "scheduler/fifo_sched.h"
+#include "scheduler/srsf_sched.h"
+
+namespace venn {
+namespace {
+
+trace::JobSpec make_spec(ResourceCategory cat, int rounds = 2,
+                         int demand = 3, SimTime arrival = 0.0) {
+  trace::JobSpec s;
+  s.category = cat;
+  s.rounds = rounds;
+  s.demand = demand;
+  s.arrival = arrival;
+  s.deadline_s = 600.0;
+  return s;
+}
+
+Device make_device(int id, double cpu, double mem) {
+  return Device(DeviceId(id), {cpu, mem}, {{0.0, 1e9}});
+}
+
+TEST(ResourceManager, RegisterAndPendingView) {
+  ResourceManager mgr(std::make_unique<FifoScheduler>());
+  Job job(JobId(1), make_spec(ResourceCategory::kGeneral));
+  mgr.register_job(&job, 500.0);
+  EXPECT_EQ(mgr.num_pending_jobs(), 0u);  // no request yet
+
+  mgr.open_request(job.id(), 10.0, 0.5);
+  const auto pending = mgr.pending_view();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].job, JobId(1));
+  EXPECT_EQ(pending[0].remaining_demand, 3);
+  EXPECT_DOUBLE_EQ(pending[0].solo_jct_estimate, 500.0);
+  EXPECT_DOUBLE_EQ(pending[0].random_priority, 0.5);
+}
+
+TEST(ResourceManager, DuplicateRegistrationThrows) {
+  ResourceManager mgr(std::make_unique<FifoScheduler>());
+  Job job(JobId(1), make_spec(ResourceCategory::kGeneral));
+  mgr.register_job(&job, 1.0);
+  EXPECT_THROW(mgr.register_job(&job, 1.0), std::invalid_argument);
+  EXPECT_THROW(mgr.register_job(nullptr, 1.0), std::invalid_argument);
+}
+
+TEST(ResourceManager, DeregisterUnknownThrows) {
+  ResourceManager mgr(std::make_unique<FifoScheduler>());
+  EXPECT_THROW(mgr.deregister_job(JobId(9)), std::invalid_argument);
+}
+
+TEST(ResourceManager, EligibilityFiltersCandidates) {
+  ResourceManager mgr(std::make_unique<FifoScheduler>());
+  Job hp_job(JobId(1), make_spec(ResourceCategory::kHighPerf));
+  mgr.register_job(&hp_job, 1.0);
+  mgr.open_request(hp_job.id(), 0.0, 0.1);
+
+  // Low-end device: not eligible for the HP job.
+  const Device weak = make_device(0, 0.1, 0.1);
+  EXPECT_FALSE(mgr.device_checkin(weak, 1.0).has_value());
+
+  // Strong device: assigned.
+  const Device strong = make_device(1, 0.9, 0.9);
+  const auto outcome = mgr.device_checkin(strong, 2.0);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->job, JobId(1));
+  EXPECT_FALSE(outcome->fully_allocated);  // demand 3, assigned 1
+}
+
+TEST(ResourceManager, FullyAllocatedFlagAndSchedulingDelay) {
+  ResourceManager mgr(std::make_unique<FifoScheduler>());
+  Job job(JobId(1), make_spec(ResourceCategory::kGeneral, 1, 2));
+  mgr.register_job(&job, 1.0);
+  mgr.open_request(job.id(), 10.0, 0.1);
+
+  const Device d0 = make_device(0, 0.5, 0.5);
+  const Device d1 = make_device(1, 0.5, 0.5);
+  auto o1 = mgr.device_checkin(d0, 20.0);
+  ASSERT_TRUE(o1.has_value());
+  EXPECT_FALSE(o1->fully_allocated);
+  auto o2 = mgr.device_checkin(d1, 30.0);
+  ASSERT_TRUE(o2.has_value());
+  EXPECT_TRUE(o2->fully_allocated);
+  EXPECT_EQ(job.request()->state, RequestState::kAllocated);
+  EXPECT_DOUBLE_EQ(job.request()->scheduling_delay(), 20.0);
+  // No more demand: next device is not assigned.
+  const Device d2 = make_device(2, 0.5, 0.5);
+  EXPECT_FALSE(mgr.device_checkin(d2, 40.0).has_value());
+}
+
+TEST(ResourceManager, SchedulerSeesQueueNotifications) {
+  // Counting scheduler to verify notification plumbing.
+  struct CountingSched final : Scheduler {
+    int queue_changes = 0, checkins = 0, responses = 0, rounds = 0;
+    std::string name() const override { return "count"; }
+    void on_queue_change(std::span<const PendingJob>, SimTime) override {
+      ++queue_changes;
+    }
+    void on_device_checkin(const DeviceView&, SimTime) override {
+      ++checkins;
+    }
+    void on_response(JobId, double, double, SimTime) override { ++responses; }
+    void on_round_complete(JobId, SimTime, SimTime, SimTime) override {
+      ++rounds;
+    }
+    std::optional<std::size_t> assign(const DeviceView&,
+                                      std::span<const PendingJob>,
+                                      SimTime) override {
+      return 0;
+    }
+  };
+  auto sched = std::make_unique<CountingSched>();
+  CountingSched* raw = sched.get();
+  ResourceManager mgr(std::move(sched));
+  Job job(JobId(1), make_spec(ResourceCategory::kGeneral, 1, 1));
+  mgr.register_job(&job, 1.0);
+  mgr.open_request(job.id(), 0.0, 0.1);
+  EXPECT_EQ(raw->queue_changes, 1);
+  const Device d = make_device(0, 0.5, 0.5);
+  (void)mgr.device_checkin(d, 1.0);
+  EXPECT_EQ(raw->checkins, 1);
+  mgr.notify_response(JobId(1), 0.5, 60.0, 2.0);
+  EXPECT_EQ(raw->responses, 1);
+  mgr.notify_round_complete(JobId(1), 1.0, 60.0, 2.0);
+  EXPECT_EQ(raw->rounds, 1);
+  mgr.close_request(job.id(), 2.0);
+  EXPECT_EQ(raw->queue_changes, 2);
+}
+
+TEST(ResourceManager, PendingViewSortedByJobId) {
+  ResourceManager mgr(std::make_unique<FifoScheduler>());
+  Job j3(JobId(3), make_spec(ResourceCategory::kGeneral));
+  Job j1(JobId(1), make_spec(ResourceCategory::kGeneral));
+  Job j2(JobId(2), make_spec(ResourceCategory::kGeneral));
+  for (Job* j : {&j3, &j1, &j2}) {
+    mgr.register_job(j, 1.0);
+    mgr.open_request(j->id(), 0.0, 0.1);
+  }
+  const auto pending = mgr.pending_view();
+  ASSERT_EQ(pending.size(), 3u);
+  EXPECT_EQ(pending[0].job, JobId(1));
+  EXPECT_EQ(pending[1].job, JobId(2));
+  EXPECT_EQ(pending[2].job, JobId(3));
+}
+
+TEST(ResourceManager, JobsInSameCategoryShareGroup) {
+  ResourceManager mgr(std::make_unique<SrsfScheduler>());
+  Job a(JobId(1), make_spec(ResourceCategory::kComputeRich));
+  Job b(JobId(2), make_spec(ResourceCategory::kComputeRich));
+  Job c(JobId(3), make_spec(ResourceCategory::kMemoryRich));
+  for (Job* j : {&a, &b, &c}) {
+    mgr.register_job(j, 1.0);
+    mgr.open_request(j->id(), 0.0, 0.1);
+  }
+  const auto pending = mgr.pending_view();
+  EXPECT_EQ(pending[0].group, pending[1].group);
+  EXPECT_NE(pending[0].group, pending[2].group);
+  EXPECT_EQ(mgr.signatures().size(), 2u);
+}
+
+TEST(ResourceManager, DeviceViewSignatureMatchesRegistry) {
+  ResourceManager mgr(std::make_unique<FifoScheduler>());
+  Job g(JobId(1), make_spec(ResourceCategory::kGeneral));
+  Job h(JobId(2), make_spec(ResourceCategory::kHighPerf));
+  mgr.register_job(&g, 1.0);
+  mgr.register_job(&h, 1.0);
+  const Device strong = make_device(0, 0.9, 0.9);
+  const Device weak = make_device(1, 0.1, 0.1);
+  EXPECT_EQ(mgr.device_view(strong).signature, 0b11ULL);
+  EXPECT_EQ(mgr.device_view(weak).signature, 0b01ULL);
+}
+
+TEST(ResourceManager, NullSchedulerRejected) {
+  EXPECT_THROW(ResourceManager(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace venn

@@ -1,0 +1,166 @@
+// Unit tests for the discrete-event simulation core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/event_queue.h"
+
+namespace venn::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(1.0, [&] { order.push_back(2); });
+  q.schedule(1.0, [&] { order.push_back(3); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(q.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(EventQueue, CallbackCanScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] {
+    ++fired;
+    q.schedule(2.0, [&] { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle h = q.schedule(1.0, [&] { ++fired; });
+  EXPECT_TRUE(h.active());
+  h.cancel();
+  EXPECT_FALSE(h.active());
+  q.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterRun) {
+  EventQueue q;
+  EventHandle h = q.schedule(1.0, [] {});
+  q.run();
+  h.cancel();  // already executed; must not crash
+  h.cancel();
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    q.schedule(t, [&fired, t] { fired.push_back(t); });
+  }
+  q.run_until(2.5);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_EQ(q.pending(), 2u);
+  q.run_until(10.0);
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  EventHandle h = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  h.cancel();
+  const auto t = q.next_time();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 2.0);
+}
+
+TEST(EventQueue, EmptyAfterDrain) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.schedule(1.0, [] {});
+  EXPECT_FALSE(q.empty());
+  q.run();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.next_time().has_value());
+}
+
+TEST(Engine, PeriodicTaskStopsOnFalse) {
+  Engine e(1);
+  int ticks = 0;
+  e.every(1.0, [&] { return ++ticks < 3; });
+  e.run_until(100.0);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, PeriodicRejectsNonPositive) {
+  Engine e(1);
+  EXPECT_THROW(e.every(0.0, [] { return true; }), std::invalid_argument);
+}
+
+TEST(Engine, EventBudgetGuardsLivelock) {
+  Engine e(1);
+  e.set_event_budget(100);
+  // Self-perpetuating event chain: must trip the budget, not hang.
+  std::function<void()> loop = [&] { e.after(1.0, loop); };
+  e.after(1.0, loop);
+  EXPECT_THROW(e.run_until(1e18), std::runtime_error);
+}
+
+TEST(Engine, RunUntilDoesNotExecutePastBoundary) {
+  Engine e(1);
+  int fired = 0;
+  e.at(5.0, [&] { ++fired; });
+  e.run_until(4.0);
+  EXPECT_EQ(fired, 0);
+  e.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, RngIsSeedDeterministic) {
+  Engine a(99), b(99);
+  EXPECT_DOUBLE_EQ(a.rng().uniform(), b.rng().uniform());
+}
+
+// Property: interleaving N events with random times always executes them in
+// nondecreasing time order, regardless of insertion order.
+class EventOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventOrderTest, AlwaysTimeOrdered) {
+  Rng rng(GetParam());
+  EventQueue q;
+  std::vector<double> fired;
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.uniform(0.0, 100.0);
+    q.schedule(t, [&fired, t] { fired.push_back(t); });
+  }
+  q.run();
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1], fired[i]);
+  }
+  EXPECT_EQ(fired.size(), 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventOrderTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace venn::sim

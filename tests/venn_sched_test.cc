@@ -1,0 +1,245 @@
+// Unit tests for the assembled Venn scheduler (§4).
+#include <gtest/gtest.h>
+
+#include "scheduler/venn_sched.h"
+
+namespace venn {
+namespace {
+
+constexpr std::size_t G = 0, C = 1;
+
+PendingJob make_pending(int id, std::size_t group, int remaining_demand,
+                        double remaining_service = 0.0,
+                        double arrival = 0.0) {
+  PendingJob pj;
+  pj.job = JobId(id);
+  pj.request = RequestId(id);
+  pj.group = group;
+  pj.remaining_demand = remaining_demand;
+  pj.request_demand = remaining_demand;
+  pj.remaining_service =
+      remaining_service > 0 ? remaining_service : remaining_demand;
+  pj.total_rounds = 5;
+  pj.completed_rounds = 0;
+  pj.job_arrival = arrival;
+  pj.request_submitted = arrival;
+  pj.solo_jct_estimate = 1000.0;
+  return pj;
+}
+
+DeviceView device_with_signature(std::uint64_t sig, double cpu = 0.5,
+                                 double mem = 0.5) {
+  DeviceView v;
+  v.id = DeviceId(0);
+  v.spec = {cpu, mem};
+  v.signature = sig;
+  return v;
+}
+
+VennConfig no_matching_cfg() {
+  VennConfig cfg;
+  cfg.enable_matching = false;
+  return cfg;
+}
+
+// Record a supply history: `rate` devices/sec of signature `sig` over the
+// window before `now`.
+void feed_supply(VennScheduler& s, std::uint64_t sig, double rate, SimTime now,
+                 SimTime span = 1000.0) {
+  const double step = 1.0 / rate;
+  for (SimTime t = now - span; t <= now; t += step) {
+    if (t < 0) continue;
+    s.on_device_checkin(device_with_signature(sig), t);
+  }
+}
+
+TEST(VennSched, NameReflectsComponents) {
+  EXPECT_EQ(VennScheduler(VennConfig{}, Rng(1)).name(), "Venn");
+  VennConfig ns;
+  ns.enable_scheduling = false;
+  EXPECT_EQ(VennScheduler(ns, Rng(1)).name(), "Venn w/o sched");
+  VennConfig nm;
+  nm.enable_matching = false;
+  EXPECT_EQ(VennScheduler(nm, Rng(1)).name(), "Venn w/o match");
+}
+
+TEST(VennSched, IntraGroupOrdersBySmallestRemaining) {
+  VennConfig cfg = no_matching_cfg();
+  cfg.order_by_total_remaining = false;
+  VennScheduler s(cfg, Rng(1));
+  feed_supply(s, (1ULL << G), 0.1, 1000.0);
+  std::vector<PendingJob> pending{make_pending(1, G, 50),
+                                  make_pending(2, G, 5),
+                                  make_pending(3, G, 20)};
+  s.on_queue_change(pending, 1000.0);
+  const auto pick =
+      s.assign(device_with_signature(1ULL << G), pending, 1000.0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pending[*pick].job, JobId(2));
+}
+
+TEST(VennSched, TotalRemainingOrderingUsesService) {
+  VennConfig cfg = no_matching_cfg();
+  cfg.order_by_total_remaining = true;
+  VennScheduler s(cfg, Rng(1));
+  feed_supply(s, (1ULL << G), 0.1, 1000.0);
+  // Job 1: small request but long service; job 2: larger request, less
+  // service overall.
+  std::vector<PendingJob> pending{make_pending(1, G, 5, 500.0),
+                                  make_pending(2, G, 20, 40.0)};
+  s.on_queue_change(pending, 1000.0);
+  const auto pick =
+      s.assign(device_with_signature(1ULL << G), pending, 1000.0);
+  EXPECT_EQ(pending[*pick].job, JobId(2));
+}
+
+TEST(VennSched, ScarceAtomServesScarceGroup) {
+  // C ⊂ G structure: G-only supply plentiful, shared atom scarce. A device
+  // eligible for both should serve the C group's job (owner), not G's.
+  VennScheduler s(no_matching_cfg(), Rng(1));
+  feed_supply(s, (1ULL << G), 0.5, 1000.0);
+  feed_supply(s, (1ULL << G) | (1ULL << C), 0.05, 1000.0);
+  std::vector<PendingJob> pending{make_pending(1, G, 5),
+                                  make_pending(2, C, 50)};
+  s.on_queue_change(pending, 1000.0);
+  const auto pick = s.assign(
+      device_with_signature((1ULL << G) | (1ULL << C)), pending, 1000.0);
+  EXPECT_EQ(pending[*pick].job, JobId(2));
+  // A G-only device still goes to the G job.
+  const auto pick_g =
+      s.assign(device_with_signature(1ULL << G), pending, 1000.0);
+  EXPECT_EQ(pending[*pick_g].job, JobId(1));
+}
+
+TEST(VennSched, FallThroughWhenOwnerGroupAbsent) {
+  // Shared atom owned by C, but no C job is pending: G gets the device.
+  VennScheduler s(no_matching_cfg(), Rng(1));
+  feed_supply(s, (1ULL << G), 0.5, 1000.0);
+  feed_supply(s, (1ULL << G) | (1ULL << C), 0.05, 1000.0);
+  std::vector<PendingJob> pending{make_pending(1, G, 5)};
+  s.on_queue_change(pending, 1000.0);
+  const auto pick = s.assign(
+      device_with_signature((1ULL << G) | (1ULL << C)), pending, 1000.0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(pending[*pick].job, JobId(1));
+}
+
+TEST(VennSched, QueuePressureMovesIntersection) {
+  // Long G queue + tiny C queue: the ratio test should hand the shared atom
+  // to G (the abundant group) — Algorithm 1 lines 10-23.
+  VennScheduler s(no_matching_cfg(), Rng(1));
+  feed_supply(s, (1ULL << G), 0.02, 1000.0);  // G-only scarce now
+  feed_supply(s, (1ULL << G) | (1ULL << C), 0.2, 1000.0);
+  std::vector<PendingJob> pending;
+  for (int i = 0; i < 10; ++i) pending.push_back(make_pending(i, G, 10));
+  pending.push_back(make_pending(99, C, 10));
+  s.on_queue_change(pending, 1000.0);
+  // m_G / |S'_G| = 10/0.02 = 500 > m_C / |S_C| = 1/0.2 = 5 -> G absorbs.
+  const auto pick = s.assign(
+      device_with_signature((1ULL << G) | (1ULL << C)), pending, 1000.0);
+  EXPECT_EQ(pending[*pick].group, G);
+}
+
+TEST(VennSched, DisabledSchedulingIsFifo) {
+  VennConfig cfg;
+  cfg.enable_scheduling = false;
+  cfg.enable_matching = false;
+  VennScheduler s(cfg, Rng(1));
+  std::vector<PendingJob> pending{make_pending(1, G, 5, 5, /*arrival=*/50.0),
+                                  make_pending(2, C, 50, 50, /*arrival=*/10.0)};
+  s.on_queue_change(pending, 1000.0);
+  const auto pick = s.assign(
+      device_with_signature((1ULL << G) | (1ULL << C)), pending, 1000.0);
+  EXPECT_EQ(pending[*pick].job, JobId(2));  // earliest arrival
+}
+
+TEST(VennSched, FairnessBoostsStarvedJob) {
+  VennConfig cfg = no_matching_cfg();
+  cfg.epsilon = 6.0;
+  cfg.order_by_total_remaining = false;
+  VennScheduler s(cfg, Rng(1));
+  feed_supply(s, (1ULL << G), 0.1, 100000.0, 50000.0);
+
+  // Job 1: small demand, just arrived (on schedule). Job 2: large demand,
+  // far beyond its fair-share JCT with no progress (starved).
+  PendingJob fresh = make_pending(1, G, 5);
+  fresh.job_arrival = 100000.0 - 1.0;
+  fresh.solo_jct_estimate = 1000.0;
+  PendingJob starved = make_pending(2, G, 50);
+  starved.job_arrival = 0.0;  // waited 100000 s
+  starved.solo_jct_estimate = 1000.0;
+  starved.completed_rounds = 0;
+  std::vector<PendingJob> pending{fresh, starved};
+  s.on_queue_change(pending, 100000.0);
+  const auto pick =
+      s.assign(device_with_signature(1ULL << G), pending, 100000.0);
+  EXPECT_EQ(pending[*pick].job, JobId(2));
+
+  // With epsilon = 0 the small job wins instead.
+  VennConfig cfg0 = no_matching_cfg();
+  cfg0.order_by_total_remaining = false;
+  VennScheduler s0(cfg0, Rng(1));
+  feed_supply(s0, (1ULL << G), 0.1, 100000.0, 50000.0);
+  s0.on_queue_change(pending, 100000.0);
+  const auto pick0 =
+      s0.assign(device_with_signature(1ULL << G), pending, 100000.0);
+  EXPECT_EQ(pending[*pick0].job, JobId(1));
+}
+
+TEST(VennSched, MatchingFiltersHeadJobOnly) {
+  // Give the head job an active fast-tier filter; a slow device must skip to
+  // the next job in the group instead of idling.
+  VennConfig cfg;
+  cfg.num_tiers = 2;
+  VennScheduler s(cfg, Rng(3));
+  feed_supply(s, (1ULL << G), 0.1, 1000.0);
+
+  // Profile job 1: fast devices respond 10 s, slow 400 s; response dominates
+  // scheduling (c huge) so tiering activates when a fast tier is drawn.
+  for (int i = 0; i < 30; ++i) {
+    s.on_response(JobId(1), 0.9, 10.0, 0.0);
+    s.on_response(JobId(1), 0.1, 400.0, 0.0);
+  }
+  s.on_round_complete(JobId(1), 0.001, 400.0, 0.0);
+
+  bool filtered_once = false;
+  for (int attempt = 0; attempt < 40 && !filtered_once; ++attempt) {
+    std::vector<PendingJob> pending{
+        make_pending(1, G, 5), make_pending(2, G, 50)};
+    pending[0].request = RequestId(1000 + attempt);  // new request each try
+    s.on_queue_change(pending, 1000.0);
+    // Slow device: if job 1 drew the fast tier, it must be skipped and the
+    // device must land on job 2.
+    const auto pick = s.assign(
+        device_with_signature(1ULL << G, /*cpu=*/0.05, /*mem=*/0.05), pending,
+        1000.0);
+    ASSERT_TRUE(pick.has_value());
+    if (pending[*pick].job == JobId(2)) filtered_once = true;
+  }
+  EXPECT_TRUE(filtered_once);
+}
+
+TEST(VennSched, SupplyStoreRecordsCheckins) {
+  VennScheduler s(VennConfig{}, Rng(1));
+  s.on_device_checkin(device_with_signature(0b11), 1.0);
+  s.on_device_checkin(device_with_signature(0b11), 2.0);
+  s.on_device_checkin(device_with_signature(0b01), 3.0);
+  EXPECT_EQ(s.supply_store().total_points(), 3u);
+  EXPECT_EQ(s.supply_store().keys().size(), 2u);
+}
+
+TEST(VennSched, RejectsZeroTiers) {
+  VennConfig cfg;
+  cfg.num_tiers = 0;
+  EXPECT_THROW(VennScheduler(cfg, Rng(1)), std::invalid_argument);
+}
+
+TEST(VennSched, ThrowsOnEmptyCandidates) {
+  VennScheduler s(VennConfig{}, Rng(1));
+  EXPECT_THROW(
+      (void)s.assign(device_with_signature(1), {}, 0.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace venn
