@@ -9,7 +9,6 @@
 // and is this build's default.
 #include "bench_util.h"
 #include "scheduler/srsf_sched.h"
-#include "sim/engine.h"
 #include "util/stats.h"
 
 using namespace venn;
@@ -18,20 +17,16 @@ int main() {
   bench::header("Ablation — intra-group ordering scope",
                 "§4.2.1 design choice: per-request vs total remaining demand");
 
-  ExperimentConfig cfg = bench::default_config();
-  const auto inputs = build_inputs(cfg);
-  const RunResult rnd = run_with_inputs(cfg, Policy::kRandom, inputs);
+  const auto ex =
+      ExperimentBuilder().scenario(bench::default_scenario()).build();
+  const RunResult rnd = ex.run("random");
 
-  // SRSF variants.
+  // SRSF variants: the per-request policy is registered; the total-remaining
+  // variant is constructed directly (no factory exposes it).
   {
-    sim::Engine eng(cfg.seed ^ 0xC0FFEE);
-    ResourceManager mgr(std::make_unique<SrsfScheduler>(/*per_round=*/false));
-    CoordinatorConfig ccfg;
-    ccfg.horizon = cfg.horizon;
-    Coordinator coord(eng, mgr, inputs.devices, inputs.jobs, ccfg);
-    coord.run();
-    const RunResult total = collect_results(coord, "SRSF(total)");
-    const RunResult per_round = run_with_inputs(cfg, Policy::kSrsf, inputs);
+    const RunResult total = ex.run_with(
+        std::make_unique<SrsfScheduler>(/*per_round=*/false), "SRSF(total)");
+    const RunResult per_round = ex.run("srsf");
     std::printf("%-24s %8s\n", "SRSF per-request",
                 format_ratio(improvement(rnd, per_round)).c_str());
     std::printf("%-24s %8s\n", "SRSF total-remaining",
@@ -40,9 +35,9 @@ int main() {
 
   // Venn variants.
   for (bool total : {false, true}) {
-    ExperimentConfig vcfg = cfg;
-    vcfg.venn.order_by_total_remaining = total;
-    const RunResult venn = run_with_inputs(vcfg, Policy::kVenn, inputs);
+    PolicySpec venn_spec("venn");
+    venn_spec.params.venn.order_by_total_remaining = total;
+    const RunResult venn = ex.run(venn_spec);
     std::printf("%-24s %8s\n",
                 total ? "Venn total-remaining" : "Venn per-request",
                 format_ratio(improvement(rnd, venn)).c_str());

@@ -5,13 +5,17 @@
 // comparison the reproduction targets is visible in one screenful. Absolute
 // values are not expected to match (the substrate is a synthetic trace, not
 // the authors' testbed); orderings and rough factors are.
+//
+// All benches construct experiments through the venn/venn.h facade: a
+// ScenarioSpec describes the world, policies are registry names, and
+// multi-policy comparisons share one generated trace via api::Experiment.
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "core/experiment.h"
+#include "venn/venn.h"
 
 namespace venn::bench {
 
@@ -28,37 +32,41 @@ inline void note(const std::string& text) {
 
 // The default evaluation setup of §5.1: 50 jobs, Poisson 30-min arrivals,
 // four requirement categories over the Fig. 8a device regions.
-inline ExperimentConfig default_config(std::uint64_t seed = 42) {
-  ExperimentConfig cfg;
-  cfg.seed = seed;
-  return cfg;
+inline ScenarioSpec default_scenario(std::uint64_t seed = 42) {
+  ScenarioSpec sc;
+  sc.seed = seed;
+  return sc;
 }
 
 // A smaller setup for benches that sweep many points.
-inline ExperimentConfig quick_config(std::uint64_t seed = 42) {
-  ExperimentConfig cfg;
-  cfg.seed = seed;
-  cfg.num_devices = 6000;
-  cfg.num_jobs = 30;
-  return cfg;
+inline ScenarioSpec quick_scenario(std::uint64_t seed = 42) {
+  ScenarioSpec sc;
+  sc.seed = seed;
+  sc.num_devices = 6000;
+  sc.num_jobs = 30;
+  return sc;
 }
 
 struct PolicyRow {
-  Policy policy;
+  PolicySpec policy;
   RunResult result;
 };
 
 // Run the given policies on one shared input trace; first policy is the
 // normalization baseline.
-inline std::vector<PolicyRow> run_policies(const ExperimentConfig& cfg,
-                                           const std::vector<Policy>& ps) {
-  const ExperimentInputs inputs = build_inputs(cfg);
+inline std::vector<PolicyRow> run_policies(const api::Experiment& ex,
+                                           const std::vector<PolicySpec>& ps) {
   std::vector<PolicyRow> rows;
   rows.reserve(ps.size());
-  for (Policy p : ps) {
-    rows.push_back({p, run_with_inputs(cfg, p, inputs)});
+  for (const PolicySpec& p : ps) {
+    rows.push_back({p, ex.run(p)});
   }
   return rows;
+}
+
+inline std::vector<PolicyRow> run_policies(const ScenarioSpec& sc,
+                                           const std::vector<PolicySpec>& ps) {
+  return run_policies(ExperimentBuilder().scenario(sc).build(), ps);
 }
 
 }  // namespace venn::bench

@@ -4,7 +4,6 @@
 // Algorithm 2 activation condition), and the matching component's measured
 // contribution. Useful when porting the harness to a different trace scale.
 #include "bench_util.h"
-#include "sim/engine.h"
 #include "util/stats.h"
 
 using namespace venn;
@@ -12,16 +11,11 @@ using namespace venn;
 namespace {
 
 // Run Venn keeping a handle on the scheduler so matching stats are visible.
-void tiering_report(const ExperimentConfig& cfg,
-                    const ExperimentInputs& inputs) {
-  sim::Engine eng(cfg.seed ^ 0xC0FFEE);
-  auto sched = std::make_unique<VennScheduler>(cfg.venn, Rng(cfg.seed ^ 0xBEEF));
+void tiering_report(const api::Experiment& ex) {
+  auto sched = std::make_unique<VennScheduler>(VennConfig{},
+                                               Rng(ex.stream_seed("scheduler")));
   VennScheduler* raw = sched.get();
-  ResourceManager mgr(std::move(sched));
-  CoordinatorConfig ccfg;
-  ccfg.horizon = cfg.horizon;
-  Coordinator coord(eng, mgr, inputs.devices, inputs.jobs, ccfg);
-  coord.run();
+  (void)ex.run_with(std::move(sched));
   const auto& ms = raw->matching_stats();
   std::printf("    tiering: %lld/%lld requests tiered, %lld devices "
               "filtered\n",
@@ -51,13 +45,14 @@ int main() {
   for (std::size_t jobs : {10, 20, 35, 50}) {
     for (std::size_t devices : {10000, 20000}) {
       for (double inter_min : {30.0, 90.0}) {
-        ExperimentConfig cfg = bench::default_config();
-        cfg.workload = trace::Workload::kLow;
-        cfg.num_jobs = jobs;
-        cfg.num_devices = devices;
-        cfg.job_trace.mean_interarrival = inter_min * kMinute;
-        const auto rows = bench::run_policies(
-            cfg, {Policy::kRandom, Policy::kVennNoMatch, Policy::kVenn});
+        ScenarioSpec sc = bench::default_scenario();
+        sc.workload = trace::Workload::kLow;
+        sc.num_jobs = jobs;
+        sc.num_devices = devices;
+        sc.job_trace.mean_interarrival = inter_min * kMinute;
+        const auto ex = ExperimentBuilder().scenario(sc).build();
+        const auto rows =
+            bench::run_policies(ex, {"random", "venn-nomatch", "venn"});
         const RunResult& base = rows[0].result;
         const double sd = base.scheduling_delays().mean();
         const double rt = base.response_times().mean();
@@ -66,8 +61,7 @@ int main() {
                     format_ratio(improvement(base, rows[1].result)).c_str(),
                     format_ratio(improvement(base, rows[2].result)).c_str());
         if (jobs == 50) {
-          const ExperimentInputs inputs = build_inputs(cfg);
-          tiering_report(cfg, inputs);
+          tiering_report(ex);
         }
       }
     }

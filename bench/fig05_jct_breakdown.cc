@@ -17,13 +17,15 @@ int main() {
   std::printf("%-10s %18s %18s %12s\n", "# jobs", "sched delay (s)",
               "resp. time (s)", "delay share");
   for (std::size_t jobs : {5, 10, 20, 40}) {
-    ExperimentConfig cfg = bench::default_config();
-    cfg.num_jobs = jobs;
     // All jobs train concurrently (the Fig. 4/5 setup runs them together):
     // compress arrivals but keep the default population so that low job
     // counts sit below the contention knee.
-    cfg.job_trace.mean_interarrival = 5.0 * kMinute;
-    const RunResult r = run_experiment(cfg, Policy::kRandom);
+    const RunResult r = ExperimentBuilder()
+                            .scenario(bench::default_scenario())
+                            .jobs(jobs)
+                            .interarrival(5.0 * kMinute)
+                            .policy("random")
+                            .run();
     const Summary sd = r.scheduling_delays();
     const Summary rt = r.response_times();
     const double share = sd.mean() / (sd.mean() + rt.mean());

@@ -36,14 +36,14 @@ int main() {
   bench::header("Fig. 9 — accuracy over wall-clock time",
                 "Fig. 9 (§5.2): FIFO / SRSF / Venn, same final accuracy");
 
-  ExperimentConfig cfg = bench::default_config();
-  cfg.num_jobs = 20;
-  cfg.num_devices = 6000;
   // The paper's testbed jobs train to convergence; give every job enough
   // rounds for the accuracy curves to saturate.
-  cfg.job_trace.min_rounds = 25;
-  cfg.job_trace.max_rounds = 60;
-  const auto inputs = build_inputs(cfg);
+  const auto ex = ExperimentBuilder()
+                      .scenario(bench::default_scenario())
+                      .jobs(20)
+                      .devices(6000)
+                      .rounds(25, 60)
+                      .build();
 
   Rng rng(42);
   cl::DatasetConfig dcfg;
@@ -52,14 +52,13 @@ int main() {
   cl::ClientDataModel data(dcfg, rng);
   cl::FedSimConfig fcfg;
 
-  const std::vector<Policy> policies{Policy::kFifo, Policy::kSrsf,
-                                     Policy::kVenn};
+  const std::vector<PolicySpec> policies{"fifo", "srsf", "venn"};
   std::vector<std::vector<JobCurve>> curves(policies.size());
   std::vector<std::string> names;
   SimTime t_max = 0.0;
 
   for (std::size_t pi = 0; pi < policies.size(); ++pi) {
-    const RunResult r = run_with_inputs(cfg, policies[pi], inputs);
+    const RunResult r = ex.run(policies[pi]);
     names.push_back(r.scheduler);
     for (const auto& job : r.jobs) {
       JobCurve c;

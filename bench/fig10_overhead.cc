@@ -7,7 +7,7 @@
 // max(O(m log m), O(n^2)) complexity.
 #include <benchmark/benchmark.h>
 
-#include "scheduler/venn_sched.h"
+#include "venn/venn.h"
 
 using namespace venn;
 

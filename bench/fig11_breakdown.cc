@@ -18,22 +18,21 @@ int main() {
   bench::header("Fig. 11 — average JCT improvement breakdown",
                 "Fig. 11 (§5.3), Low and High workloads");
 
-  const std::vector<Policy> policies{Policy::kRandom, Policy::kFifo,
-                                     Policy::kVennNoSched,
-                                     Policy::kVennNoMatch, Policy::kVenn};
+  const std::vector<PolicySpec> policies{"random", "fifo", "venn-nosched",
+                                         "venn-nomatch", "venn"};
 
   for (trace::Workload w : {trace::Workload::kLow, trace::Workload::kHigh}) {
-    ExperimentConfig cfg = bench::default_config();
-    cfg.workload = w;
+    ScenarioSpec sc = bench::default_scenario();
+    sc.workload = w;
     if (w == trace::Workload::kLow) {
       // Our scaled trace needs a larger population and gentler arrival burst
       // for the Low workload to land in the paper's low-contention regime
       // (scheduling delay comparable to response collection time, Fig. 5) —
       // the regime where the matching component is designed to pay off.
-      cfg.num_devices = 20000;
-      cfg.job_trace.mean_interarrival = 90.0 * kMinute;
+      sc.num_devices = 20000;
+      sc.job_trace.mean_interarrival = 90.0 * kMinute;
     }
-    const auto rows = bench::run_policies(cfg, policies);
+    const auto rows = bench::run_policies(sc, policies);
     const RunResult& base = rows.front().result;
     std::printf("\n%s workload:\n", trace::workload_name(w).c_str());
     for (const auto& row : rows) {

@@ -4,6 +4,8 @@
 //
 // Expected shape (paper Fig. 12): Venn on top at every point, with its
 // margin widening as the number of jobs (and hence contention) grows.
+// The three job counts are a SweepRunner grid: cells run concurrently and
+// every policy replays the identical trace for its job count.
 #include "bench_util.h"
 #include "util/stats.h"
 
@@ -13,18 +15,24 @@ int main() {
   bench::header("Fig. 12 — improvement vs number of jobs",
                 "Fig. 12 (§5.5), Even workload, 25/50/75 jobs");
 
-  const std::vector<Policy> policies{Policy::kRandom, Policy::kFifo,
-                                     Policy::kSrsf, Policy::kVenn};
-  std::printf("%-8s %8s %8s %8s\n", "# jobs", "FIFO", "SRSF", "Venn");
+  SweepSpec grid;
   for (std::size_t n : {25, 50, 75}) {
-    ExperimentConfig cfg = bench::default_config();
-    cfg.num_jobs = n;
-    const auto rows = bench::run_policies(cfg, policies);
-    const RunResult& base = rows.front().result;
-    std::printf("%-8zu", n);
-    for (std::size_t i = 1; i < rows.size(); ++i) {
-      std::printf(" %8s",
-                  format_ratio(improvement(base, rows[i].result)).c_str());
+    ScenarioSpec sc = bench::default_scenario();
+    sc.num_jobs = n;
+    sc.name = std::to_string(n);
+    grid.scenarios.push_back(sc);
+  }
+  grid.policies = {"random", "fifo", "srsf", "venn"};
+  const auto cells = SweepRunner().run(grid);
+
+  std::printf("%-8s %8s %8s %8s\n", "# jobs", "FIFO", "SRSF", "Venn");
+  for (std::size_t si = 0; si < grid.scenarios.size(); ++si) {
+    const RunResult& base =
+        cells[SweepRunner::cell_index(grid, si, 0, 0)].result;
+    std::printf("%-8s", grid.scenarios[si].name.c_str());
+    for (std::size_t pi = 1; pi < grid.policies.size(); ++pi) {
+      const RunResult& r = cells[SweepRunner::cell_index(grid, si, pi, 0)].result;
+      std::printf(" %8s", format_ratio(improvement(base, r)).c_str());
     }
     std::printf("\n");
   }

@@ -14,20 +14,20 @@ int main() {
   bench::header("Fig. 13 — improvement vs number of tiers",
                 "Fig. 13 (§5.5), matching granularity sweep");
 
-  ExperimentConfig base_cfg = bench::default_config();
-  base_cfg.workload = trace::Workload::kLow;
+  ScenarioSpec sc = bench::default_scenario();
+  sc.workload = trace::Workload::kLow;
   // Low-contention regime (see fig11_breakdown.cc): matching only matters
   // when response collection is a meaningful share of JCT.
-  base_cfg.num_devices = 20000;
-  base_cfg.job_trace.mean_interarrival = 90.0 * kMinute;
-  const auto inputs = build_inputs(base_cfg);
-  const RunResult rnd = run_with_inputs(base_cfg, Policy::kRandom, inputs);
+  sc.num_devices = 20000;
+  sc.job_trace.mean_interarrival = 90.0 * kMinute;
+  const auto ex = ExperimentBuilder().scenario(sc).build();
+  const RunResult rnd = ex.run("random");
 
   std::printf("%-8s %12s\n", "tiers", "Venn impr.");
   for (std::size_t tiers : {1, 2, 3, 4}) {
-    ExperimentConfig cfg = base_cfg;
-    cfg.venn.num_tiers = tiers;
-    const RunResult venn = run_with_inputs(cfg, Policy::kVenn, inputs);
+    PolicySpec venn_spec("venn");
+    venn_spec.params.venn.num_tiers = tiers;
+    const RunResult venn = ex.run(venn_spec);
     std::printf("%-8zu %12s\n", tiers,
                 format_ratio(improvement(rnd, venn)).c_str());
   }

@@ -14,26 +14,28 @@ int main() {
   bench::header("Fig. 14 — fairness knob sweep",
                 "Fig. 14a/b (§5.5), ε ∈ {0, 0.5, 1, 2, 4, 6}");
 
-  ExperimentConfig base_cfg = bench::default_config();
-  const auto inputs = build_inputs(base_cfg);
-  const RunResult rnd = run_with_inputs(base_cfg, Policy::kRandom, inputs);
+  const auto ex =
+      ExperimentBuilder().scenario(bench::default_scenario()).build();
+  const RunResult rnd = ex.run("random");
   const double rnd_fair = rnd.fair_share_hit_rate();
+
+  const auto venn_with_eps = [](double eps) {
+    PolicySpec spec("venn");
+    spec.params.venn.epsilon = eps;
+    return spec;
+  };
 
   std::printf("%-8s %12s %18s\n", "epsilon", "Venn impr.",
               "% jobs <= fair JCT");
   for (double eps : {0.0, 0.5, 1.0, 2.0, 4.0, 6.0}) {
-    ExperimentConfig cfg = base_cfg;
-    cfg.venn.epsilon = eps;
-    const RunResult venn = run_with_inputs(cfg, Policy::kVenn, inputs);
+    const RunResult venn = ex.run(venn_with_eps(eps));
     std::printf("%-8.1f %12s %17.0f%%\n", eps,
                 format_ratio(improvement(rnd, venn)).c_str(),
                 venn.fair_share_hit_rate() * 100.0);
   }
   // Diagnostic slice: who meets the bound at the extremes.
   for (double eps : {0.0, 4.0}) {
-    ExperimentConfig cfg = base_cfg;
-    cfg.venn.epsilon = eps;
-    const RunResult venn = run_with_inputs(cfg, Policy::kVenn, inputs);
+    const RunResult venn = ex.run(venn_with_eps(eps));
     const double m = venn.avg_concurrency();
     std::printf("\n  eps=%.0f (avg concurrency %.1f): hit by category: ",
                 eps, m);

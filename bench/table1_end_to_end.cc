@@ -14,6 +14,10 @@
 // workload (absolute factors differ; the synthetic trace is smaller and the
 // SRSF baseline in this build is the per-request variant described in the
 // paper text).
+//
+// The full (workload × policy × seed) grid runs through the SweepRunner:
+// 60 cells on a thread pool, improvement paired per seed against the
+// Random cell of the same workload and seed.
 #include "bench_util.h"
 #include "util/stats.h"
 
@@ -23,25 +27,33 @@ int main() {
   bench::header("Table 1 — end-to-end average JCT improvement",
                 "Table 1 (§5.2), 50 jobs, Poisson 30-min arrivals");
 
-  std::printf("%-8s %10s %10s %10s %10s   (averaged over 3 seeds)\n",
-              "Workload", "Random", "FIFO", "SRSF", "Venn");
-  const std::vector<Policy> policies{Policy::kRandom, Policy::kFifo,
-                                     Policy::kSrsf, Policy::kVenn};
-  const int seeds = 3;
+  SweepSpec grid;
   for (trace::Workload w : trace::all_workloads()) {
-    std::vector<double> sums(policies.size(), 0.0);
-    for (int s = 0; s < seeds; ++s) {
-      ExperimentConfig cfg = bench::default_config(42 + 1000 * s);
-      cfg.workload = w;
-      const auto rows = bench::run_policies(cfg, policies);
-      const RunResult& base = rows.front().result;
-      for (std::size_t i = 0; i < rows.size(); ++i) {
-        sums[i] += improvement(base, rows[i].result);
+    ScenarioSpec sc = bench::default_scenario();
+    sc.workload = w;
+    sc.name = trace::workload_name(w);
+    grid.scenarios.push_back(sc);
+  }
+  grid.policies = {"random", "fifo", "srsf", "venn"};
+  grid.seeds = {42, 1042, 2042};
+  const auto cells = SweepRunner().run(grid);
+
+  std::printf("%-8s %10s %10s %10s %10s   (averaged over %zu seeds)\n",
+              "Workload", "Random", "FIFO", "SRSF", "Venn", grid.seeds.size());
+  for (std::size_t si = 0; si < grid.scenarios.size(); ++si) {
+    std::printf("%-8s", grid.scenarios[si].name.c_str());
+    for (std::size_t pi = 0; pi < grid.policies.size(); ++pi) {
+      double sum = 0.0;
+      for (std::size_t ki = 0; ki < grid.seeds.size(); ++ki) {
+        const RunResult& base =
+            cells[SweepRunner::cell_index(grid, si, 0, ki)].result;
+        const RunResult& r =
+            cells[SweepRunner::cell_index(grid, si, pi, ki)].result;
+        sum += improvement(base, r);
       }
-    }
-    std::printf("%-8s", trace::workload_name(w).c_str());
-    for (double sum : sums) {
-      std::printf(" %10s", format_ratio(sum / seeds).c_str());
+      std::printf(
+          " %10s",
+          format_ratio(sum / static_cast<double>(grid.seeds.size())).c_str());
     }
     std::printf("\n");
   }

@@ -22,19 +22,27 @@ int main() {
   bench::header("Table 2 — improvement by total-demand percentile",
                 "Table 2 (§5.3): Venn benefits smaller jobs more");
 
-  std::printf("%-8s %8s %8s %8s   (averaged over 3 seeds)\n", "Workload",
-              "25th", "50th", "75th");
+  SweepSpec grid;
   for (trace::Workload w : trace::all_workloads()) {
+    ScenarioSpec sc = bench::default_scenario();
+    sc.workload = w;
+    sc.name = trace::workload_name(w);
+    grid.scenarios.push_back(sc);
+  }
+  grid.policies = {"random", "venn"};
+  grid.seeds = {42, 1042, 2042};
+  const auto cells = SweepRunner().run(grid);
+
+  std::printf("%-8s %8s %8s %8s   (averaged over %zu seeds)\n", "Workload",
+              "25th", "50th", "75th", grid.seeds.size());
+  const std::vector<double> pcts{25.0, 50.0, 75.0};
+  for (std::size_t si = 0; si < grid.scenarios.size(); ++si) {
     double sums[3] = {0.0, 0.0, 0.0};
-    const std::vector<double> pcts{25.0, 50.0, 75.0};
-    const int seeds = 3;
-    for (int s = 0; s < seeds; ++s) {
-      ExperimentConfig cfg = bench::default_config(42 + 1000 * s);
-      cfg.workload = w;
-      const auto rows =
-          bench::run_policies(cfg, {Policy::kRandom, Policy::kVenn});
-      const RunResult& rnd = rows[0].result;
-      const RunResult& venn = rows[1].result;
+    for (std::size_t ki = 0; ki < grid.seeds.size(); ++ki) {
+      const RunResult& rnd =
+          cells[SweepRunner::cell_index(grid, si, 0, ki)].result;
+      const RunResult& venn =
+          cells[SweepRunner::cell_index(grid, si, 1, ki)].result;
 
       // Total-demand percentile thresholds over the workload's jobs.
       std::vector<double> totals;
@@ -49,9 +57,11 @@ int main() {
         sums[k] += avg_jct_where(rnd, below) / avg_jct_where(venn, below);
       }
     }
-    std::printf("%-8s", trace::workload_name(w).c_str());
+    std::printf("%-8s", grid.scenarios[si].name.c_str());
     for (double sum : sums) {
-      std::printf(" %8s", format_ratio(sum / seeds, 1).c_str());
+      std::printf(" %8s",
+                  format_ratio(sum / static_cast<double>(grid.seeds.size()), 1)
+                      .c_str());
     }
     std::printf("\n");
   }

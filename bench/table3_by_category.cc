@@ -24,22 +24,30 @@ int main() {
   bench::header("Table 3 — improvement by requested resource category",
                 "Table 3 (§5.3): scarcer requests benefit more");
 
+  SweepSpec grid;
+  for (trace::Workload w : trace::all_workloads()) {
+    ScenarioSpec sc = bench::default_scenario();
+    sc.workload = w;
+    sc.name = trace::workload_name(w);
+    grid.scenarios.push_back(sc);
+  }
+  grid.policies = {"random", "venn"};
+  grid.seeds = {42, 1042, 2042};
+  const auto cells = SweepRunner().run(grid);
+
   std::printf("%-8s", "Workload");
   for (ResourceCategory c : all_categories()) {
     std::printf(" %12s", category_name(c).c_str());
   }
   std::printf("\n");
 
-  for (trace::Workload w : trace::all_workloads()) {
-    const int seeds = 3;
+  for (std::size_t si = 0; si < grid.scenarios.size(); ++si) {
     std::array<double, kNumCategories> sums{};
-    for (int s = 0; s < seeds; ++s) {
-      ExperimentConfig cfg = bench::default_config(42 + 1000 * s);
-      cfg.workload = w;
-      const auto rows =
-          bench::run_policies(cfg, {Policy::kRandom, Policy::kVenn});
-      const RunResult& rnd = rows[0].result;
-      const RunResult& venn = rows[1].result;
+    for (std::size_t ki = 0; ki < grid.seeds.size(); ++ki) {
+      const RunResult& rnd =
+          cells[SweepRunner::cell_index(grid, si, 0, ki)].result;
+      const RunResult& venn =
+          cells[SweepRunner::cell_index(grid, si, 1, ki)].result;
       for (ResourceCategory c : all_categories()) {
         const auto in_cat = [c](const JobResult& j) {
           return j.spec.category == c;
@@ -49,10 +57,13 @@ int main() {
             denom > 0.0 ? avg_jct_where(rnd, in_cat) / denom : 1.0;
       }
     }
-    std::printf("%-8s", trace::workload_name(w).c_str());
+    std::printf("%-8s", grid.scenarios[si].name.c_str());
     for (ResourceCategory c : all_categories()) {
       std::printf(" %12s",
-                  format_ratio(sums[static_cast<int>(c)] / seeds, 1).c_str());
+                  format_ratio(sums[static_cast<int>(c)] /
+                                   static_cast<double>(grid.seeds.size()),
+                               1)
+                      .c_str());
     }
     std::printf("\n");
   }

@@ -21,19 +21,26 @@ int main() {
   bench::header("Table 4 — biased workloads case study",
                 "Table 4 (§5.4): half the jobs target one category");
 
-  const std::vector<Policy> policies{Policy::kRandom, Policy::kFifo,
-                                     Policy::kSrsf, Policy::kVenn};
+  SweepSpec grid;
+  for (trace::BiasedWorkload bias : trace::all_biased_workloads()) {
+    ScenarioSpec sc = bench::default_scenario();
+    sc.bias = bias;
+    sc.name = trace::biased_workload_name(bias);
+    grid.scenarios.push_back(sc);
+  }
+  grid.policies = {"random", "fifo", "srsf", "venn"};
+  const auto cells = SweepRunner().run(grid);
+
   std::printf("%-16s %8s %8s %8s %8s\n", "Bias", "Random", "FIFO", "SRSF",
               "Venn");
-  for (trace::BiasedWorkload bias : trace::all_biased_workloads()) {
-    ExperimentConfig cfg = bench::default_config();
-    cfg.bias = bias;
-    const auto rows = bench::run_policies(cfg, policies);
-    const RunResult& base = rows.front().result;
-    std::printf("%-16s", trace::biased_workload_name(bias).c_str());
-    for (const auto& row : rows) {
-      std::printf(" %8s",
-                  format_ratio(improvement(base, row.result)).c_str());
+  for (std::size_t si = 0; si < grid.scenarios.size(); ++si) {
+    const RunResult& base =
+        cells[SweepRunner::cell_index(grid, si, 0, 0)].result;
+    std::printf("%-16s", grid.scenarios[si].name.c_str());
+    for (std::size_t pi = 0; pi < grid.policies.size(); ++pi) {
+      const RunResult& r =
+          cells[SweepRunner::cell_index(grid, si, pi, 0)].result;
+      std::printf(" %8s", format_ratio(improvement(base, r)).c_str());
     }
     std::printf("\n");
   }

@@ -1,15 +1,18 @@
-// Plugging a custom policy into the resource manager.
+// Plugging a custom policy into the resource manager — without touching
+// core.
 //
 // The Scheduler interface (src/scheduler/scheduler.h) is the extension
-// point: implement assign() (and optionally the notification hooks) and the
-// coordinator drives your policy exactly like the built-ins. This example
-// implements a two-class priority policy — "interactive" jobs (small
-// per-round demand) always preempt "batch" jobs — and compares it against
+// point, and the PolicyRegistry is the plug: implement assign(), register a
+// factory under a name from your own translation unit, and every consumer
+// of the public API — the ExperimentBuilder, the SweepRunner, venn_sim_cli —
+// can run your policy by name. This example implements a two-class priority
+// policy — "interactive" jobs (small per-round demand) always preempt
+// "batch" jobs — registers it as "priority-class", and compares it against
 // Venn and Random on the same trace.
 #include <cstdio>
 #include <memory>
 
-#include "core/experiment.h"
+#include "venn/venn.h"
 
 using namespace venn;
 
@@ -46,26 +49,25 @@ class PriorityClassScheduler final : public Scheduler {
   int threshold_;
 };
 
+// Self-registration: "priority-class" is available before main() runs. The
+// demand threshold arrives as a free-form parameter
+// (`param.interactive-demand-max=...` in key=value form).
+const PolicyRegistration kPriorityClassRegistration{
+    "priority-class", [](const PolicyParams& params, std::uint64_t) {
+      return std::make_unique<PriorityClassScheduler>(
+          static_cast<int>(params.integer("interactive-demand-max", 20)));
+    }};
+
 }  // namespace
 
 int main() {
-  ExperimentConfig cfg;
-  cfg.seed = 5;
-  cfg.num_devices = 5000;
-  cfg.num_jobs = 20;
-  const ExperimentInputs inputs = build_inputs(cfg);
+  const auto ex =
+      ExperimentBuilder().seed(5).devices(5000).jobs(20).build();
 
-  // Run the custom policy through the same coordinator the built-ins use.
-  sim::Engine engine(cfg.seed);
-  ResourceManager manager(std::make_unique<PriorityClassScheduler>(20));
-  CoordinatorConfig ccfg;
-  ccfg.horizon = cfg.horizon;
-  Coordinator coord(engine, manager, inputs.devices, inputs.jobs, ccfg);
-  coord.run();
-  const RunResult custom = collect_results(coord, "PriorityClass");
-
-  const RunResult random = run_with_inputs(cfg, Policy::kRandom, inputs);
-  const RunResult venn = run_with_inputs(cfg, Policy::kVenn, inputs);
+  // Run the custom policy through the same path as the built-ins.
+  const RunResult custom = ex.run("priority-class");
+  const RunResult random = ex.run("random");
+  const RunResult venn = ex.run("venn");
 
   std::printf("%-16s %12s %10s\n", "policy", "avg JCT", "vs Random");
   for (const RunResult* r : {&random, &custom, &venn}) {

@@ -9,28 +9,26 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "core/experiment.h"
+#include "venn/venn.h"
 
 using namespace venn;
 
 int main() {
-  ExperimentConfig cfg;
-  cfg.seed = 21;
-  cfg.num_devices = 6000;
-  cfg.num_jobs = 30;
   // A demand mix with a heavy tail: a few jobs 10x the median.
-  cfg.job_trace.min_rounds = 2;
-  cfg.job_trace.max_rounds = 50;
-  cfg.job_trace.min_demand = 8;
-  cfg.job_trace.max_demand = 120;
-  const ExperimentInputs inputs = build_inputs(cfg);
+  const auto ex = ExperimentBuilder()
+                      .seed(21)
+                      .devices(6000)
+                      .jobs(30)
+                      .rounds(2, 50)
+                      .demand(8, 120)
+                      .build();
 
   std::printf("%-8s %12s %16s %18s\n", "epsilon", "avg JCT", "largest-job JCT",
               "meet fair share");
   for (double eps : {0.0, 0.25, 0.5, 1.0, 2.0, 4.0}) {
-    ExperimentConfig c = cfg;
-    c.venn.epsilon = eps;
-    const RunResult r = run_with_inputs(c, Policy::kVenn, inputs);
+    PolicySpec venn_spec("venn");
+    venn_spec.params.venn.epsilon = eps;
+    const RunResult r = ex.run(venn_spec);
 
     // Find the job with the largest total demand.
     const JobResult* largest = &r.jobs.front();

@@ -4,11 +4,12 @@
 // serve. Random matching and SRSF waste the scarce Emoji-eligible devices
 // on the Keyboard job; Venn's IRS reserves them.
 //
-// This example builds jobs explicitly (no workload sampler) to show the
-// lower-level API: trace::JobSpec -> Coordinator.
+// This example builds devices and jobs explicitly (no workload sampler) to
+// show the lower-level API: explicit inputs slot into the builder via
+// use_devices / use_jobs, and policies still run by registry name.
 #include <cstdio>
 
-#include "core/experiment.h"
+#include "venn/venn.h"
 
 using namespace venn;
 
@@ -39,15 +40,6 @@ std::vector<trace::JobSpec> build_jobs() {
   return jobs;
 }
 
-RunResult run(Policy policy, const std::vector<Device>& devices,
-              const std::vector<trace::JobSpec>& jobs) {
-  sim::Engine engine(99);
-  ResourceManager manager(make_scheduler(policy, VennConfig{}, 17));
-  Coordinator coord(engine, manager, devices, jobs, {});
-  coord.run();
-  return collect_results(coord, policy_name(policy));
-}
-
 }  // namespace
 
 int main() {
@@ -62,12 +54,18 @@ int main() {
     devices.emplace_back(DeviceId(i), trace::sample_spec(hw, rng),
                          trace::generate_sessions(avail, rng));
   }
-  const auto jobs = build_jobs();
+
+  const auto ex = ExperimentBuilder()
+                      .seed(99)
+                      .horizon(28 * kDay)
+                      .use_devices(std::move(devices))
+                      .use_jobs(build_jobs())
+                      .build();
 
   std::printf("%-8s %14s %20s %20s\n", "policy", "avg JCT", "Keyboard JCT",
               "avg Emoji JCT");
-  for (Policy p : {Policy::kRandom, Policy::kSrsf, Policy::kVenn}) {
-    const RunResult r = run(p, devices, jobs);
+  for (const char* policy : {"random", "srsf", "venn"}) {
+    const RunResult r = ex.run(policy);
     const double keyboard = r.jobs.front().jct;
     double emoji = 0.0;
     for (std::size_t i = 1; i < r.jobs.size(); ++i) emoji += r.jobs[i].jct;

@@ -2,38 +2,31 @@
 // population with Venn and print each job's completion time.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/quickstart
 //
-// This walks the whole public API surface end to end:
-//   1. generate a device population (hardware mixture + diurnal sessions),
-//   2. describe CL jobs (rounds, per-round demand, resource requirement),
-//   3. run them through the event-driven coordinator with the Venn policy,
+// This walks the public venn/venn.h surface end to end:
+//   1. describe the scenario (population + workload) with the builder,
+//   2. build it once — inputs derive deterministically from the seed,
+//   3. run any registered policy against the same trace,
 //   4. read back per-job and aggregate metrics.
 #include <cstdio>
 
-#include "core/experiment.h"
+#include "venn/venn.h"
 
 using namespace venn;
 
 int main() {
-  // 1 + 2. The experiment config bundles population and workload generation;
-  // everything derives deterministically from the seed.
-  ExperimentConfig cfg;
-  cfg.seed = 7;
-  cfg.num_devices = 3000;
-  cfg.num_jobs = 8;
-  cfg.job_trace.min_rounds = 3;
-  cfg.job_trace.max_rounds = 10;
-  cfg.job_trace.min_demand = 5;
-  cfg.job_trace.max_demand = 40;
+  const auto ex = ExperimentBuilder()
+                      .seed(7)
+                      .devices(3000)
+                      .jobs(8)
+                      .rounds(3, 10)
+                      .demand(5, 40)
+                      .build();
+  const RunResult venn = ex.run("venn");
+  const RunResult random = ex.run("random");
 
-  // 3. One call per policy; inputs are shared so comparisons are paired.
-  const ExperimentInputs inputs = build_inputs(cfg);
-  const RunResult venn = run_with_inputs(cfg, Policy::kVenn, inputs);
-  const RunResult random = run_with_inputs(cfg, Policy::kRandom, inputs);
-
-  // 4. Metrics.
   std::printf("job  category       rounds demand     JCT (Venn)\n");
   for (const auto& j : venn.jobs) {
     std::printf("%-4lld %-14s %6d %6d %11.0f s\n",

@@ -1,94 +1,37 @@
 // venn_sim_cli — command-line experiment runner.
 //
 // Runs one simulated CL workload through a chosen policy and prints the full
-// metric set. Useful for sweeping configurations without writing code:
+// metric set. Every flag is a `key=value` override applied to the
+// ScenarioSpec / PolicySpec parsers (the same path benches and code use), so
+// sweeping configurations needs no code:
 //
 //   venn_sim_cli --policy=venn --jobs=50 --devices=7000 --workload=even
 //                --seed=42 --epsilon=0 --tiers=3 [--bias=compute]
-//                [--compare] [--breakdown]
+//                [--compare] [--breakdown] [--timeline] [--list-policies]
 //
-//   --policy     random | fifo | srsf | venn | venn-nosched | venn-nomatch
-//   --workload   even | small | large | low | high
-//   --bias       general | compute | memory | resource   (§5.4 mixtures)
-//   --compare    additionally run all baselines on the same trace
-//   --breakdown  per-category and per-size JCT breakdowns
+//   scenario keys   seed, devices, jobs, workload (even|small|large|low|
+//                   high), bias (none|general|compute|memory|resource),
+//                   horizon-days, min-rounds, max-rounds, min-demand,
+//                   max-demand, interarrival-min, base-trace, task-s, task-cv
+//   policy keys     policy (any registered name), epsilon, tiers,
+//                   supply-window-h, tail-pct, ewma-alpha, order-total,
+//                   param.<key> (free-form, for external policies)
+//   --compare       additionally run all baselines on the same trace
+//   --breakdown     per-category JCT breakdowns
+//   --timeline      daily assignment rate from the TimeSeriesRecorder
+//   --list-policies print the registry contents and exit
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <map>
 #include <string>
+#include <vector>
 
-#include "core/experiment.h"
+#include "venn/venn.h"
 
 using namespace venn;
 
 namespace {
-
-struct Flags {
-  std::map<std::string, std::string> kv;
-
-  static Flags parse(int argc, char** argv) {
-    Flags f;
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) {
-        std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
-        std::exit(2);
-      }
-      const auto eq = arg.find('=');
-      if (eq == std::string::npos) {
-        f.kv[arg.substr(2)] = "1";  // boolean flag
-      } else {
-        f.kv[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-      }
-    }
-    return f;
-  }
-
-  std::string str(const std::string& key, const std::string& def) const {
-    auto it = kv.find(key);
-    return it == kv.end() ? def : it->second;
-  }
-  long num(const std::string& key, long def) const {
-    auto it = kv.find(key);
-    return it == kv.end() ? def : std::atol(it->second.c_str());
-  }
-  double real(const std::string& key, double def) const {
-    auto it = kv.find(key);
-    return it == kv.end() ? def : std::atof(it->second.c_str());
-  }
-  bool has(const std::string& key) const { return kv.contains(key); }
-};
-
-Policy parse_policy(const std::string& s) {
-  if (s == "random") return Policy::kRandom;
-  if (s == "fifo") return Policy::kFifo;
-  if (s == "srsf") return Policy::kSrsf;
-  if (s == "venn") return Policy::kVenn;
-  if (s == "venn-nosched") return Policy::kVennNoSched;
-  if (s == "venn-nomatch") return Policy::kVennNoMatch;
-  std::fprintf(stderr, "unknown --policy=%s\n", s.c_str());
-  std::exit(2);
-}
-
-trace::Workload parse_workload(const std::string& s) {
-  if (s == "even") return trace::Workload::kEven;
-  if (s == "small") return trace::Workload::kSmall;
-  if (s == "large") return trace::Workload::kLarge;
-  if (s == "low") return trace::Workload::kLow;
-  if (s == "high") return trace::Workload::kHigh;
-  std::fprintf(stderr, "unknown --workload=%s\n", s.c_str());
-  std::exit(2);
-}
-
-trace::BiasedWorkload parse_bias(const std::string& s) {
-  if (s == "general") return trace::BiasedWorkload::kGeneral;
-  if (s == "compute") return trace::BiasedWorkload::kComputeHeavy;
-  if (s == "memory") return trace::BiasedWorkload::kMemoryHeavy;
-  if (s == "resource") return trace::BiasedWorkload::kResourceHeavy;
-  std::fprintf(stderr, "unknown --bias=%s\n", s.c_str());
-  std::exit(2);
-}
 
 void print_run(const RunResult& r) {
   std::printf("%-16s avg JCT %10.0f s   finished %zu/%zu   aborts %d\n",
@@ -124,42 +67,84 @@ void print_breakdown(const RunResult& r) {
   }
 }
 
+void print_timeline(const TimeSeriesRecorder& recorder, SimTime horizon) {
+  std::printf("  assignments per day (TimeSeriesRecorder):\n");
+  for (SimTime t = kDay; t <= horizon; t += kDay) {
+    const double rate = recorder.assignment_rate(t, kDay);
+    const auto per_day = static_cast<long long>(rate * kDay + 0.5);
+    if (per_day == 0) continue;
+    std::printf("    day %2.0f  %6lld  %s\n", t / kDay, per_day,
+                std::string(static_cast<std::size_t>(
+                                std::min(per_day / 20LL, 60LL)),
+                            '#')
+                    .c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Flags flags = Flags::parse(argc, argv);
-  if (flags.has("help")) {
-    std::printf("see the header comment of examples/venn_sim_cli.cpp\n");
-    return 0;
+  ExperimentBuilder builder;
+  bool compare = false, breakdown = false, timeline = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      std::printf("see the header comment of examples/venn_sim_cli.cpp\n");
+      return 0;
+    }
+    if (arg == "--list-policies") {
+      for (const auto& name : PolicyRegistry::instance().names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--compare") { compare = true; continue; }
+    if (arg == "--breakdown") { breakdown = true; continue; }
+    if (arg == "--timeline") { timeline = true; continue; }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
+      return 2;
+    }
+    try {
+      builder.override_kv(arg.substr(2));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
   }
 
-  ExperimentConfig cfg;
-  cfg.seed = static_cast<std::uint64_t>(flags.num("seed", 42));
-  cfg.num_devices = static_cast<std::size_t>(flags.num("devices", 7000));
-  cfg.num_jobs = static_cast<std::size_t>(flags.num("jobs", 50));
-  cfg.workload = parse_workload(flags.str("workload", "even"));
-  if (flags.has("bias")) cfg.bias = parse_bias(flags.str("bias", ""));
-  cfg.venn.epsilon = flags.real("epsilon", 0.0);
-  cfg.venn.num_tiers = static_cast<std::size_t>(flags.num("tiers", 3));
+  // The recorder resets at each run start, so the timeline must be printed
+  // after the main run and before any comparison runs.
+  TimeSeriesRecorder recorder;
+  if (timeline) builder.observe(recorder);
 
-  const Policy policy = parse_policy(flags.str("policy", "venn"));
-  const ExperimentInputs inputs = build_inputs(cfg);
-
-  const RunResult main_run = run_with_inputs(cfg, policy, inputs);
-  print_run(main_run);
-  if (flags.has("breakdown")) print_breakdown(main_run);
-
-  if (flags.has("compare")) {
-    std::printf("\ncomparison on the same trace:\n");
-    const RunResult base = run_with_inputs(cfg, Policy::kRandom, inputs);
-    for (Policy p : {Policy::kRandom, Policy::kFifo, Policy::kSrsf,
-                     Policy::kVenn}) {
-      const RunResult r =
-          (p == Policy::kRandom) ? base : run_with_inputs(cfg, p, inputs);
-      std::printf("  %-8s %10.0f s   %s vs random\n", r.scheduler.c_str(),
-                  r.avg_jct(), format_ratio(improvement(base, r)).c_str());
-      if (flags.has("breakdown")) print_breakdown(r);
+  try {
+    const auto ex = builder.build();
+    const RunResult main_run = ex.run(builder.current_policy());
+    print_run(main_run);
+    if (breakdown) print_breakdown(main_run);
+    if (timeline) {
+      print_timeline(recorder, builder.current_scenario().horizon);
     }
+
+    if (compare) {
+      std::printf("\ncomparison on the same trace:\n");
+      const RunResult base = ex.run("random");
+      for (const char* name : {"random", "fifo", "srsf", "venn"}) {
+        // Baselines keep the user's policy knobs (epsilon, tiers, ...) so
+        // the comparison matches the main run's configuration.
+        const PolicySpec spec{name, builder.current_policy().params};
+        const RunResult r =
+            (std::strcmp(name, "random") == 0) ? base : ex.run(spec);
+        std::printf("  %-8s %10.0f s   %s vs random\n", r.scheduler.c_str(),
+                    r.avg_jct(), format_ratio(improvement(base, r)).c_str());
+        if (breakdown) print_breakdown(r);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
   return 0;
 }

@@ -1,0 +1,62 @@
+// venn/venn.h — the single public include of the Venn CL resource manager.
+//
+// The paper's system (conf_mlsys_Liu000C25) is a standalone resource manager
+// for collaborative learning: jobs submit per-round resource requests,
+// heterogeneous end devices check in as they become available, and a
+// pluggable scheduling policy decides which job gets each device. This
+// header exports the scenario-driven public API:
+//
+//   PolicyRegistry / PolicyRegistration  — open, string-keyed policy
+//       factories ("random", "fifo", "srsf", "venn", "venn-nosched",
+//       "venn-nomatch" built in; register your own without touching core).
+//   ScenarioSpec / PolicySpec            — declarative experiment
+//       descriptions with `key=value` override parsing.
+//   ExperimentBuilder / Experiment       — the one construction path: build
+//       inputs once, run any number of policies against the same trace.
+//   RunObserver (+ AssignmentMatrixObserver, TimeSeriesRecorder)
+//                                        — composable run instrumentation.
+//   SweepRunner                          — a (scenario × policy × seed)
+//       grid on a thread pool with deterministic per-cell seeding.
+//
+// Quickstart:
+//
+//   #include "venn/venn.h"
+//   int main() {
+//     const auto ex = venn::ExperimentBuilder()
+//                         .seed(7).devices(3000).jobs(8).build();
+//     const venn::RunResult venn_run = ex.run("venn");
+//     const venn::RunResult random_run = ex.run("random");
+//     std::printf("Venn %.0f s vs Random %.0f s\n", venn_run.avg_jct(),
+//                 random_run.avg_jct());
+//   }
+//
+// The legacy `Policy` enum entry points (core/experiment.h) remain
+// available behind this include for one release, marked deprecated.
+#pragma once
+
+#include "api/builder.h"
+#include "api/observers.h"
+#include "api/registry.h"
+#include "api/scenario.h"
+#include "api/sweep.h"
+#include "core/experiment.h"
+#include "core/metrics.h"
+#include "core/observer.h"
+#include "util/stats.h"
+
+namespace venn {
+
+// The api types are part of the top-level venn:: surface.
+using api::Experiment;
+using api::ExperimentBuilder;
+using api::PolicyParams;
+using api::PolicyRegistration;
+using api::PolicyRegistry;
+using api::PolicySpec;
+using api::ScenarioSpec;
+using api::SweepCell;
+using api::SweepRunner;
+using api::SweepSpec;
+using api::TimeSeriesRecorder;
+
+}  // namespace venn

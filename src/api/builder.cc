@@ -1,0 +1,183 @@
+#include "api/builder.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/engine.h"
+
+namespace venn::api {
+
+namespace {
+
+// ScenarioSpec carries the same world-description fields as the legacy
+// ExperimentConfig; input generation reuses the core builder so traces stay
+// byte-identical across the old and new entry points.
+ExperimentConfig to_config(const ScenarioSpec& s) {
+  ExperimentConfig cfg;
+  cfg.seed = s.seed;
+  cfg.num_devices = s.num_devices;
+  cfg.availability = s.availability;
+  cfg.hardware = s.hardware;
+  cfg.num_jobs = s.num_jobs;
+  cfg.workload = s.workload;
+  cfg.bias = s.bias;
+  cfg.job_trace = s.job_trace;
+  cfg.horizon = s.horizon;
+  return cfg;
+}
+
+}  // namespace
+
+ExperimentInputs build_inputs(const ScenarioSpec& scenario) {
+  return venn::build_inputs(to_config(scenario));
+}
+
+Experiment::Experiment(ScenarioSpec scenario, ExperimentInputs inputs,
+                       std::vector<RunObserver*> observers)
+    : scenario_(std::move(scenario)),
+      inputs_(std::move(inputs)),
+      observers_(std::move(observers)) {}
+
+std::uint64_t Experiment::stream_seed(std::string_view tag) const {
+  return Rng::derive(scenario_.seed, tag);
+}
+
+RunResult Experiment::run(const PolicySpec& policy) const {
+  return run_with(PolicyRegistry::instance().create(
+      policy.name, policy.params, stream_seed("scheduler")));
+}
+
+RunResult Experiment::run_with(std::unique_ptr<Scheduler> scheduler,
+                               std::string label) const {
+  if (!scheduler) {
+    throw std::invalid_argument("run_with: scheduler must not be null");
+  }
+  if (label.empty()) label = scheduler->name();
+
+  sim::Engine engine(stream_seed("engine"));
+  ResourceManager manager(std::move(scheduler));
+  AssignmentMatrixObserver matrix;
+  manager.add_observer(&matrix);
+  for (RunObserver* obs : observers_) {
+    obs->on_run_start();
+    manager.add_observer(obs);
+  }
+
+  CoordinatorConfig ccfg;
+  ccfg.horizon = scenario_.horizon;
+  Coordinator coord(engine, manager, inputs_.devices, inputs_.jobs, ccfg);
+  coord.run();
+
+  RunResult result = collect_results(coord, label);
+  result.assignment_matrix = matrix.matrix();
+  return result;
+}
+
+ExperimentBuilder& ExperimentBuilder::scenario(ScenarioSpec s) {
+  scenario_ = std::move(s);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::policy(PolicySpec p) {
+  policy_ = std::move(p);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::name(std::string v) {
+  scenario_.name = std::move(v);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::seed(std::uint64_t v) {
+  scenario_.seed = v;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::devices(std::size_t n) {
+  scenario_.num_devices = n;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::jobs(std::size_t n) {
+  scenario_.num_jobs = n;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::workload(trace::Workload w) {
+  scenario_.workload = w;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::bias(trace::BiasedWorkload b) {
+  scenario_.bias = b;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::horizon(SimTime t) {
+  scenario_.horizon = t;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::rounds(int min, int max) {
+  scenario_.job_trace.min_rounds = min;
+  scenario_.job_trace.max_rounds = max;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::demand(int min, int max) {
+  scenario_.job_trace.min_demand = min;
+  scenario_.job_trace.max_demand = max;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::interarrival(SimTime mean) {
+  scenario_.job_trace.mean_interarrival = mean;
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::set(const std::string& key,
+                                          const std::string& value) {
+  if (!scenario_.try_set(key, value) && !policy_.try_set(key, value)) {
+    throw std::invalid_argument("unknown experiment key \"" + key + "\"");
+  }
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::override_kv(const std::string& token) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw std::invalid_argument("override must be key=value, got \"" + token +
+                                "\"");
+  }
+  return set(token.substr(0, eq), token.substr(eq + 1));
+}
+
+ExperimentBuilder& ExperimentBuilder::use_devices(std::vector<Device> devices) {
+  devices_override_ = std::move(devices);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::use_jobs(
+    std::vector<trace::JobSpec> jobs) {
+  jobs_override_ = std::move(jobs);
+  return *this;
+}
+
+ExperimentBuilder& ExperimentBuilder::observe(RunObserver& obs) {
+  observers_.push_back(&obs);
+  return *this;
+}
+
+Experiment ExperimentBuilder::build() const {
+  ExperimentInputs inputs;
+  if (!devices_override_ || !jobs_override_) {
+    inputs = build_inputs(scenario_);
+  }
+  if (devices_override_) inputs.devices = *devices_override_;
+  if (jobs_override_) inputs.jobs = *jobs_override_;
+  return Experiment(scenario_, std::move(inputs), observers_);
+}
+
+RunResult ExperimentBuilder::run() const { return build().run(policy_); }
+
+}  // namespace venn::api

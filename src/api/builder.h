@@ -1,0 +1,111 @@
+// ExperimentBuilder / Experiment: the one construction path for runs.
+//
+// Every bench, example and the CLI builds experiments the same way:
+//
+//   const auto ex = venn::ExperimentBuilder().seed(7).devices(3000).jobs(8)
+//                       .build();               // generates inputs once
+//   const RunResult venn = ex.run("venn");      // policies share the trace
+//   const RunResult rnd  = ex.run("random");
+//
+// An Experiment is an immutable (scenario, generated inputs) pair; run()
+// instantiates a registered policy against it, installs the standard
+// observers plus any user-supplied ones, and collects results. Seed streams
+// are derived centrally (Rng::derive) so runs are reproducible and the
+// legacy shim produces byte-identical numbers.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/scenario.h"
+#include "core/experiment.h"
+#include "core/metrics.h"
+#include "core/observer.h"
+
+namespace venn::api {
+
+// Input generation for a scenario (trace depends only on the seed — never
+// on the policy).
+[[nodiscard]] ExperimentInputs build_inputs(const ScenarioSpec& scenario);
+
+class Experiment {
+ public:
+  Experiment(ScenarioSpec scenario, ExperimentInputs inputs,
+             std::vector<RunObserver*> observers = {});
+
+  [[nodiscard]] const ScenarioSpec& scenario() const { return scenario_; }
+  [[nodiscard]] const ExperimentInputs& inputs() const { return inputs_; }
+
+  // The named seed stream for this experiment (engine, scheduler, ...).
+  [[nodiscard]] std::uint64_t stream_seed(std::string_view tag) const;
+
+  // Runs a registered policy against the shared inputs.
+  [[nodiscard]] RunResult run(const PolicySpec& policy) const;
+
+  // Runs an externally constructed scheduler (e.g. to keep a handle on it
+  // for introspection, or a policy variant no factory exposes). `label`
+  // defaults to the scheduler's name().
+  [[nodiscard]] RunResult run_with(std::unique_ptr<Scheduler> scheduler,
+                                   std::string label = {}) const;
+
+ private:
+  ScenarioSpec scenario_;
+  ExperimentInputs inputs_;
+  std::vector<RunObserver*> observers_;
+};
+
+class ExperimentBuilder {
+ public:
+  // Wholesale scenario / policy assignment.
+  ExperimentBuilder& scenario(ScenarioSpec s);
+  ExperimentBuilder& policy(PolicySpec p);  // default policy for run()
+
+  // Fluent scenario shortcuts.
+  ExperimentBuilder& name(std::string v);
+  ExperimentBuilder& seed(std::uint64_t v);
+  ExperimentBuilder& devices(std::size_t n);
+  ExperimentBuilder& jobs(std::size_t n);
+  ExperimentBuilder& workload(trace::Workload w);
+  ExperimentBuilder& bias(trace::BiasedWorkload b);
+  ExperimentBuilder& horizon(SimTime t);
+  ExperimentBuilder& rounds(int min, int max);
+  ExperimentBuilder& demand(int min, int max);
+  ExperimentBuilder& interarrival(SimTime mean);
+
+  // `key=value` overrides: tries scenario keys, then policy keys; throws
+  // std::invalid_argument on unknown keys or bad values.
+  ExperimentBuilder& set(const std::string& key, const std::string& value);
+  ExperimentBuilder& override_kv(const std::string& token);  // "key=value"
+
+  // Replaces the generated population / workload with explicit inputs
+  // (lower-level scenarios like the Fig. 3 toy example).
+  ExperimentBuilder& use_devices(std::vector<Device> devices);
+  ExperimentBuilder& use_jobs(std::vector<trace::JobSpec> jobs);
+
+  // Subscribes an observer to every run of the built experiment. The caller
+  // keeps ownership; the observer must outlive the runs.
+  ExperimentBuilder& observe(RunObserver& obs);
+
+  // Generates inputs (unless overridden) and freezes the experiment.
+  [[nodiscard]] Experiment build() const;
+
+  // build() + run the default policy (set via policy()/"policy=" override).
+  [[nodiscard]] RunResult run() const;
+
+  [[nodiscard]] const ScenarioSpec& current_scenario() const {
+    return scenario_;
+  }
+  [[nodiscard]] const PolicySpec& current_policy() const { return policy_; }
+
+ private:
+  ScenarioSpec scenario_;
+  PolicySpec policy_;
+  std::optional<std::vector<Device>> devices_override_;
+  std::optional<std::vector<trace::JobSpec>> jobs_override_;
+  std::vector<RunObserver*> observers_;
+};
+
+}  // namespace venn::api

@@ -1,0 +1,119 @@
+#include "api/registry.h"
+
+#include <stdexcept>
+
+#include "api/parse.h"
+#include "scheduler/fifo_sched.h"
+#include "scheduler/random_sched.h"
+#include "scheduler/srsf_sched.h"
+
+namespace venn::api {
+
+std::string PolicyParams::str(const std::string& key,
+                              const std::string& def) const {
+  auto it = extra.find(key);
+  return it == extra.end() ? def : it->second;
+}
+
+long PolicyParams::integer(const std::string& key, long def) const {
+  auto it = extra.find(key);
+  if (it == extra.end()) return def;
+  return internal::parse_long("param." + key, it->second);
+}
+
+double PolicyParams::real(const std::string& key, double def) const {
+  auto it = extra.find(key);
+  if (it == extra.end()) return def;
+  return internal::parse_double("param." + key, it->second);
+}
+
+namespace {
+
+std::unique_ptr<Scheduler> make_venn(VennConfig cfg, bool scheduling,
+                                     bool matching, std::uint64_t seed) {
+  cfg.enable_scheduling = scheduling;
+  cfg.enable_matching = matching;
+  return std::make_unique<VennScheduler>(cfg, Rng(seed));
+}
+
+void register_builtins(PolicyRegistry& reg) {
+  reg.register_policy(
+      "random", [](const PolicyParams&, std::uint64_t seed) {
+        return std::make_unique<RandomScheduler>(Rng(seed));
+      });
+  reg.register_policy("fifo", [](const PolicyParams&, std::uint64_t) {
+    return std::make_unique<FifoScheduler>();
+  });
+  reg.register_policy("srsf", [](const PolicyParams&, std::uint64_t) {
+    return std::make_unique<SrsfScheduler>();
+  });
+  reg.register_policy("venn", [](const PolicyParams& p, std::uint64_t seed) {
+    return make_venn(p.venn, true, true, seed);
+  });
+  reg.register_policy(
+      "venn-nosched", [](const PolicyParams& p, std::uint64_t seed) {
+        return make_venn(p.venn, false, true, seed);
+      });
+  reg.register_policy(
+      "venn-nomatch", [](const PolicyParams& p, std::uint64_t seed) {
+        return make_venn(p.venn, true, false, seed);
+      });
+}
+
+}  // namespace
+
+PolicyRegistry& PolicyRegistry::instance() {
+  // Leaked singleton, bootstrapped with the built-ins on first use so that
+  // namespace-scope PolicyRegistration objects in other translation units
+  // see a fully initialized registry regardless of static-init order.
+  static PolicyRegistry* reg = [] {
+    auto* r = new PolicyRegistry;
+    register_builtins(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+void PolicyRegistry::register_policy(std::string name, Factory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("register_policy: empty policy name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("register_policy: null factory for " + name);
+  }
+  const auto [it, inserted] =
+      factories_.emplace(std::move(name), std::move(factory));
+  if (!inserted) {
+    throw std::invalid_argument("register_policy: duplicate policy name \"" +
+                                it->first + "\"");
+  }
+}
+
+bool PolicyRegistry::contains(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+std::unique_ptr<Scheduler> PolicyRegistry::create(const std::string& name,
+                                                  const PolicyParams& params,
+                                                  std::uint64_t seed) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string msg = "unknown policy \"" + name + "\"; registered:";
+    for (const auto& [known, _] : factories_) msg += " " + known;
+    throw std::invalid_argument(msg);
+  }
+  auto sched = it->second(params, seed);
+  if (!sched) {
+    throw std::logic_error("policy factory \"" + name + "\" returned null");
+  }
+  return sched;
+}
+
+std::vector<std::string> PolicyRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+}  // namespace venn::api

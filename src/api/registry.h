@@ -1,0 +1,85 @@
+// PolicyRegistry: the open, string-keyed scheduling-policy extension point.
+//
+// The paper positions Venn as "a standalone CL resource manager that
+// operates at a layer above all CL jobs" with pluggable scheduling policies
+// (§3-§4). This registry is the plug: policies are factories keyed by name,
+// the six built-ins ("random", "fifo", "srsf", "venn", "venn-nosched",
+// "venn-nomatch") are registered at startup, and third-party policies
+// self-register from their own translation unit without touching core:
+//
+//   const venn::PolicyRegistration kMine{
+//       "priority-class", [](const venn::PolicyParams& p, std::uint64_t) {
+//         return std::make_unique<PriorityClassScheduler>(
+//             static_cast<int>(p.integer("interactive-demand-max", 20)));
+//       }};
+//
+// Any registered name then works everywhere a policy is named: the
+// ExperimentBuilder, the SweepRunner, venn_sim_cli and the benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scheduler/scheduler.h"
+#include "scheduler/venn_sched.h"
+
+namespace venn::api {
+
+// Knobs handed to a policy factory. The Venn family reads the typed
+// `venn` block; external policies read free-form `extra` key=value pairs
+// (populated from `param.<key>=<value>` overrides). The typed accessors
+// return `def` when the key is absent and throw std::invalid_argument when
+// a present value fails to parse — a typo'd knob must not silently coerce.
+struct PolicyParams {
+  VennConfig venn;
+  std::map<std::string, std::string> extra;
+
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& def) const;
+  [[nodiscard]] long integer(const std::string& key, long def) const;
+  [[nodiscard]] double real(const std::string& key, double def) const;
+};
+
+class PolicyRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Scheduler>(
+      const PolicyParams& params, std::uint64_t seed)>;
+
+  // The process-wide registry, with the built-in policies pre-registered.
+  [[nodiscard]] static PolicyRegistry& instance();
+
+  // Registers a factory under `name`. Throws std::invalid_argument if the
+  // name is empty or already taken (duplicate registrations are a
+  // programming error, not a tie-break).
+  void register_policy(std::string name, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  // Instantiates the named policy. `seed` feeds the policy's private random
+  // stream. Throws std::invalid_argument for unknown names, listing the
+  // registered ones.
+  [[nodiscard]] std::unique_ptr<Scheduler> create(const std::string& name,
+                                                  const PolicyParams& params,
+                                                  std::uint64_t seed) const;
+
+  // Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+// RAII self-registration helper for external policies: declare one at
+// namespace scope and the policy is available before main() runs.
+struct PolicyRegistration {
+  PolicyRegistration(std::string name, PolicyRegistry::Factory factory) {
+    PolicyRegistry::instance().register_policy(std::move(name),
+                                               std::move(factory));
+  }
+};
+
+}  // namespace venn::api

@@ -1,0 +1,107 @@
+#include "api/scenario.h"
+
+#include <stdexcept>
+
+#include "api/parse.h"
+
+namespace venn::api {
+
+using internal::parse_double;
+using internal::parse_int;
+using internal::parse_long;
+using internal::parse_size;
+using internal::parse_u64;
+
+trace::Workload parse_workload(const std::string& s) {
+  if (s == "even") return trace::Workload::kEven;
+  if (s == "small") return trace::Workload::kSmall;
+  if (s == "large") return trace::Workload::kLarge;
+  if (s == "low") return trace::Workload::kLow;
+  if (s == "high") return trace::Workload::kHigh;
+  throw std::invalid_argument(
+      "unknown workload \"" + s + "\" (even|small|large|low|high)");
+}
+
+std::optional<trace::BiasedWorkload> parse_bias(const std::string& s) {
+  if (s == "none") return std::nullopt;
+  if (s == "general") return trace::BiasedWorkload::kGeneral;
+  if (s == "compute") return trace::BiasedWorkload::kComputeHeavy;
+  if (s == "memory") return trace::BiasedWorkload::kMemoryHeavy;
+  if (s == "resource") return trace::BiasedWorkload::kResourceHeavy;
+  throw std::invalid_argument(
+      "unknown bias \"" + s + "\" (general|compute|memory|resource|none)");
+}
+
+bool ScenarioSpec::try_set(const std::string& key, const std::string& value) {
+  if (key == "name") {
+    name = value;
+  } else if (key == "seed") {
+    seed = parse_u64(key, value);
+  } else if (key == "devices") {
+    num_devices = parse_size(key, value);
+  } else if (key == "jobs") {
+    num_jobs = parse_size(key, value);
+  } else if (key == "workload") {
+    workload = parse_workload(value);
+  } else if (key == "bias") {
+    bias = parse_bias(value);
+  } else if (key == "horizon-days") {
+    horizon = parse_double(key, value) * kDay;
+  } else if (key == "min-rounds") {
+    job_trace.min_rounds = parse_int(key, value);
+  } else if (key == "max-rounds") {
+    job_trace.max_rounds = parse_int(key, value);
+  } else if (key == "min-demand") {
+    job_trace.min_demand = parse_int(key, value);
+  } else if (key == "max-demand") {
+    job_trace.max_demand = parse_int(key, value);
+  } else if (key == "interarrival-min") {
+    job_trace.mean_interarrival = parse_double(key, value) * kMinute;
+  } else if (key == "base-trace") {
+    job_trace.base_trace_size = parse_size(key, value);
+  } else if (key == "task-s") {
+    job_trace.nominal_task_s = parse_double(key, value);
+  } else if (key == "task-cv") {
+    job_trace.task_cv = parse_double(key, value);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void ScenarioSpec::set(const std::string& key, const std::string& value) {
+  if (!try_set(key, value)) {
+    throw std::invalid_argument("unknown scenario key \"" + key + "\"");
+  }
+}
+
+bool PolicySpec::try_set(const std::string& key, const std::string& value) {
+  if (key == "policy") {
+    name = value;
+  } else if (key == "epsilon") {
+    params.venn.epsilon = parse_double(key, value);
+  } else if (key == "tiers") {
+    params.venn.num_tiers = parse_size(key, value);
+  } else if (key == "supply-window-h") {
+    params.venn.supply_window = parse_double(key, value) * kHour;
+  } else if (key == "tail-pct") {
+    params.venn.tail_percentile = parse_double(key, value);
+  } else if (key == "ewma-alpha") {
+    params.venn.ewma_alpha = parse_double(key, value);
+  } else if (key == "order-total") {
+    params.venn.order_by_total_remaining = parse_long(key, value) != 0;
+  } else if (key.starts_with("param.")) {
+    params.extra[key.substr(6)] = value;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void PolicySpec::set(const std::string& key, const std::string& value) {
+  if (!try_set(key, value)) {
+    throw std::invalid_argument("unknown policy key \"" + key + "\"");
+  }
+}
+
+}  // namespace venn::api

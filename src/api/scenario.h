@@ -1,0 +1,91 @@
+// ScenarioSpec / PolicySpec: the declarative experiment description.
+//
+// A *scenario* is everything that defines the world a policy is dropped
+// into — device population, workload, bias, horizon, seed. A *policy spec*
+// names a registered policy plus its knobs. Keeping the two separate is
+// what makes sweeps well-formed: a (scenario × policy × seed) grid replays
+// the identical trace for every policy (the paper's paired-comparison
+// methodology, §5.1).
+//
+// Both specs parse `key=value` overrides, so the CLI, benches and config
+// files share one construction path:
+//
+//   ScenarioSpec sc;
+//   sc.set("jobs", "50");          // known keys are typed + validated
+//   PolicySpec pol;
+//   pol.set("policy", "venn");
+//   pol.set("epsilon", "2");       // Venn knob
+//   pol.set("param.threshold", "20");  // free-form, for external policies
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "api/registry.h"
+#include "trace/availability.h"
+#include "trace/hardware.h"
+#include "trace/job_trace.h"
+#include "util/ids.h"
+
+namespace venn::api {
+
+struct ScenarioSpec {
+  std::string name = "default";  // label for sweep reports
+  std::uint64_t seed = 42;
+
+  // Population. Calibrated so that the default 50-job workloads run at the
+  // paper's contention level (per-round scheduling delays of minutes to a
+  // few hours, Fig. 5).
+  std::size_t num_devices = 7000;
+  trace::AvailabilityConfig availability;
+  trace::HardwareConfig hardware;
+
+  // Workload.
+  std::size_t num_jobs = 50;
+  trace::Workload workload = trace::Workload::kEven;
+  std::optional<trace::BiasedWorkload> bias;
+  trace::JobTraceConfig job_trace;
+
+  // Simulation.
+  SimTime horizon = 28.0 * kDay;
+
+  // Applies one `key=value` override. Known keys: name, seed, devices,
+  // jobs, workload (even|small|large|low|high), bias
+  // (none|general|compute|memory|resource), horizon-days, min-rounds,
+  // max-rounds, min-demand, max-demand, interarrival-min, base-trace,
+  // task-s, task-cv. Returns false if the key is not a scenario key.
+  // Throws std::invalid_argument on a known key with a bad value.
+  bool try_set(const std::string& key, const std::string& value);
+
+  // As try_set, but an unknown key throws std::invalid_argument.
+  void set(const std::string& key, const std::string& value);
+};
+
+struct PolicySpec {
+  std::string name = "venn";  // a PolicyRegistry key
+  PolicyParams params;
+
+  PolicySpec() = default;
+  PolicySpec(std::string policy_name)  // NOLINT: implicit by design —
+      : name(std::move(policy_name)) {}  // lets {"random", "venn"} spell a grid
+  PolicySpec(const char* policy_name) : name(policy_name) {}  // NOLINT
+  PolicySpec(std::string policy_name, PolicyParams p)
+      : name(std::move(policy_name)), params(std::move(p)) {}
+
+  // Applies one `key=value` override. Known keys: policy, epsilon, tiers,
+  // supply-window-h, tail-pct, ewma-alpha, order-total (0|1), plus
+  // `param.<key>` which lands in params.extra for external policies.
+  // Returns false if the key is not a policy key; throws on bad values.
+  bool try_set(const std::string& key, const std::string& value);
+  void set(const std::string& key, const std::string& value);
+};
+
+// Workload / bias spellings shared by CLI flags and key=value overrides.
+// parse_bias maps "none" to nullopt (no bias); both throw
+// std::invalid_argument on unknown spellings.
+[[nodiscard]] trace::Workload parse_workload(const std::string& s);
+[[nodiscard]] std::optional<trace::BiasedWorkload> parse_bias(
+    const std::string& s);
+
+}  // namespace venn::api

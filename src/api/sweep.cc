@@ -1,0 +1,85 @@
+#include "api/sweep.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace venn::api {
+
+SweepRunner::SweepRunner(std::size_t num_threads) : num_threads_(num_threads) {
+  if (num_threads_ == 0) {
+    num_threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+std::size_t SweepRunner::cell_index(const SweepSpec& spec,
+                                    std::size_t scenario_idx,
+                                    std::size_t policy_idx,
+                                    std::size_t seed_idx) {
+  const std::size_t num_seeds = spec.seeds.empty() ? 1 : spec.seeds.size();
+  return (scenario_idx * spec.policies.size() + policy_idx) * num_seeds +
+         seed_idx;
+}
+
+std::vector<SweepCell> SweepRunner::run(const SweepSpec& spec) const {
+  if (spec.scenarios.empty() || spec.policies.empty()) {
+    throw std::invalid_argument("sweep needs >= 1 scenario and >= 1 policy");
+  }
+  const std::size_t num_seeds = spec.seeds.empty() ? 1 : spec.seeds.size();
+  std::vector<SweepCell> cells(spec.num_cells());
+  for (std::size_t si = 0; si < spec.scenarios.size(); ++si) {
+    for (std::size_t pi = 0; pi < spec.policies.size(); ++pi) {
+      for (std::size_t ki = 0; ki < num_seeds; ++ki) {
+        SweepCell& cell = cells[cell_index(spec, si, pi, ki)];
+        cell.scenario_index = si;
+        cell.policy_index = pi;
+        cell.seed_index = ki;
+        cell.seed =
+            spec.seeds.empty() ? spec.scenarios[si].seed : spec.seeds[ki];
+      }
+    }
+  }
+
+  // Each cell is self-contained (its own inputs, engine and scheduler), so
+  // work-stealing over an atomic cursor cannot perturb results — only the
+  // wall-clock. Inputs for the same (scenario, seed) are regenerated per
+  // cell rather than shared across threads; generation is deterministic, so
+  // policies still see identical traces.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= cells.size()) return;
+      SweepCell& cell = cells[i];
+      try {
+        ScenarioSpec scenario = spec.scenarios[cell.scenario_index];
+        scenario.seed = cell.seed;
+        const Experiment ex(scenario, build_inputs(scenario));
+        cell.result = ex.run(spec.policies[cell.policy_index]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  const std::size_t pool = std::min(num_threads_, cells.size());
+  if (pool <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return cells;
+}
+
+}  // namespace venn::api

@@ -1,0 +1,61 @@
+// SweepRunner: a (scenario × policy × seed) grid on a thread pool.
+//
+// Multi-policy benches used to run cells one by one; the sweep runner
+// executes the full grid concurrently while keeping the results
+// deterministic: every cell derives its seeds from (grid seed, stream tag)
+// via Rng::derive, builds its own inputs, and runs in isolation, so the
+// output is byte-identical whether the pool has 1 thread or N. Within one
+// (scenario, seed) pair every policy replays the identical trace (inputs
+// are a pure function of the scenario and seed), preserving the paper's
+// paired-comparison methodology.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "api/builder.h"
+#include "api/scenario.h"
+
+namespace venn::api {
+
+struct SweepSpec {
+  std::vector<ScenarioSpec> scenarios;
+  std::vector<PolicySpec> policies;
+  std::vector<std::uint64_t> seeds;  // one grid axis; cells reuse
+                                     // scenario.seed if this is empty
+
+  [[nodiscard]] std::size_t num_cells() const {
+    return scenarios.size() * policies.size() *
+           (seeds.empty() ? 1 : seeds.size());
+  }
+};
+
+struct SweepCell {
+  std::size_t scenario_index = 0;
+  std::size_t policy_index = 0;
+  std::size_t seed_index = 0;
+  std::uint64_t seed = 0;  // the scenario seed this cell ran with
+  RunResult result;
+};
+
+class SweepRunner {
+ public:
+  // `num_threads` = 0 picks std::thread::hardware_concurrency().
+  explicit SweepRunner(std::size_t num_threads = 0);
+
+  // Runs every cell; the returned vector is ordered scenario-major, then
+  // policy, then seed — independent of thread interleaving. Exceptions from
+  // a cell (e.g. an unknown policy name) are rethrown after the pool joins.
+  [[nodiscard]] std::vector<SweepCell> run(const SweepSpec& spec) const;
+
+  // Index of a cell in the run() output.
+  [[nodiscard]] static std::size_t cell_index(const SweepSpec& spec,
+                                              std::size_t scenario_idx,
+                                              std::size_t policy_idx,
+                                              std::size_t seed_idx);
+
+ private:
+  std::size_t num_threads_;
+};
+
+}  // namespace venn::api

@@ -154,18 +154,6 @@ void Coordinator::attempt_checkin(std::size_t dev_idx) {
              [this, dev_idx] { idle_pool_.erase(dev_idx); });
 }
 
-namespace {
-// Finest Fig. 8a region a device belongs to.
-int device_region(const DeviceSpec& s) {
-  const bool c = s.cpu_score >= kRichThreshold;
-  const bool m = s.mem_score >= kRichThreshold;
-  if (c && m) return static_cast<int>(ResourceCategory::kHighPerf);
-  if (c) return static_cast<int>(ResourceCategory::kComputeRich);
-  if (m) return static_cast<int>(ResourceCategory::kMemoryRich);
-  return static_cast<int>(ResourceCategory::kGeneral);
-}
-}  // namespace
-
 void Coordinator::handle_outcome(std::size_t dev_idx,
                                  const AssignOutcome& outcome) {
   Device& dev = devices_[dev_idx];
@@ -178,8 +166,6 @@ void Coordinator::handle_outcome(std::size_t dev_idx,
              [this, dev_idx] { attempt_checkin(dev_idx); });
 
   Job* job = by_id_.at(outcome.job);
-  ++assign_matrix_[device_region(dev.spec())]
-                  [static_cast<int>(job->spec().category)];
   const double exec = dev.sample_exec_time(job->spec().nominal_task_s,
                                            job->spec().task_cv,
                                            engine_.rng());

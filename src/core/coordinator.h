@@ -16,7 +16,6 @@
 // Each device participates in at most one job per day (§5.1 realism rule).
 #pragma once
 
-#include <array>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -55,14 +54,10 @@ class Coordinator {
   // Used for the §4.4 fairness bound and the Fig. 14b metric.
   [[nodiscard]] double solo_jct_estimate(const trace::JobSpec& spec) const;
 
-  // Assignment counts by (device region, job category): region is the finest
-  // eligibility region the device belongs to (Fig. 8a). Diagnostic for how
-  // each policy spends scarce devices.
-  [[nodiscard]] const std::array<std::array<std::int64_t, kNumCategories>,
-                                 kNumCategories>&
-  assignment_matrix() const {
-    return assign_matrix_;
-  }
+  // Assignment accounting (the Fig. 8a matrix) is no longer baked in here;
+  // install an AssignmentMatrixObserver (core/observer.h) on the
+  // ResourceManager instead — the api::Experiment run path does so
+  // automatically.
 
  private:
   void schedule_job_arrival(std::size_t job_idx);
@@ -95,8 +90,6 @@ class Coordinator {
   std::unordered_set<std::size_t> idle_pool_;  // device indices
   std::size_t unfinished_jobs_ = 0;
   double mean_exec_factor_ = 1.0;  // population mean of 1/speed
-  std::array<std::array<std::int64_t, kNumCategories>, kNumCategories>
-      assign_matrix_{};
 };
 
 }  // namespace venn

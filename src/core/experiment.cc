@@ -7,6 +7,12 @@
 #include "scheduler/srsf_sched.h"
 #include "sim/engine.h"
 
+// This file implements the deprecated Policy-enum shim in terms of itself;
+// silence the self-referential deprecation warnings.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 namespace venn {
 
 std::string policy_name(Policy p) {
@@ -85,13 +91,20 @@ std::unique_ptr<Scheduler> make_scheduler(Policy p, const VennConfig& venn,
 
 RunResult run_with_inputs(const ExperimentConfig& cfg, Policy p,
                           const ExperimentInputs& inputs) {
-  sim::Engine engine(cfg.seed ^ 0xC0FFEE);
-  ResourceManager manager(make_scheduler(p, cfg.venn, cfg.seed ^ 0xBEEF));
+  // Seed streams match api::Experiment::run so that the shim and the new
+  // API produce byte-identical results for equivalent configurations.
+  sim::Engine engine(Rng::derive(cfg.seed, "engine"));
+  ResourceManager manager(
+      make_scheduler(p, cfg.venn, Rng::derive(cfg.seed, "scheduler")));
+  AssignmentMatrixObserver matrix;
+  manager.add_observer(&matrix);
   CoordinatorConfig ccfg;
   ccfg.horizon = cfg.horizon;
   Coordinator coord(engine, manager, inputs.devices, inputs.jobs, ccfg);
   coord.run();
-  return collect_results(coord, policy_name(p));
+  RunResult result = collect_results(coord, policy_name(p));
+  result.assignment_matrix = matrix.matrix();
+  return result;
 }
 
 RunResult run_experiment(const ExperimentConfig& cfg, Policy p) {

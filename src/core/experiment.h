@@ -1,11 +1,16 @@
-// Experiment runner: one-call reproduction harness shared by all benches.
+// Experiment input generation + the legacy Policy-enum shim.
 //
-// Builds a device population (hardware mixture + diurnal availability), a
-// workload (base job trace + workload sampler + optional §5.4 bias), and
-// runs it through a chosen scheduling policy. The device/job traces depend
-// only on the seed — never on the policy — so cross-policy comparisons see
-// identical inputs (the paper's simulator replays the same traces for every
-// baseline).
+// Builds a device population (hardware mixture + diurnal availability) and a
+// workload (base job trace + workload sampler + optional §5.4 bias). The
+// device/job traces depend only on the seed — never on the policy — so
+// cross-policy comparisons see identical inputs (the paper's simulator
+// replays the same traces for every baseline).
+//
+// NOTE: the closed `Policy` enum, `make_scheduler` and the
+// `run_experiment` / `run_with_inputs` entry points below are DEPRECATED,
+// kept as thin shims for one release. New code uses the open,
+// string-keyed API behind `venn/venn.h`: PolicyRegistry +
+// ScenarioSpec/ExperimentBuilder (src/api/).
 #pragma once
 
 #include <memory>
@@ -20,6 +25,8 @@
 
 namespace venn {
 
+// DEPRECATED: closed policy enumeration. Use registry names instead
+// ("random", "fifo", "srsf", "venn", "venn-nosched", "venn-nomatch").
 enum class Policy {
   kRandom = 0,     // optimized random matching (normalization baseline)
   kFifo,
@@ -29,7 +36,8 @@ enum class Policy {
   kVennNoMatch,    // IRS only                   ("Venn w/o match", Fig. 11)
 };
 
-[[nodiscard]] std::string policy_name(Policy p);
+[[deprecated("use PolicyRegistry names (venn/venn.h)")]] [[nodiscard]]
+std::string policy_name(Policy p);
 
 struct ExperimentConfig {
   std::uint64_t seed = 42;
@@ -61,17 +69,23 @@ struct ExperimentInputs {
 };
 [[nodiscard]] ExperimentInputs build_inputs(const ExperimentConfig& cfg);
 
-// Constructs the scheduler for a policy. `sched_seed` feeds the policy's
-// private random stream.
-[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
-    Policy p, const VennConfig& venn, std::uint64_t sched_seed);
+// DEPRECATED: constructs the scheduler for an enum policy. `sched_seed`
+// feeds the policy's private random stream. Use
+// PolicyRegistry::instance().create(name, params, seed) instead.
+[[deprecated("use PolicyRegistry::create (venn/venn.h)")]] [[nodiscard]]
+std::unique_ptr<Scheduler> make_scheduler(Policy p, const VennConfig& venn,
+                                          std::uint64_t sched_seed);
 
-// End-to-end: build inputs, simulate, collect results.
-[[nodiscard]] RunResult run_experiment(const ExperimentConfig& cfg, Policy p);
+// DEPRECATED: end-to-end run via the enum policy. Use
+// api::ExperimentBuilder (venn/venn.h); results are byte-identical for the
+// equivalent scenario + policy name.
+[[deprecated("use api::ExperimentBuilder (venn/venn.h)")]] [[nodiscard]]
+RunResult run_experiment(const ExperimentConfig& cfg, Policy p);
 
-// As above but with inputs already built (saves regeneration when sweeping
-// policies on the same trace).
-[[nodiscard]] RunResult run_with_inputs(const ExperimentConfig& cfg, Policy p,
-                                        const ExperimentInputs& inputs);
+// DEPRECATED: as above but with inputs already built. Use
+// api::Experiment::run (venn/venn.h).
+[[deprecated("use api::Experiment::run (venn/venn.h)")]] [[nodiscard]]
+RunResult run_with_inputs(const ExperimentConfig& cfg, Policy p,
+                          const ExperimentInputs& inputs);
 
 }  // namespace venn

@@ -63,7 +63,6 @@ RunResult collect_results(const Coordinator& coord,
   RunResult out;
   out.scheduler = scheduler_name;
   out.horizon = coord.horizon();
-  out.assignment_matrix = coord.assignment_matrix();
   for (const auto& job : coord.jobs()) {
     JobResult jr;
     jr.id = job->id();

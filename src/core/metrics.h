@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/coordinator.h"
+#include "core/observer.h"
 #include "util/stats.h"
 
 namespace venn {
@@ -31,10 +32,9 @@ struct RunResult {
   std::string scheduler;
   SimTime horizon = 0.0;
   std::vector<JobResult> jobs;
-  // Assignments by (device region, job category) — see
-  // Coordinator::assignment_matrix().
-  std::array<std::array<std::int64_t, kNumCategories>, kNumCategories>
-      assignment_matrix{};
+  // Assignments by (device region, job category), filled from an
+  // AssignmentMatrixObserver by the run path (zero if none was installed).
+  AssignmentMatrix assignment_matrix{};
 
   [[nodiscard]] double avg_jct() const;
   [[nodiscard]] std::size_t finished_jobs() const;

@@ -24,9 +24,22 @@ void ResourceManager::register_job(Job* job, double solo_jct_estimate) {
 }
 
 void ResourceManager::deregister_job(JobId id) {
-  if (jobs_.erase(id) == 0) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
     throw std::invalid_argument("deregister_job: unknown job");
   }
+  // The coordinator deregisters exactly when the job finished its last round
+  // (or never; horizon censoring skips deregistration), so this is the
+  // job-finish event.
+  for (RunObserver* obs : observers_) {
+    obs->on_job_finish(*it->second.job, it->second.job->completion_time());
+  }
+  jobs_.erase(it);
+}
+
+void ResourceManager::add_observer(RunObserver* obs) {
+  if (obs == nullptr) throw std::invalid_argument("observer must not be null");
+  observers_.push_back(obs);
 }
 
 std::vector<PendingJob> ResourceManager::pending_view() const {
@@ -130,6 +143,9 @@ std::optional<AssignOutcome> ResourceManager::try_assign(const Device& dev,
     req.fully_allocated = now;
     out.fully_allocated = true;
   }
+  for (RunObserver* obs : observers_) {
+    obs->on_assignment(dev, *e.job, out, now);
+  }
   return out;
 }
 
@@ -153,6 +169,11 @@ void ResourceManager::notify_round_complete(JobId job, SimTime sched_delay,
                                             SimTime response_time,
                                             SimTime now) {
   scheduler_->on_round_complete(job, sched_delay, response_time, now);
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) return;
+  for (RunObserver* obs : observers_) {
+    obs->on_round_complete(*it->second.job, sched_delay, response_time, now);
+  }
 }
 
 }  // namespace venn

@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/observer.h"
 #include "device/device.h"
 #include "device/eligibility.h"
 #include "job/job.h"
@@ -74,6 +75,11 @@ class ResourceManager {
   void notify_round_complete(JobId job, SimTime sched_delay,
                              SimTime response_time, SimTime now);
 
+  // ----- observers ---------------------------------------------------------
+  // Subscribes `obs` to assignment / round-complete / job-finish events.
+  // Callers retain ownership; observers must outlive the manager's run.
+  void add_observer(RunObserver* obs);
+
   // ----- introspection ----------------------------------------------------
   [[nodiscard]] const SignatureSpace& signatures() const { return sigs_; }
   [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
@@ -97,6 +103,7 @@ class ResourceManager {
   std::unique_ptr<Scheduler> scheduler_;
   SignatureSpace sigs_;
   std::unordered_map<JobId, JobEntry> jobs_;
+  std::vector<RunObserver*> observers_;
   std::int64_t next_request_id_ = 0;
 };
 

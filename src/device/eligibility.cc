@@ -32,6 +32,15 @@ std::string category_name(ResourceCategory c) {
   throw std::invalid_argument("unknown ResourceCategory");
 }
 
+ResourceCategory finest_region(const DeviceSpec& spec) {
+  const bool c = spec.cpu_score >= kRichThreshold;
+  const bool m = spec.mem_score >= kRichThreshold;
+  if (c && m) return ResourceCategory::kHighPerf;
+  if (c) return ResourceCategory::kComputeRich;
+  if (m) return ResourceCategory::kMemoryRich;
+  return ResourceCategory::kGeneral;
+}
+
 std::vector<ResourceCategory> all_categories() {
   return {ResourceCategory::kGeneral, ResourceCategory::kComputeRich,
           ResourceCategory::kMemoryRich, ResourceCategory::kHighPerf};

@@ -70,6 +70,10 @@ inline constexpr double kRichThreshold = 0.5;
 [[nodiscard]] std::string category_name(ResourceCategory c);
 [[nodiscard]] std::vector<ResourceCategory> all_categories();
 
+// The finest Fig. 8a region a device belongs to (High-Perf ⊂ Compute/Memory
+// ⊂ General). Used to stratify assignment accounting by device scarcity.
+[[nodiscard]] ResourceCategory finest_region(const DeviceSpec& spec);
+
 // Registry of distinct requirements, assigning each a stable bit index.
 // Signatures are bitmasks over these indices.
 class SignatureSpace {

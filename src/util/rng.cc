@@ -13,6 +13,36 @@ Rng Rng::fork() {
   return Rng(a ^ (b << 1) ^ 0x9E3779B97F4A7C15ULL);
 }
 
+namespace {
+
+// Finalizer of the SplitMix64 generator: a full-avalanche 64-bit mix.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t Rng::derive(std::uint64_t base_seed,
+                          std::string_view stream_tag) {
+  return splitmix64(base_seed ^ splitmix64(fnv1a(stream_tag)));
+}
+
+std::uint64_t Rng::derive(std::uint64_t base_seed, std::uint64_t stream_index) {
+  return splitmix64(base_seed ^ splitmix64(stream_index));
+}
+
 double Rng::uniform(double lo, double hi) {
   std::uniform_real_distribution<double> d(lo, hi);
   return d(engine_);

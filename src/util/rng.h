@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <random>
 #include <span>
+#include <string_view>
 #include <vector>
 
 namespace venn {
@@ -23,6 +24,15 @@ class Rng {
   // Derive an independent child stream. Used to give each subsystem its own
   // stream so that adding draws in one subsystem does not perturb another.
   [[nodiscard]] Rng fork();
+
+  // Derive a named seed stream from a base seed. The central replacement for
+  // ad-hoc `seed ^ 0xBEEF`-style mixing: every consumer of a sub-seed
+  // (engine, scheduler, sweep cells, ...) tags its stream and gets a
+  // well-mixed 64-bit seed that is stable across runs and platforms.
+  [[nodiscard]] static std::uint64_t derive(std::uint64_t base_seed,
+                                            std::string_view stream_tag);
+  [[nodiscard]] static std::uint64_t derive(std::uint64_t base_seed,
+                                            std::uint64_t stream_index);
 
   // Uniform real in [lo, hi).
   double uniform(double lo = 0.0, double hi = 1.0);

@@ -1,0 +1,156 @@
+// PolicyRegistry unit tests: round-trip, error paths, self-registration,
+// and the deprecated Policy-enum shim's equivalence with the new API.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "scheduler/fifo_sched.h"
+#include "venn/venn.h"
+
+namespace venn {
+namespace {
+
+TEST(PolicyRegistry, BuiltinsRegisteredAtStartup) {
+  auto& reg = PolicyRegistry::instance();
+  for (const char* name : {"random", "fifo", "srsf", "venn", "venn-nosched",
+                           "venn-nomatch"}) {
+    EXPECT_TRUE(reg.contains(name)) << name;
+  }
+  // names() is sorted and contains at least the built-ins.
+  const auto names = reg.names();
+  EXPECT_GE(names.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(PolicyRegistry, CreateRoundTrip) {
+  auto& reg = PolicyRegistry::instance();
+  const auto sched = reg.create("fifo", {}, 1);
+  ASSERT_NE(sched, nullptr);
+  EXPECT_EQ(sched->name(), "FIFO");
+}
+
+TEST(PolicyRegistry, CreateHonorsPolicyParams) {
+  auto& reg = PolicyRegistry::instance();
+  PolicyParams params;
+  params.venn.num_tiers = 4;
+  params.venn.epsilon = 2.0;
+  const auto sched = reg.create("venn", params, 1);
+  auto* venn_sched = dynamic_cast<VennScheduler*>(sched.get());
+  ASSERT_NE(venn_sched, nullptr);
+  EXPECT_EQ(venn_sched->config().num_tiers, 4u);
+  EXPECT_DOUBLE_EQ(venn_sched->config().epsilon, 2.0);
+}
+
+TEST(PolicyRegistry, UnknownNameThrowsListingKnownOnes) {
+  auto& reg = PolicyRegistry::instance();
+  try {
+    (void)reg.create("no-such-policy", {}, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-policy"), std::string::npos);
+    EXPECT_NE(msg.find("venn"), std::string::npos);  // lists registered names
+  }
+}
+
+TEST(PolicyRegistry, DuplicateRegistrationRejected) {
+  auto& reg = PolicyRegistry::instance();
+  const auto factory = [](const PolicyParams&, std::uint64_t) {
+    return std::make_unique<FifoScheduler>();
+  };
+  reg.register_policy("dup-test-policy", factory);
+  EXPECT_TRUE(reg.contains("dup-test-policy"));
+  EXPECT_THROW(reg.register_policy("dup-test-policy", factory),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_policy("venn", factory), std::invalid_argument);
+}
+
+TEST(PolicyRegistry, EmptyNameAndNullFactoryRejected) {
+  auto& reg = PolicyRegistry::instance();
+  EXPECT_THROW(reg.register_policy("", [](const PolicyParams&, std::uint64_t) {
+                 return std::make_unique<FifoScheduler>();
+               }),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_policy("null-factory", nullptr),
+               std::invalid_argument);
+}
+
+// Namespace-scope self-registration (the examples/custom_scheduler.cpp
+// pattern): the policy is available without any explicit registration call.
+int g_self_registered_knob = 0;  // last knob value the factory saw
+
+const PolicyRegistration kSelfRegistered{
+    "self-registered-test", [](const PolicyParams& params, std::uint64_t) {
+      g_self_registered_knob = static_cast<int>(params.integer("knob", -1));
+      return std::make_unique<FifoScheduler>();
+    }};
+
+TEST(PolicyRegistry, SelfRegistrationAndExtraParams) {
+  auto& reg = PolicyRegistry::instance();
+  ASSERT_TRUE(reg.contains("self-registered-test"));
+  PolicyParams params;
+  params.extra["knob"] = "7";
+  const auto sched = reg.create("self-registered-test", params, 1);
+  EXPECT_EQ(sched->name(), "FIFO");
+  EXPECT_EQ(g_self_registered_knob, 7);
+}
+
+TEST(PolicyParams, TypedExtraAccessors) {
+  PolicyParams p;
+  p.extra["threshold"] = "42";
+  p.extra["rate"] = "0.5";
+  p.extra["mode"] = "fast";
+  EXPECT_EQ(p.integer("threshold", 0), 42);
+  EXPECT_DOUBLE_EQ(p.real("rate", 0.0), 0.5);
+  EXPECT_EQ(p.str("mode", ""), "fast");
+  EXPECT_EQ(p.integer("missing", -3), -3);
+  EXPECT_DOUBLE_EQ(p.real("missing", 1.5), 1.5);
+  EXPECT_EQ(p.str("missing", "def"), "def");
+  // A present-but-malformed value throws instead of silently coercing.
+  p.extra["typo"] = "2O";  // letter O, not zero
+  EXPECT_THROW((void)p.integer("typo", 0), std::invalid_argument);
+  EXPECT_THROW((void)p.real("typo", 0.0), std::invalid_argument);
+}
+
+// The deprecated enum shim must produce byte-identical results to the new
+// API for the equivalent scenario + policy name (both derive their seed
+// streams through Rng::derive).
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+TEST(DeprecatedShim, MatchesNewApiByteForByte) {
+  ExperimentConfig cfg;
+  cfg.seed = 33;
+  cfg.num_devices = 600;
+  cfg.num_jobs = 8;
+  cfg.horizon = 10.0 * kDay;
+  cfg.job_trace.min_rounds = 2;
+  cfg.job_trace.max_rounds = 6;
+  cfg.job_trace.min_demand = 3;
+  cfg.job_trace.max_demand = 15;
+  const RunResult legacy = run_experiment(cfg, Policy::kVenn);
+
+  ScenarioSpec sc;
+  sc.seed = cfg.seed;
+  sc.num_devices = cfg.num_devices;
+  sc.num_jobs = cfg.num_jobs;
+  sc.horizon = cfg.horizon;
+  sc.job_trace = cfg.job_trace;
+  const RunResult fresh = ExperimentBuilder().scenario(sc).policy("venn").run();
+
+  EXPECT_EQ(legacy.scheduler, fresh.scheduler);
+  ASSERT_EQ(legacy.jobs.size(), fresh.jobs.size());
+  for (std::size_t i = 0; i < legacy.jobs.size(); ++i) {
+    EXPECT_EQ(legacy.jobs[i].jct, fresh.jobs[i].jct) << "job " << i;
+    EXPECT_EQ(legacy.jobs[i].completed_rounds, fresh.jobs[i].completed_rounds);
+    EXPECT_EQ(legacy.jobs[i].total_aborts, fresh.jobs[i].total_aborts);
+  }
+  EXPECT_EQ(legacy.assignment_matrix, fresh.assignment_matrix);
+}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace
+}  // namespace venn

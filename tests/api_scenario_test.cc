@@ -1,0 +1,168 @@
+// ScenarioSpec / PolicySpec key=value parsing and ExperimentBuilder tests.
+#include <gtest/gtest.h>
+
+#include "venn/venn.h"
+
+namespace venn {
+namespace {
+
+TEST(ScenarioSpec, KnownKeysParseAndApply) {
+  ScenarioSpec sc;
+  sc.set("name", "my-scenario");
+  sc.set("seed", "123");
+  sc.set("devices", "4000");
+  sc.set("jobs", "12");
+  sc.set("workload", "small");
+  sc.set("bias", "compute");
+  sc.set("horizon-days", "14");
+  sc.set("min-rounds", "3");
+  sc.set("max-rounds", "9");
+  sc.set("min-demand", "4");
+  sc.set("max-demand", "25");
+  sc.set("interarrival-min", "15");
+  sc.set("base-trace", "200");
+  sc.set("task-s", "90");
+  sc.set("task-cv", "0.3");
+
+  EXPECT_EQ(sc.name, "my-scenario");
+  EXPECT_EQ(sc.seed, 123u);
+  EXPECT_EQ(sc.num_devices, 4000u);
+  EXPECT_EQ(sc.num_jobs, 12u);
+  EXPECT_EQ(sc.workload, trace::Workload::kSmall);
+  ASSERT_TRUE(sc.bias.has_value());
+  EXPECT_EQ(*sc.bias, trace::BiasedWorkload::kComputeHeavy);
+  EXPECT_DOUBLE_EQ(sc.horizon, 14.0 * kDay);
+  EXPECT_EQ(sc.job_trace.min_rounds, 3);
+  EXPECT_EQ(sc.job_trace.max_rounds, 9);
+  EXPECT_EQ(sc.job_trace.min_demand, 4);
+  EXPECT_EQ(sc.job_trace.max_demand, 25);
+  EXPECT_DOUBLE_EQ(sc.job_trace.mean_interarrival, 15.0 * kMinute);
+  EXPECT_EQ(sc.job_trace.base_trace_size, 200u);
+  EXPECT_DOUBLE_EQ(sc.job_trace.nominal_task_s, 90.0);
+  EXPECT_DOUBLE_EQ(sc.job_trace.task_cv, 0.3);
+
+  sc.set("bias", "none");
+  EXPECT_FALSE(sc.bias.has_value());
+}
+
+TEST(ScenarioSpec, BadKeysAndValuesThrow) {
+  ScenarioSpec sc;
+  EXPECT_FALSE(sc.try_set("not-a-key", "1"));
+  EXPECT_THROW(sc.set("not-a-key", "1"), std::invalid_argument);
+  EXPECT_THROW(sc.set("seed", "abc"), std::invalid_argument);
+  EXPECT_THROW(sc.set("devices", "12x"), std::invalid_argument);
+  // Negative values for size-like keys must be rejected up front, not wrap
+  // through a size_t cast into an opaque allocation failure.
+  EXPECT_THROW(sc.set("devices", "-1"), std::invalid_argument);
+  EXPECT_THROW(sc.set("jobs", "-5"), std::invalid_argument);
+  EXPECT_THROW(sc.set("min-demand", "-2"), std::invalid_argument);
+  EXPECT_THROW(sc.set("seed", "-3"), std::invalid_argument);
+  EXPECT_THROW(sc.set("workload", "gigantic"), std::invalid_argument);
+  EXPECT_THROW(sc.set("bias", "sideways"), std::invalid_argument);
+  EXPECT_THROW(sc.set("horizon-days", ""), std::invalid_argument);
+  // Out-of-range magnitudes fail loudly instead of saturating or wrapping.
+  EXPECT_THROW(sc.set("devices", "99999999999999999999"),
+               std::invalid_argument);
+  EXPECT_THROW(sc.set("min-rounds", "4294967297"), std::invalid_argument);
+  EXPECT_THROW(sc.set("seed", "999999999999999999999"),
+               std::invalid_argument);
+  EXPECT_THROW(sc.set("horizon-days", "1e999"), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, ParseBiasHandlesNone) {
+  EXPECT_EQ(api::parse_bias("none"), std::nullopt);
+  EXPECT_EQ(api::parse_bias("compute"), trace::BiasedWorkload::kComputeHeavy);
+  EXPECT_THROW((void)api::parse_bias("sideways"), std::invalid_argument);
+}
+
+TEST(PolicySpec, KnownKeysParseAndApply) {
+  PolicySpec pol;
+  pol.set("policy", "venn-nomatch");
+  pol.set("epsilon", "2.5");
+  pol.set("tiers", "4");
+  pol.set("supply-window-h", "12");
+  pol.set("tail-pct", "90");
+  pol.set("ewma-alpha", "0.5");
+  pol.set("order-total", "0");
+  pol.set("param.threshold", "20");
+
+  EXPECT_EQ(pol.name, "venn-nomatch");
+  EXPECT_DOUBLE_EQ(pol.params.venn.epsilon, 2.5);
+  EXPECT_EQ(pol.params.venn.num_tiers, 4u);
+  EXPECT_DOUBLE_EQ(pol.params.venn.supply_window, 12.0 * kHour);
+  EXPECT_DOUBLE_EQ(pol.params.venn.tail_percentile, 90.0);
+  EXPECT_DOUBLE_EQ(pol.params.venn.ewma_alpha, 0.5);
+  EXPECT_FALSE(pol.params.venn.order_by_total_remaining);
+  EXPECT_EQ(pol.params.str("threshold", ""), "20");
+}
+
+TEST(PolicySpec, BadKeysThrow) {
+  PolicySpec pol;
+  EXPECT_FALSE(pol.try_set("frobnicate", "1"));
+  EXPECT_THROW(pol.set("frobnicate", "1"), std::invalid_argument);
+  EXPECT_THROW(pol.set("epsilon", "two"), std::invalid_argument);
+}
+
+TEST(ExperimentBuilder, SetRoutesToScenarioThenPolicy) {
+  ExperimentBuilder b;
+  b.set("jobs", "6").set("epsilon", "1.5").set("policy", "srsf");
+  EXPECT_EQ(b.current_scenario().num_jobs, 6u);
+  EXPECT_DOUBLE_EQ(b.current_policy().params.venn.epsilon, 1.5);
+  EXPECT_EQ(b.current_policy().name, "srsf");
+  EXPECT_THROW(b.set("bogus", "1"), std::invalid_argument);
+}
+
+TEST(ExperimentBuilder, OverrideKvValidatesShape) {
+  ExperimentBuilder b;
+  b.override_kv("jobs=9");
+  EXPECT_EQ(b.current_scenario().num_jobs, 9u);
+  EXPECT_THROW(b.override_kv("jobs"), std::invalid_argument);
+  EXPECT_THROW(b.override_kv("=5"), std::invalid_argument);
+}
+
+TEST(ExperimentBuilder, BuildGeneratesScenarioInputs) {
+  const auto ex = ExperimentBuilder()
+                      .seed(3)
+                      .devices(150)
+                      .jobs(4)
+                      .build();
+  EXPECT_EQ(ex.inputs().devices.size(), 150u);
+  EXPECT_EQ(ex.inputs().jobs.size(), 4u);
+  EXPECT_EQ(ex.scenario().seed, 3u);
+}
+
+TEST(ExperimentBuilder, ExplicitInputOverridesSkipGeneration) {
+  std::vector<Device> devices;
+  for (int i = 0; i < 5; ++i) {
+    devices.emplace_back(DeviceId(i), DeviceSpec{0.5, 0.5},
+                         std::vector<Session>{{0.0, kDay}});
+  }
+  trace::JobSpec job;
+  job.rounds = 1;
+  job.demand = 2;
+  const auto ex = ExperimentBuilder()
+                      .use_devices(devices)
+                      .use_jobs({job})
+                      .horizon(2 * kDay)
+                      .build();
+  EXPECT_EQ(ex.inputs().devices.size(), 5u);
+  ASSERT_EQ(ex.inputs().jobs.size(), 1u);
+  const RunResult r = ex.run("fifo");
+  EXPECT_EQ(r.finished_jobs(), 1u);
+}
+
+TEST(ExperimentBuilder, RunWithRejectsNull) {
+  const auto ex = ExperimentBuilder().devices(50).jobs(1).build();
+  EXPECT_THROW((void)ex.run_with(nullptr), std::invalid_argument);
+}
+
+TEST(Rng, DeriveIsDeterministicAndTagSeparated) {
+  EXPECT_EQ(Rng::derive(42, "engine"), Rng::derive(42, "engine"));
+  EXPECT_NE(Rng::derive(42, "engine"), Rng::derive(42, "scheduler"));
+  EXPECT_NE(Rng::derive(42, "engine"), Rng::derive(43, "engine"));
+  EXPECT_EQ(Rng::derive(42, std::uint64_t{7}), Rng::derive(42, std::uint64_t{7}));
+  EXPECT_NE(Rng::derive(42, std::uint64_t{7}), Rng::derive(42, std::uint64_t{8}));
+}
+
+}  // namespace
+}  // namespace venn

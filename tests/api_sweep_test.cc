@@ -1,0 +1,132 @@
+// SweepRunner tests: grid shape, pairing, and thread-count independence.
+#include <gtest/gtest.h>
+
+#include "venn/venn.h"
+
+namespace venn {
+namespace {
+
+ScenarioSpec tiny_scenario(std::string name, std::size_t jobs) {
+  ScenarioSpec sc;
+  sc.name = std::move(name);
+  sc.num_devices = 400;
+  sc.num_jobs = jobs;
+  sc.horizon = 8.0 * kDay;
+  sc.job_trace.base_trace_size = 80;
+  sc.job_trace.min_rounds = 2;
+  sc.job_trace.max_rounds = 5;
+  sc.job_trace.min_demand = 3;
+  sc.job_trace.max_demand = 12;
+  sc.job_trace.mean_interarrival = 20.0 * kMinute;
+  return sc;
+}
+
+SweepSpec small_grid() {
+  SweepSpec grid;
+  grid.scenarios = {tiny_scenario("a", 5), tiny_scenario("b", 8)};
+  grid.policies = {"random", "fifo", "venn"};
+  grid.seeds = {1, 2, 3};
+  return grid;
+}
+
+TEST(SweepRunner, GridShapeAndOrdering) {
+  const auto grid = small_grid();
+  const auto cells = SweepRunner(1).run(grid);
+  ASSERT_EQ(cells.size(), grid.num_cells());
+  for (std::size_t si = 0; si < grid.scenarios.size(); ++si) {
+    for (std::size_t pi = 0; pi < grid.policies.size(); ++pi) {
+      for (std::size_t ki = 0; ki < grid.seeds.size(); ++ki) {
+        const auto& cell =
+            cells[SweepRunner::cell_index(grid, si, pi, ki)];
+        EXPECT_EQ(cell.scenario_index, si);
+        EXPECT_EQ(cell.policy_index, pi);
+        EXPECT_EQ(cell.seed_index, ki);
+        EXPECT_EQ(cell.seed, grid.seeds[ki]);
+        EXPECT_EQ(cell.result.jobs.size(),
+                  grid.scenarios[si].num_jobs);
+      }
+    }
+  }
+}
+
+TEST(SweepRunner, PoliciesShareTracesWithinScenarioAndSeed) {
+  const auto grid = small_grid();
+  const auto cells = SweepRunner(1).run(grid);
+  // Same (scenario, seed), different policies: identical job specs.
+  const auto& a = cells[SweepRunner::cell_index(grid, 0, 0, 0)].result;
+  const auto& b = cells[SweepRunner::cell_index(grid, 0, 2, 0)].result;
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].spec.rounds, b.jobs[i].spec.rounds);
+    EXPECT_EQ(a.jobs[i].spec.demand, b.jobs[i].spec.demand);
+    EXPECT_DOUBLE_EQ(a.jobs[i].spec.arrival, b.jobs[i].spec.arrival);
+  }
+  // Different seeds give different outcomes somewhere in the grid.
+  const auto& s1 = cells[SweepRunner::cell_index(grid, 0, 0, 0)].result;
+  const auto& s2 = cells[SweepRunner::cell_index(grid, 0, 0, 1)].result;
+  EXPECT_NE(s1.avg_jct(), s2.avg_jct());
+}
+
+// The acceptance property: the same grid run on 1 thread and N threads
+// yields byte-identical per-cell results.
+TEST(SweepRunner, ThreadCountDoesNotChangeResults) {
+  const auto grid = small_grid();  // 2 scenarios x 3 policies x 3 seeds
+  const auto serial = SweepRunner(1).run(grid);
+  const auto parallel = SweepRunner(4).run(grid);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const RunResult& a = serial[i].result;
+    const RunResult& b = parallel[i].result;
+    EXPECT_EQ(a.scheduler, b.scheduler);
+    ASSERT_EQ(a.jobs.size(), b.jobs.size()) << "cell " << i;
+    for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+      // Exact equality, not NEAR: determinism must be bitwise.
+      EXPECT_EQ(a.jobs[j].jct, b.jobs[j].jct) << "cell " << i << " job " << j;
+      EXPECT_EQ(a.jobs[j].completed_rounds, b.jobs[j].completed_rounds);
+      EXPECT_EQ(a.jobs[j].total_aborts, b.jobs[j].total_aborts);
+      ASSERT_EQ(a.jobs[j].rounds.size(), b.jobs[j].rounds.size());
+      for (std::size_t k = 0; k < a.jobs[j].rounds.size(); ++k) {
+        EXPECT_EQ(a.jobs[j].rounds[k].scheduling_delay,
+                  b.jobs[j].rounds[k].scheduling_delay);
+        EXPECT_EQ(a.jobs[j].rounds[k].response_collection,
+                  b.jobs[j].rounds[k].response_collection);
+      }
+    }
+    EXPECT_EQ(a.assignment_matrix, b.assignment_matrix);
+  }
+}
+
+TEST(SweepRunner, EmptyAxesRejected) {
+  SweepSpec grid;
+  EXPECT_THROW((void)SweepRunner(1).run(grid), std::invalid_argument);
+  grid.scenarios = {tiny_scenario("a", 2)};
+  EXPECT_THROW((void)SweepRunner(1).run(grid), std::invalid_argument);
+}
+
+TEST(SweepRunner, UnknownPolicyPropagatesAsException) {
+  SweepSpec grid;
+  grid.scenarios = {tiny_scenario("a", 2)};
+  grid.policies = {"no-such-policy"};
+  EXPECT_THROW((void)SweepRunner(2).run(grid), std::invalid_argument);
+}
+
+TEST(SweepRunner, EmptySeedAxisUsesScenarioSeed) {
+  SweepSpec grid;
+  ScenarioSpec sc = tiny_scenario("a", 3);
+  sc.seed = 77;
+  grid.scenarios = {sc};
+  grid.policies = {"fifo"};
+  const auto cells = SweepRunner(1).run(grid);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].seed, 77u);
+  // Matches a direct run of the same scenario.
+  const RunResult direct =
+      ExperimentBuilder().scenario(sc).policy("fifo").run();
+  ASSERT_EQ(direct.jobs.size(), cells[0].result.jobs.size());
+  for (std::size_t j = 0; j < direct.jobs.size(); ++j) {
+    EXPECT_EQ(direct.jobs[j].jct, cells[0].result.jobs[j].jct);
+  }
+}
+
+}  // namespace
+}  // namespace venn

@@ -161,19 +161,21 @@ TEST(Coordinator, IneligibleDevicesNeverAssigned) {
   EXPECT_TRUE(r.jobs[0].rounds.empty());
 }
 
-TEST(Coordinator, AssignmentMatrixAccountsEveryAssignment) {
+TEST(Coordinator, AssignmentMatrixObserverAccountsEveryAssignment) {
   auto devices = always_on(30, {0.6, 0.6}, 5 * kDay);
   sim::Engine engine(1);
   ResourceManager mgr(std::make_unique<FifoScheduler>());
+  AssignmentMatrixObserver matrix;
+  mgr.add_observer(&matrix);
   CoordinatorConfig cfg;
   cfg.horizon = 5 * kDay;
   Coordinator coord(engine, mgr, std::move(devices), {one_job(2, 8)}, cfg);
   coord.run();
-  std::int64_t total = 0;
-  for (const auto& row : coord.assignment_matrix()) {
-    for (std::int64_t c : row) total += c;
-  }
-  EXPECT_EQ(total, 16);  // 2 rounds x 8 devices, no failures
+  EXPECT_EQ(matrix.total(), 16);  // 2 rounds x 8 devices, no failures
+  // A {0.6, 0.6} device sits in the High-Perf region; the job is General.
+  EXPECT_EQ(matrix.matrix()[static_cast<int>(ResourceCategory::kHighPerf)]
+                           [static_cast<int>(ResourceCategory::kGeneral)],
+            16);
 }
 
 TEST(Coordinator, SoloJctEstimateIsPositiveAndScalesWithRounds) {

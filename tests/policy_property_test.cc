@@ -3,38 +3,37 @@
 // deterministic instances.
 #include <gtest/gtest.h>
 
-#include "core/experiment.h"
 #include "ilp/exact.h"
+#include "venn/venn.h"
 
 namespace venn {
 namespace {
 
-const std::vector<Policy> kAllPolicies{
-    Policy::kRandom, Policy::kFifo,         Policy::kSrsf,
-    Policy::kVenn,   Policy::kVennNoSched,  Policy::kVennNoMatch};
+const std::vector<std::string> kAllPolicies{
+    "random", "fifo", "srsf", "venn", "venn-nosched", "venn-nomatch"};
 
 class PolicyPropertyTest
-    : public ::testing::TestWithParam<std::tuple<Policy, int>> {};
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
 
 TEST_P(PolicyPropertyTest, EndToEndInvariants) {
   const auto [policy, seed] = GetParam();
-  ExperimentConfig cfg;
-  cfg.seed = static_cast<std::uint64_t>(seed);
-  cfg.num_devices = 900;
-  cfg.num_jobs = 8;
-  cfg.horizon = 12.0 * kDay;
-  cfg.job_trace.min_rounds = 2;
-  cfg.job_trace.max_rounds = 6;
-  cfg.job_trace.min_demand = 3;
-  cfg.job_trace.max_demand = 15;
+  ScenarioSpec sc;
+  sc.seed = static_cast<std::uint64_t>(seed);
+  sc.num_devices = 900;
+  sc.num_jobs = 8;
+  sc.horizon = 12.0 * kDay;
+  sc.job_trace.min_rounds = 2;
+  sc.job_trace.max_rounds = 6;
+  sc.job_trace.min_demand = 3;
+  sc.job_trace.max_demand = 15;
 
-  const RunResult r = run_experiment(cfg, policy);
+  const RunResult r = ExperimentBuilder().scenario(sc).policy(policy).run();
 
   // (1) Census: every job appears exactly once, JCTs positive & censored.
-  ASSERT_EQ(r.jobs.size(), cfg.num_jobs);
+  ASSERT_EQ(r.jobs.size(), sc.num_jobs);
   for (const auto& j : r.jobs) {
     EXPECT_GT(j.jct, 0.0);
-    EXPECT_LE(j.jct, cfg.horizon);
+    EXPECT_LE(j.jct, sc.horizon);
     // (2) Rounds never exceed the spec; stats match completions.
     EXPECT_LE(j.completed_rounds, j.spec.rounds);
     EXPECT_EQ(static_cast<int>(j.rounds.size()), j.completed_rounds);
@@ -136,12 +135,12 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ToyOptimalityTest, ::testing::Range(1, 16));
 // Determinism across policies: the input traces must be identical
 // regardless of which policy later consumes them.
 TEST(PolicyProperty, InputsIndependentOfPolicy) {
-  ExperimentConfig cfg;
-  cfg.seed = 9;
-  cfg.num_devices = 100;
-  cfg.num_jobs = 5;
-  const ExperimentInputs a = build_inputs(cfg);
-  const ExperimentInputs b = build_inputs(cfg);
+  ScenarioSpec sc;
+  sc.seed = 9;
+  sc.num_devices = 100;
+  sc.num_jobs = 5;
+  const ExperimentInputs a = api::build_inputs(sc);
+  const ExperimentInputs b = api::build_inputs(sc);
   ASSERT_EQ(a.devices.size(), b.devices.size());
   for (std::size_t i = 0; i < a.devices.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.devices[i].spec().cpu_score,
@@ -156,17 +155,16 @@ TEST(PolicyProperty, InputsIndependentOfPolicy) {
   }
 }
 
-TEST(PolicyProperty, PolicyNamesRoundTrip) {
-  for (Policy p : kAllPolicies) {
-    EXPECT_FALSE(policy_name(p).empty());
+TEST(PolicyProperty, RegistryNamesRoundTrip) {
+  auto& reg = PolicyRegistry::instance();
+  for (const std::string& name : kAllPolicies) {
+    EXPECT_TRUE(reg.contains(name)) << name;
   }
-  // make_scheduler produces a policy whose name matches.
-  EXPECT_EQ(make_scheduler(Policy::kSrsf, {}, 1)->name(), "SRSF");
-  EXPECT_EQ(make_scheduler(Policy::kVenn, {}, 1)->name(), "Venn");
-  EXPECT_EQ(make_scheduler(Policy::kVennNoSched, {}, 1)->name(),
-            "Venn w/o sched");
-  EXPECT_EQ(make_scheduler(Policy::kVennNoMatch, {}, 1)->name(),
-            "Venn w/o match");
+  // The registry produces schedulers whose display names match the paper's.
+  EXPECT_EQ(reg.create("srsf", {}, 1)->name(), "SRSF");
+  EXPECT_EQ(reg.create("venn", {}, 1)->name(), "Venn");
+  EXPECT_EQ(reg.create("venn-nosched", {}, 1)->name(), "Venn w/o sched");
+  EXPECT_EQ(reg.create("venn-nomatch", {}, 1)->name(), "Venn w/o match");
 }
 
 }  // namespace
