@@ -7,19 +7,25 @@
 //
 //   venn_sim_cli --policy=venn --jobs=50 --devices=7000 --workload=even
 //                --seed=42 --epsilon=0 --tiers=3 [--bias=compute]
-//                [--compare] [--breakdown] [--timeline] [--list-policies]
+//                [--compare] [--breakdown] [--timeline] [--list]
 //
 //   scenario keys   seed, devices, jobs, workload (even|small|large|low|
 //                   high), bias (none|general|compute|memory|resource),
 //                   horizon-days, min-rounds, max-rounds, min-demand,
 //                   max-demand, interarrival-min, base-trace, task-s, task-cv
+//   generator keys  arrival=<name> + arrival.<key>, mix=<name> + mix.<key>,
+//                   churn=<name> + churn.<key> (see --list for names/keys),
+//                   open-loop (0|1, admit jobs mid-run), stream (0|1, lazy
+//                   device sessions — O(devices) memory)
 //   policy keys     policy (any registered name), epsilon, tiers,
 //                   supply-window-h, tail-pct, ewma-alpha, order-total,
 //                   param.<key> (free-form, for external policies)
 //   --compare       additionally run all baselines on the same trace
 //   --breakdown     per-category JCT breakdowns
 //   --timeline      daily assignment rate from the TimeSeriesRecorder
-//   --list-policies print the registry contents and exit
+//   --list          print registered policies and workload generators
+//                   (with their accepted keys) and exit
+//   --list-policies print the policy registry contents and exit
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -97,6 +103,17 @@ int main(int argc, char** argv) {
       for (const auto& name : PolicyRegistry::instance().names()) {
         std::printf("%s\n", name.c_str());
       }
+      return 0;
+    }
+    if (arg == "--list") {
+      std::printf("policies (policy=<name>, knobs as <key>=<value>):\n");
+      for (const auto& name : PolicyRegistry::instance().names()) {
+        std::printf("  %s\n", name.c_str());
+      }
+      std::printf(
+          "  keys: epsilon tiers supply-window-h tail-pct ewma-alpha "
+          "order-total param.<key>\n");
+      std::printf("%s", workload::describe_generators().c_str());
       return 0;
     }
     if (arg == "--compare") { compare = true; continue; }

@@ -17,6 +17,11 @@
 //                                        — composable run instrumentation.
 //   SweepRunner                          — a (scenario × policy × seed)
 //       grid on a thread pool with deterministic per-cell seeding.
+//   workload generator registries        — string-keyed arrival processes,
+//       job-mix samplers and device-churn models (src/workload/), wired
+//       through `arrival=`/`mix=`/`churn=` scenario keys; `stream=1`
+//       streams sessions lazily (O(devices) memory), `open-loop=1` admits
+//       jobs mid-run.
 //
 // Quickstart:
 //
@@ -30,8 +35,6 @@
 //                 random_run.avg_jct());
 //   }
 //
-// The legacy `Policy` enum entry points (core/experiment.h) remain
-// available behind this include for one release, marked deprecated.
 #pragma once
 
 #include "api/builder.h"
@@ -43,6 +46,7 @@
 #include "core/metrics.h"
 #include "core/observer.h"
 #include "util/stats.h"
+#include "workload/workload.h"
 
 namespace venn {
 

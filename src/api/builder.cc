@@ -1,9 +1,11 @@
 #include "api/builder.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 #include "sim/engine.h"
+#include "util/logging.h"
 
 namespace venn::api {
 
@@ -26,17 +28,195 @@ ExperimentConfig to_config(const ScenarioSpec& s) {
   return cfg;
 }
 
+// The open-loop / streaming flags only make sense with the matching
+// generator families configured; catch the mismatch before a run.
+void validate_modes(const ScenarioSpec& s) {
+  // Dotted knobs without a family name would otherwise be dropped silently
+  // (`--churn.up-scale-h=4` with `--churn=weibull` forgotten).
+  const std::pair<const workload::GeneratorSpec*, const char*> families[] = {
+      {&s.arrival_gen, "arrival"}, {&s.mix_gen, "mix"}, {&s.churn_gen, "churn"}};
+  for (const auto& [spec, prefix] : families) {
+    if (!spec->configured() && !spec->params.kv.empty()) {
+      throw std::invalid_argument(
+          std::string(prefix) + "." + spec->params.kv.begin()->first +
+          " is set but no " + prefix + "=<name> is configured");
+    }
+  }
+  if (s.open_loop &&
+      (!s.arrival_gen.configured() || !s.mix_gen.configured())) {
+    throw std::invalid_argument(
+        "open-loop=1 requires arrival=<name> and mix=<name>");
+  }
+  if (s.open_loop && s.bias) {
+    // apply_bias is a batch reassignment over the full job list; per-job
+    // admission cannot honor it. The `biased` mix is the per-job spelling.
+    throw std::invalid_argument(
+        "open-loop=1 cannot apply a scenario bias; use mix=biased "
+        "(mix.category=..., mix.frac=...) instead");
+  }
+  if (s.open_loop && s.num_jobs == 0 && s.arrival_gen.name == "static" &&
+      s.arrival_gen.params.real("spacing-min", 0.0) <= 0.0) {
+    // An unspaced batch never advances time; unbounded admission would
+    // admit at one timestamp forever (the coordinator's livelock guard
+    // would eventually fire, but fail eagerly with a usable message).
+    throw std::invalid_argument(
+        "open-loop=1 with unspaced arrival=static requires a jobs=N cap "
+        "(or arrival.spacing-min>0)");
+  }
+  if (s.streaming && !s.churn_gen.configured()) {
+    throw std::invalid_argument("stream=1 requires churn=<name>");
+  }
+}
+
+// Injects `key=value` into the spec unless the user set it explicitly, and
+// only when the generator accepts the key.
+template <typename Iface>
+void default_key(const workload::GeneratorRegistry<Iface>& reg,
+                 workload::GeneratorSpec& spec, const std::string& key,
+                 const std::string& value) {
+  const auto& accepted = reg.keys(spec.name);
+  if (std::find(accepted.begin(), accepted.end(), key) == accepted.end()) {
+    return;
+  }
+  spec.params.kv.emplace(key, value);
+}
+
+// Scenario-level workload keys (workload, min/max-rounds, min/max-demand,
+// task-s, interarrival-min, ...) flow into the configured generators as
+// parameter defaults — explicit arrival.*/mix.* knobs win — so
+// `--max-demand=12 --mix=heavy-tail` means what it says instead of the
+// scenario key being silently ignored on the generator path.
+workload::GeneratorSet build_scenario_generators(const ScenarioSpec& s) {
+  workload::GeneratorSpec arrival = s.arrival_gen;
+  workload::GeneratorSpec mix = s.mix_gen;
+  if (arrival.configured()) {
+    default_key(workload::arrival_registry(), arrival, "interarrival-min",
+                std::to_string(s.job_trace.mean_interarrival / kMinute));
+  }
+  if (mix.configured()) {
+    const auto& reg = workload::mix_registry();
+    const trace::JobTraceConfig& jt = s.job_trace;
+    default_key(reg, mix, "workload", trace::workload_cli_name(s.workload));
+    default_key(reg, mix, "base-trace", std::to_string(jt.base_trace_size));
+    default_key(reg, mix, "min-rounds", std::to_string(jt.min_rounds));
+    default_key(reg, mix, "max-rounds", std::to_string(jt.max_rounds));
+    default_key(reg, mix, "min-demand", std::to_string(jt.min_demand));
+    default_key(reg, mix, "max-demand", std::to_string(jt.max_demand));
+    default_key(reg, mix, "task-s", std::to_string(jt.nominal_task_s));
+    default_key(reg, mix, "task-cv", std::to_string(jt.task_cv));
+  }
+  return workload::build_generators(arrival, mix, s.churn_gen, s.seed);
+}
+
 }  // namespace
 
-ExperimentInputs build_inputs(const ScenarioSpec& scenario) {
-  return venn::build_inputs(to_config(scenario));
+ExperimentInputs build_inputs(const ScenarioSpec& s) {
+  return build_inputs(s, build_scenario_generators(s));
+}
+
+ExperimentInputs build_inputs(const ScenarioSpec& s,
+                              const workload::GeneratorSet& gens) {
+  validate_modes(s);
+  if (!s.uses_generators()) {
+    // Legacy single-model path, byte-identical to pre-generator scenarios.
+    return venn::build_inputs(to_config(s));
+  }
+
+  ExperimentInputs in;
+  Rng root(s.seed);
+  Rng dev_rng = root.fork();
+  Rng job_rng = root.fork();
+
+  // Devices: hardware specs from the mixture; sessions from the churn
+  // model (materialized here, or streamed at run time), else the legacy
+  // diurnal generator. Per-device stream identity comes from
+  // workload::device_stream_ctx — the same derivation the streaming
+  // coordinator uses — so stream=0 and stream=1 see the same world.
+  trace::AvailabilityConfig avail = s.availability;
+  avail.horizon = s.horizon;
+  in.devices.reserve(s.num_devices);
+  for (std::size_t i = 0; i < s.num_devices; ++i) {
+    const DeviceSpec spec = trace::sample_spec(s.hardware, dev_rng);
+    if (gens.churn != nullptr && s.streaming) {
+      in.devices.emplace_back(DeviceId(static_cast<std::int64_t>(i)), spec);
+      continue;
+    }
+    std::vector<Session> sessions =
+        gens.churn != nullptr
+            ? workload::materialize_sessions(
+                  *gens.churn,
+                  workload::device_stream_ctx(s.seed, i, s.horizon))
+            : trace::generate_sessions(avail, dev_rng);
+    in.devices.emplace_back(DeviceId(static_cast<std::int64_t>(i)), spec,
+                            std::move(sessions));
+  }
+
+  // Jobs: open-loop scenarios admit them at run time.
+  if (s.open_loop) return in;
+
+  if (gens.mix != nullptr) {
+    Rng mix_rng(Rng::derive(s.seed, "mix"));
+    in.jobs.reserve(s.num_jobs);
+    for (std::size_t i = 0; i < s.num_jobs; ++i) {
+      in.jobs.push_back(gens.mix->sample(mix_rng));
+    }
+    // The §5.4 bias applies to generator-sampled jobs too.
+    if (s.bias) {
+      Rng bias_rng(Rng::derive(s.seed, "bias"));
+      trace::apply_bias(in.jobs, *s.bias, bias_rng);
+    }
+  } else {
+    const auto base = trace::generate_base_trace(s.job_trace, job_rng);
+    in.jobs = trace::sample_workload(base, s.workload, s.num_jobs,
+                                     s.job_trace, job_rng);
+    if (s.bias) trace::apply_bias(in.jobs, *s.bias, job_rng);
+  }
+
+  if (gens.arrival != nullptr) {
+    const auto arrivals = workload::materialize_arrivals(
+        *gens.arrival, in.jobs.size(), s.horizon,
+        Rng(Rng::derive(s.seed, "arrival")));
+    if (arrivals.size() < in.jobs.size()) {
+      VENN_WARN << "scenario \"" << s.name << "\": arrival process \""
+                << s.arrival_gen.name << "\" yielded only " << arrivals.size()
+                << " of " << in.jobs.size()
+                << " requested jobs before the horizon; truncating";
+      in.jobs.resize(arrivals.size());
+    }
+    for (std::size_t i = 0; i < in.jobs.size(); ++i) {
+      in.jobs[i].arrival = arrivals[i];
+    }
+  } else if (gens.mix != nullptr) {
+    // Mix without an arrival process: default Poisson submission times.
+    Rng arr_rng(Rng::derive(s.seed, "arrival"));
+    SimTime t = 0.0;
+    for (auto& j : in.jobs) {
+      t += arr_rng.exponential(1.0 / s.job_trace.mean_interarrival);
+      j.arrival = t;
+    }
+  }
+  return in;
 }
 
 Experiment::Experiment(ScenarioSpec scenario, ExperimentInputs inputs,
                        std::vector<RunObserver*> observers)
+    : Experiment(std::move(scenario), std::move(inputs), nullptr,
+                 std::move(observers)) {}
+
+Experiment::Experiment(
+    ScenarioSpec scenario, ExperimentInputs inputs,
+    std::shared_ptr<const workload::GeneratorSet> generators,
+    std::vector<RunObserver*> observers)
     : scenario_(std::move(scenario)),
       inputs_(std::move(inputs)),
-      observers_(std::move(observers)) {}
+      generators_(std::move(generators)),
+      observers_(std::move(observers)) {
+  validate_modes(scenario_);
+  if (!generators_) {
+    generators_ = std::make_shared<const workload::GeneratorSet>(
+        build_scenario_generators(scenario_));
+  }
+}
 
 std::uint64_t Experiment::stream_seed(std::string_view tag) const {
   return Rng::derive(scenario_.seed, tag);
@@ -65,6 +245,18 @@ RunResult Experiment::run_with(std::unique_ptr<Scheduler> scheduler,
 
   CoordinatorConfig ccfg;
   ccfg.horizon = scenario_.horizon;
+  ccfg.seed = scenario_.seed;
+  if (generators_->churn) {
+    // The model feeds the analytic supply estimates in both modes;
+    // stream_sessions additionally defers session generation to run time.
+    ccfg.churn = generators_->churn.get();
+    ccfg.stream_sessions = scenario_.streaming;
+  }
+  if (scenario_.open_loop) {
+    ccfg.arrival = generators_->arrival.get();
+    ccfg.mix = generators_->mix.get();
+    ccfg.max_jobs = scenario_.num_jobs;
+  }
   Coordinator coord(engine, manager, inputs_.devices, inputs_.jobs, ccfg);
   coord.run();
 
@@ -169,13 +361,16 @@ ExperimentBuilder& ExperimentBuilder::observe(RunObserver& obs) {
 }
 
 Experiment ExperimentBuilder::build() const {
+  auto generators = std::make_shared<const workload::GeneratorSet>(
+      build_scenario_generators(scenario_));
   ExperimentInputs inputs;
   if (!devices_override_ || !jobs_override_) {
-    inputs = build_inputs(scenario_);
+    inputs = build_inputs(scenario_, *generators);
   }
   if (devices_override_) inputs.devices = *devices_override_;
   if (jobs_override_) inputs.jobs = *jobs_override_;
-  return Experiment(scenario_, std::move(inputs), observers_);
+  return Experiment(scenario_, std::move(inputs), std::move(generators),
+                    observers_);
 }
 
 RunResult ExperimentBuilder::run() const { return build().run(policy_); }

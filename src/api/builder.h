@@ -28,13 +28,30 @@
 namespace venn::api {
 
 // Input generation for a scenario (trace depends only on the seed — never
-// on the policy).
+// on the policy). Scenarios with workload generators configured build
+// through them: churn models materialize (or, with stream=1, defer) device
+// sessions, mix samplers draw the job list, arrival processes assign
+// submission times. Unconfigured families keep the legacy single-model
+// path byte-identically.
 [[nodiscard]] ExperimentInputs build_inputs(const ScenarioSpec& scenario);
+
+// As above with the generator set already instantiated (avoids rebuilding
+// base traces / replay files when the caller keeps the set, as the
+// ExperimentBuilder does).
+[[nodiscard]] ExperimentInputs build_inputs(
+    const ScenarioSpec& scenario, const workload::GeneratorSet& generators);
 
 class Experiment {
  public:
   Experiment(ScenarioSpec scenario, ExperimentInputs inputs,
              std::vector<RunObserver*> observers = {});
+
+  // Adopts an already-instantiated generator set (must match the scenario;
+  // the ExperimentBuilder uses this to instantiate generators exactly once
+  // per build). A null set is built from the scenario.
+  Experiment(ScenarioSpec scenario, ExperimentInputs inputs,
+             std::shared_ptr<const workload::GeneratorSet> generators,
+             std::vector<RunObserver*> observers);
 
   [[nodiscard]] const ScenarioSpec& scenario() const { return scenario_; }
   [[nodiscard]] const ExperimentInputs& inputs() const { return inputs_; }
@@ -54,6 +71,9 @@ class Experiment {
  private:
   ScenarioSpec scenario_;
   ExperimentInputs inputs_;
+  // Instantiated workload generators (shared: Experiment is copyable and
+  // the generators are immutable — per-run randomness lives in streams).
+  std::shared_ptr<const workload::GeneratorSet> generators_;
   std::vector<RunObserver*> observers_;
 };
 

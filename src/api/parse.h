@@ -1,94 +1,18 @@
-// Internal validated string-to-number parsing shared by the key=value
-// surfaces (ScenarioSpec / PolicySpec / PolicyParams). Every helper rejects
-// empty strings, trailing garbage ("12x") and out-of-range magnitudes with
-// std::invalid_argument naming the offending key, so typos fail loudly
-// instead of silently truncating or saturating.
+// Forwarder: the validated key=value numeric parsers moved to
+// util/parse.h so that non-api subsystems (src/workload/) can share them.
+// api code keeps using the venn::api::internal spellings.
 #pragma once
 
-#include <cerrno>
-#include <climits>
-#include <cstdint>
-#include <cstdlib>
-#include <stdexcept>
-#include <string>
+#include "util/parse.h"
 
 namespace venn::api::internal {
 
-inline long parse_long(const std::string& key, const std::string& value) {
-  errno = 0;
-  char* end = nullptr;
-  const long v = std::strtol(value.c_str(), &end, 10);
-  if (end == value.c_str() || *end != '\0') {
-    throw std::invalid_argument("bad integer for " + key + ": \"" + value +
-                                "\"");
-  }
-  if (errno == ERANGE) {
-    throw std::invalid_argument("out of range for " + key + ": \"" + value +
-                                "\"");
-  }
-  return v;
-}
-
-// For size-like keys (device counts, job counts): negatives are rejected
-// here rather than wrapping through a size_t cast.
-inline std::size_t parse_size(const std::string& key,
-                              const std::string& value) {
-  const long v = parse_long(key, value);
-  if (v < 0) {
-    throw std::invalid_argument("negative value for " + key + ": \"" + value +
-                                "\"");
-  }
-  return static_cast<std::size_t>(v);
-}
-
-// For int-typed non-negative keys (round/demand bounds): rejects values the
-// int field cannot hold instead of wrapping through a static_cast.
-inline int parse_int(const std::string& key, const std::string& value) {
-  const long v = parse_long(key, value);
-  if (v < 0) {
-    throw std::invalid_argument("negative value for " + key + ": \"" + value +
-                                "\"");
-  }
-  if (v > INT_MAX) {
-    throw std::invalid_argument("out of range for " + key + ": \"" + value +
-                                "\"");
-  }
-  return static_cast<int>(v);
-}
-
-inline std::uint64_t parse_u64(const std::string& key,
-                               const std::string& value) {
-  if (!value.empty() && value[0] == '-') {
-    throw std::invalid_argument("negative value for " + key + ": \"" + value +
-                                "\"");
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
-  if (end == value.c_str() || *end != '\0') {
-    throw std::invalid_argument("bad integer for " + key + ": \"" + value +
-                                "\"");
-  }
-  if (errno == ERANGE) {
-    throw std::invalid_argument("out of range for " + key + ": \"" + value +
-                                "\"");
-  }
-  return static_cast<std::uint64_t>(v);
-}
-
-inline double parse_double(const std::string& key, const std::string& value) {
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(value.c_str(), &end);
-  if (end == value.c_str() || *end != '\0') {
-    throw std::invalid_argument("bad number for " + key + ": \"" + value +
-                                "\"");
-  }
-  if (errno == ERANGE) {
-    throw std::invalid_argument("out of range for " + key + ": \"" + value +
-                                "\"");
-  }
-  return v;
-}
+using venn::internal::parse_double;
+using venn::internal::parse_int;
+using venn::internal::parse_long;
+using venn::internal::parse_positive;
+using venn::internal::parse_prob;
+using venn::internal::parse_size;
+using venn::internal::parse_u64;
 
 }  // namespace venn::api::internal

@@ -13,13 +13,12 @@ using internal::parse_size;
 using internal::parse_u64;
 
 trace::Workload parse_workload(const std::string& s) {
-  if (s == "even") return trace::Workload::kEven;
-  if (s == "small") return trace::Workload::kSmall;
-  if (s == "large") return trace::Workload::kLarge;
-  if (s == "low") return trace::Workload::kLow;
-  if (s == "high") return trace::Workload::kHigh;
-  throw std::invalid_argument(
-      "unknown workload \"" + s + "\" (even|small|large|low|high)");
+  const auto w = trace::workload_from_name(s);
+  if (!w) {
+    throw std::invalid_argument("unknown workload \"" + s +
+                                "\" (even|small|large|low|high)");
+  }
+  return *w;
 }
 
 std::optional<trace::BiasedWorkload> parse_bias(const std::string& s) {
@@ -63,6 +62,25 @@ bool ScenarioSpec::try_set(const std::string& key, const std::string& value) {
     job_trace.nominal_task_s = parse_double(key, value);
   } else if (key == "task-cv") {
     job_trace.task_cv = parse_double(key, value);
+  } else if (key == "arrival") {
+    (void)workload::arrival_registry().keys(value);  // throws on unknown name
+    arrival_gen.name = value;
+  } else if (key == "mix") {
+    (void)workload::mix_registry().keys(value);  // throws on unknown name
+    mix_gen.name = value;
+  } else if (key == "churn") {
+    (void)workload::churn_registry().keys(value);  // throws on unknown name
+    churn_gen.name = value;
+  } else if (key.starts_with("arrival.")) {
+    arrival_gen.params.kv[key.substr(8)] = value;
+  } else if (key.starts_with("mix.")) {
+    mix_gen.params.kv[key.substr(4)] = value;
+  } else if (key.starts_with("churn.")) {
+    churn_gen.params.kv[key.substr(6)] = value;
+  } else if (key == "open-loop") {
+    open_loop = parse_long(key, value) != 0;
+  } else if (key == "stream") {
+    streaming = parse_long(key, value) != 0;
   } else {
     return false;
   }

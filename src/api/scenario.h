@@ -27,6 +27,7 @@
 #include "trace/hardware.h"
 #include "trace/job_trace.h"
 #include "util/ids.h"
+#include "workload/workload.h"
 
 namespace venn::api {
 
@@ -47,6 +48,21 @@ struct ScenarioSpec {
   std::optional<trace::BiasedWorkload> bias;
   trace::JobTraceConfig job_trace;
 
+  // Pluggable generators (src/workload/). An unconfigured family (empty
+  // name) keeps the legacy single-model path for that axis, so existing
+  // scenarios reproduce byte-identically. Names are validated against the
+  // family registry when set.
+  workload::GeneratorSpec arrival_gen;  // arrival=..., arrival.<key>=...
+  workload::GeneratorSpec mix_gen;      // mix=...,     mix.<key>=...
+  workload::GeneratorSpec churn_gen;    // churn=...,   churn.<key>=...
+
+  // open-loop=1: jobs are admitted mid-run from the arrival stream
+  // (requires arrival= and mix=); `jobs` caps admissions, 0 = unbounded.
+  bool open_loop = false;
+  // stream=1: device sessions are pulled lazily from the churn model
+  // (requires churn=) — O(devices) memory instead of O(devices × horizon).
+  bool streaming = false;
+
   // Simulation.
   SimTime horizon = 28.0 * kDay;
 
@@ -54,12 +70,21 @@ struct ScenarioSpec {
   // jobs, workload (even|small|large|low|high), bias
   // (none|general|compute|memory|resource), horizon-days, min-rounds,
   // max-rounds, min-demand, max-demand, interarrival-min, base-trace,
-  // task-s, task-cv. Returns false if the key is not a scenario key.
-  // Throws std::invalid_argument on a known key with a bad value.
+  // task-s, task-cv, arrival, arrival.<key>, mix, mix.<key>, churn,
+  // churn.<key>, open-loop (0|1), stream (0|1). Returns false if the key
+  // is not a scenario key. Throws std::invalid_argument on a known key
+  // with a bad value.
   bool try_set(const std::string& key, const std::string& value);
 
   // As try_set, but an unknown key throws std::invalid_argument.
   void set(const std::string& key, const std::string& value);
+
+  // True when any workload generator family is configured (the scenario
+  // leaves the legacy single-model world).
+  [[nodiscard]] bool uses_generators() const {
+    return arrival_gen.configured() || mix_gen.configured() ||
+           churn_gen.configured();
+  }
 };
 
 struct PolicySpec {

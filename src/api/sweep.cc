@@ -59,7 +59,10 @@ std::vector<SweepCell> SweepRunner::run(const SweepSpec& spec) const {
       try {
         ScenarioSpec scenario = spec.scenarios[cell.scenario_index];
         scenario.seed = cell.seed;
-        const Experiment ex(scenario, build_inputs(scenario));
+        // build() instantiates the workload generator set once and shares
+        // it between input generation and the run (base traces / replay
+        // files are not rebuilt).
+        const Experiment ex = ExperimentBuilder().scenario(scenario).build();
         cell.result = ex.run(spec.policies[cell.policy_index]);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/logging.h"
 
@@ -16,6 +17,19 @@ Coordinator::Coordinator(sim::Engine& engine, ResourceManager& manager,
       devices_(std::move(devices)),
       specs_(std::move(specs)),
       cfg_(cfg) {
+  if (cfg_.arrival != nullptr && cfg_.mix == nullptr) {
+    throw std::invalid_argument(
+        "Coordinator: open-loop arrivals require a job-mix sampler");
+  }
+  if (streaming_churn()) {
+    for (const auto& d : devices_) {
+      if (d.has_sessions()) {
+        throw std::invalid_argument(
+            "Coordinator: streaming churn requires devices without "
+            "pre-materialized sessions");
+      }
+    }
+  }
   if (!devices_.empty()) {
     double acc = 0.0;
     for (const auto& d : devices_) acc += 1.0 / d.speed();
@@ -23,7 +37,29 @@ Coordinator::Coordinator(sim::Engine& engine, ResourceManager& manager,
   }
 }
 
+std::size_t Coordinator::resident_session_count() const {
+  if (streaming_churn()) {
+    // Actual measurement: streams currently holding a session (≤ 1 each).
+    std::size_t n = 0;
+    for (const auto& st : streams_) n += st.has_session ? 1 : 0;
+    return n;
+  }
+  std::size_t n = 0;
+  for (const auto& d : devices_) n += d.sessions().size();
+  return n;
+}
+
 double Coordinator::supply_rate(const Requirement& req) const {
+  if (cfg_.churn != nullptr) {
+    // Analytic rate from the churn model — used whether or not sessions
+    // are streamed, so both modes produce identical solo estimates.
+    std::size_t eligible = 0;
+    for (const auto& d : devices_) eligible += req.eligible(d.spec()) ? 1 : 0;
+    const double rate = static_cast<double>(eligible) *
+                        cfg_.churn->mean_sessions_per_day() / kDay;
+    return std::max(rate, 1e-9);
+  }
+
   // Daily-averaged check-in rate of eligible devices: one check-in per
   // session, averaged over the span the sessions cover.
   double checkins = 0.0;
@@ -47,15 +83,19 @@ double Coordinator::solo_jct_estimate(const trace::JobSpec& spec) const {
   // holds roughly (eligible check-in rate x mean session duration) devices,
   // so requests up to the pool size fill near-instantly and only the excess
   // waits for fresh check-ins.
-  double session_time = 0.0, session_count = 0.0;
-  for (const auto& d : devices_) {
-    for (const auto& s : d.sessions()) {
-      session_time += s.duration();
-      session_count += 1.0;
+  double mean_session = kHour;
+  if (cfg_.churn != nullptr) {
+    mean_session = cfg_.churn->mean_session_seconds();
+  } else {
+    double session_time = 0.0, session_count = 0.0;
+    for (const auto& d : devices_) {
+      for (const auto& s : d.sessions()) {
+        session_time += s.duration();
+        session_count += 1.0;
+      }
     }
+    if (session_count > 0.0) mean_session = session_time / session_count;
   }
-  const double mean_session =
-      session_count > 0.0 ? session_time / session_count : kHour;
   const double pool = rate * mean_session;
   const double excess = std::max(0.0, static_cast<double>(spec.demand) - pool);
   const double sched = excess / rate;
@@ -68,7 +108,7 @@ double Coordinator::solo_jct_estimate(const trace::JobSpec& spec) const {
 }
 
 void Coordinator::run() {
-  // Job arrivals.
+  // Job arrivals from the pre-built spec list (closed loop).
   jobs_.reserve(specs_.size());
   for (std::size_t i = 0; i < specs_.size(); ++i) {
     jobs_.push_back(std::make_unique<Job>(JobId(static_cast<int64_t>(i)),
@@ -78,16 +118,114 @@ void Coordinator::run() {
   unfinished_jobs_ = jobs_.size();
   for (std::size_t i = 0; i < jobs_.size(); ++i) schedule_job_arrival(i);
 
+  // Open-loop arrivals: one pending self-rescheduling event pulls the
+  // arrival stream; each firing admits a job sampled from the mix.
+  if (cfg_.arrival != nullptr) {
+    mix_rng_ = Rng(Rng::derive(cfg_.seed, "open-loop-mix"));
+    auto arrivals =
+        cfg_.arrival->stream(Rng(Rng::derive(cfg_.seed, "open-loop-arrival")));
+    auto next_at = [this, arrivals = std::shared_ptr<workload::ArrivalStream>(
+                              std::move(arrivals)),
+                    last_t = SimTime(-1.0), stuck = std::uint64_t(0)]() mutable
+        -> std::optional<SimTime> {
+      if (cfg_.max_jobs != 0 && admitted_ >= cfg_.max_jobs) {
+        return std::nullopt;
+      }
+      const auto t = arrivals->next();
+      if (!t || *t >= cfg_.horizon) return std::nullopt;
+      // Livelock guard for unbounded admission: a batch process that never
+      // advances time (e.g. arrival=static with no spacing) would otherwise
+      // admit forever at one timestamp.
+      if (cfg_.max_jobs == 0) {
+        stuck = (*t == last_t) ? stuck + 1 : 0;
+        last_t = *t;
+        if (stuck > 65536) {
+          throw std::runtime_error(
+              "open-loop arrival process is not advancing time; cap "
+              "admissions with jobs=N or use a spaced arrival process");
+        }
+      }
+      return *t;
+    };
+    const auto first = next_at();
+    engine_.stream(first, [this, next_at]() mutable -> std::optional<SimTime> {
+      admit_job();
+      return next_at();
+    });
+  }
+
   // Device session starts.
-  for (std::size_t d = 0; d < devices_.size(); ++d) {
-    for (const auto& session : devices_[d].sessions()) {
-      const SimTime t = session.start;
-      if (t > cfg_.horizon) break;
-      engine_.at(t, [this, d] { attempt_checkin(d); });
+  if (streaming_churn()) {
+    // Streaming: one lazy stream per device, advanced session by session.
+    streams_.resize(devices_.size());
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      streams_[d].stream = cfg_.churn->stream(
+          workload::device_stream_ctx(cfg_.seed, d, cfg_.horizon));
+      advance_device(d);
+    }
+  } else {
+    for (std::size_t d = 0; d < devices_.size(); ++d) {
+      for (const auto& session : devices_[d].sessions()) {
+        const SimTime t = session.start;
+        if (t > cfg_.horizon) break;
+        engine_.at(t, [this, d] { attempt_checkin(d); });
+      }
     }
   }
 
   engine_.run_until(cfg_.horizon);
+}
+
+void Coordinator::admit_job() {
+  trace::JobSpec spec = cfg_.mix->sample(mix_rng_);
+  spec.arrival = engine_.now();
+  const auto idx = static_cast<std::int64_t>(jobs_.size());
+  jobs_.push_back(std::make_unique<Job>(JobId(idx), spec));
+  Job* job = jobs_.back().get();
+  by_id_[job->id()] = job;
+  ++unfinished_jobs_;
+  ++admitted_;
+  manager_.register_job(job, solo_jct_estimate(spec));
+  submit_request(job);
+}
+
+void Coordinator::advance_device(std::size_t dev_idx) {
+  auto& st = streams_[dev_idx];
+  st.has_session = false;
+  while (st.stream) {
+    const auto s = st.stream->next();
+    if (!s || s->start >= cfg_.horizon) {
+      st.stream.reset();
+      return;
+    }
+    if (s->end <= s->start) continue;
+    ++sessions_streamed_;
+    st.current = *s;
+    st.has_session = true;
+    engine_.at(std::max(s->start, engine_.now()),
+               [this, dev_idx] { attempt_checkin(dev_idx); });
+    // One event retires the session AND pulls the next one — the stream
+    // stays one session ahead, never materialized.
+    engine_.at(std::min(s->end, cfg_.horizon), [this, dev_idx] {
+      idle_pool_.erase(dev_idx);
+      advance_device(dev_idx);
+    });
+    return;
+  }
+}
+
+SimTime Coordinator::active_session_end(std::size_t dev_idx,
+                                        SimTime now) const {
+  if (streaming_churn()) {
+    const auto& st = streams_[dev_idx];
+    if (st.has_session && st.current.contains(now)) return st.current.end;
+    return -1.0;
+  }
+  for (const auto& s : devices_[dev_idx].sessions()) {
+    if (s.contains(now)) return s.end;
+    if (s.start > now) break;
+  }
+  return -1.0;
 }
 
 void Coordinator::schedule_job_arrival(std::size_t job_idx) {
@@ -123,15 +261,7 @@ void Coordinator::attempt_checkin(std::size_t dev_idx) {
   Device& dev = devices_[dev_idx];
   const SimTime now = engine_.now();
 
-  // Locate the session covering `now`.
-  SimTime session_end = -1.0;
-  for (const auto& s : dev.sessions()) {
-    if (s.contains(now)) {
-      session_end = s.end;
-      break;
-    }
-    if (s.start > now) break;
-  }
+  const SimTime session_end = active_session_end(dev_idx, now);
   if (session_end < 0.0) return;  // no active session
 
   if (dev.participated_on_day(Device::day_of(now))) {
@@ -148,10 +278,13 @@ void Coordinator::attempt_checkin(std::size_t dev_idx) {
     handle_outcome(dev_idx, *outcome);
     return;
   }
-  // Park in the idle pool until the session ends.
+  // Park in the idle pool until the session ends. In streaming mode the
+  // session's advance event retires the pool entry.
   idle_pool_.insert(dev_idx);
-  engine_.at(std::min(session_end, cfg_.horizon),
-             [this, dev_idx] { idle_pool_.erase(dev_idx); });
+  if (!streaming_churn()) {
+    engine_.at(std::min(session_end, cfg_.horizon),
+               [this, dev_idx] { idle_pool_.erase(dev_idx); });
+  }
 }
 
 void Coordinator::handle_outcome(std::size_t dev_idx,
@@ -172,13 +305,8 @@ void Coordinator::handle_outcome(std::size_t dev_idx,
 
   // The device's current session must outlast the computation, otherwise the
   // task fails when the device goes offline (ephemerality).
-  SimTime session_end = cfg_.horizon;
-  for (const auto& s : dev.sessions()) {
-    if (s.contains(now)) {
-      session_end = s.end;
-      break;
-    }
-  }
+  SimTime session_end = active_session_end(dev_idx, now);
+  if (session_end < 0.0) session_end = cfg_.horizon;
 
   const RequestId rid = outcome.request;
   const JobId jid = outcome.job;

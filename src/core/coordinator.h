@@ -14,6 +14,17 @@
 //   round done   -> next round submitted immediately; last round records JCT
 //
 // Each device participates in at most one job per day (§5.1 realism rule).
+//
+// Two workload modes compose with the closed-loop replay above:
+//
+//   streaming churn — when `CoordinatorConfig::churn` is set, devices carry
+//     NO pre-materialized session vectors; each device pulls its next
+//     session lazily from a workload::ChurnStream (seeded per device via
+//     Rng::derive) and self-reschedules through the engine. Memory is
+//     O(devices), not O(devices × horizon).
+//   open loop — when `arrival` + `mix` are set, jobs are admitted mid-run
+//     from the arrival stream (the paper's dynamic-arrival setting) instead
+//     of coming from a pre-built spec list.
 #pragma once
 
 #include <memory>
@@ -24,11 +35,34 @@
 #include "core/resource_manager.h"
 #include "sim/engine.h"
 #include "trace/job_trace.h"
+#include "workload/arrival.h"
+#include "workload/churn.h"
+#include "workload/mix.h"
 
 namespace venn {
 
 struct CoordinatorConfig {
   SimTime horizon = 28.0 * kDay;  // hard stop for the simulation
+
+  // Open-loop workload: non-null `arrival` admits jobs mid-run (requires
+  // `mix`), capped at `max_jobs` admissions (0 = unbounded until horizon).
+  const workload::ArrivalProcess* arrival = nullptr;
+  const workload::JobMixSampler* mix = nullptr;
+  std::size_t max_jobs = 0;
+
+  // Churn model of the device population, when one is configured. Always
+  // used for the analytic supply-rate / session statistics behind
+  // solo_jct_estimate, so stream_sessions=0 and =1 estimate identically.
+  // With `stream_sessions` set, sessions are additionally pulled lazily
+  // from the model and the devices passed to the constructor must carry
+  // empty session vectors (specs only).
+  const workload::ChurnModel* churn = nullptr;
+  bool stream_sessions = false;
+
+  // Base seed for the arrival/mix/churn streams. Derive it from the
+  // scenario seed (NOT the engine's), so every policy replays the same
+  // world.
+  std::uint64_t seed = 0;
 };
 
 class Coordinator {
@@ -54,6 +88,15 @@ class Coordinator {
   // Used for the §4.4 fairness bound and the Fig. 14b metric.
   [[nodiscard]] double solo_jct_estimate(const trace::JobSpec& spec) const;
 
+  // --- streaming accounting (churn mode) --------------------------------
+  // Total sessions pulled from churn streams so far, and the number of
+  // Session objects resident at once (one per device) — the allocation-count
+  // evidence that streaming never materializes per-device session vectors.
+  [[nodiscard]] std::uint64_t sessions_streamed() const {
+    return sessions_streamed_;
+  }
+  [[nodiscard]] std::size_t resident_session_count() const;
+
   // Assignment accounting (the Fig. 8a matrix) is no longer baked in here;
   // install an AssignmentMatrixObserver (core/observer.h) on the
   // ResourceManager instead — the api::Experiment run path does so
@@ -62,6 +105,15 @@ class Coordinator {
  private:
   void schedule_job_arrival(std::size_t job_idx);
   void submit_request(Job* job);
+  // Open-loop admission: create + register a job sampled from the mix.
+  void admit_job();
+  // Streaming churn: pull the device's next session and arm its check-in /
+  // advance events. Called at setup and at each session end.
+  void advance_device(std::size_t dev_idx);
+  // End of the session covering `now` for this device (streamed or
+  // materialized), or a negative value when the device is offline.
+  [[nodiscard]] SimTime active_session_end(std::size_t dev_idx,
+                                           SimTime now) const;
   // Device checks in if a session covers `now` and today's participation
   // budget is unspent; otherwise re-arms at the next day boundary while the
   // session lasts (multi-day sessions — e.g. plugged-in desktops — regain
@@ -90,6 +142,24 @@ class Coordinator {
   std::unordered_set<std::size_t> idle_pool_;  // device indices
   std::size_t unfinished_jobs_ = 0;
   double mean_exec_factor_ = 1.0;  // population mean of 1/speed
+
+  [[nodiscard]] bool streaming_churn() const {
+    return cfg_.churn != nullptr && cfg_.stream_sessions;
+  }
+
+  // Streaming-churn state: one lazy stream and at most one resident
+  // session per device.
+  struct DeviceStream {
+    std::unique_ptr<workload::ChurnStream> stream;
+    Session current{0.0, 0.0};
+    bool has_session = false;
+  };
+  std::vector<DeviceStream> streams_;
+  std::uint64_t sessions_streamed_ = 0;
+
+  // Open-loop state: job specs sampled as arrivals fire.
+  Rng mix_rng_{0};
+  std::size_t admitted_ = 0;
 };
 
 }  // namespace venn

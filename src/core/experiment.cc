@@ -1,37 +1,6 @@
 #include "core/experiment.h"
 
-#include <stdexcept>
-
-#include "scheduler/fifo_sched.h"
-#include "scheduler/random_sched.h"
-#include "scheduler/srsf_sched.h"
-#include "sim/engine.h"
-
-// This file implements the deprecated Policy-enum shim in terms of itself;
-// silence the self-referential deprecation warnings.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
 namespace venn {
-
-std::string policy_name(Policy p) {
-  switch (p) {
-    case Policy::kRandom:
-      return "Random";
-    case Policy::kFifo:
-      return "FIFO";
-    case Policy::kSrsf:
-      return "SRSF";
-    case Policy::kVenn:
-      return "Venn";
-    case Policy::kVennNoSched:
-      return "Venn w/o sched";
-    case Policy::kVennNoMatch:
-      return "Venn w/o match";
-  }
-  throw std::invalid_argument("unknown Policy");
-}
 
 ExperimentInputs build_inputs(const ExperimentConfig& cfg) {
   ExperimentInputs in;
@@ -56,60 +25,6 @@ ExperimentInputs build_inputs(const ExperimentConfig& cfg) {
                                    cfg.job_trace, job_rng);
   if (cfg.bias) trace::apply_bias(in.jobs, *cfg.bias, job_rng);
   return in;
-}
-
-std::unique_ptr<Scheduler> make_scheduler(Policy p, const VennConfig& venn,
-                                          std::uint64_t sched_seed) {
-  switch (p) {
-    case Policy::kRandom:
-      return std::make_unique<RandomScheduler>(Rng(sched_seed));
-    case Policy::kFifo:
-      return std::make_unique<FifoScheduler>();
-    case Policy::kSrsf:
-      return std::make_unique<SrsfScheduler>();
-    case Policy::kVenn: {
-      VennConfig c = venn;
-      c.enable_scheduling = true;
-      c.enable_matching = true;
-      return std::make_unique<VennScheduler>(c, Rng(sched_seed));
-    }
-    case Policy::kVennNoSched: {
-      VennConfig c = venn;
-      c.enable_scheduling = false;
-      c.enable_matching = true;
-      return std::make_unique<VennScheduler>(c, Rng(sched_seed));
-    }
-    case Policy::kVennNoMatch: {
-      VennConfig c = venn;
-      c.enable_scheduling = true;
-      c.enable_matching = false;
-      return std::make_unique<VennScheduler>(c, Rng(sched_seed));
-    }
-  }
-  throw std::invalid_argument("unknown Policy");
-}
-
-RunResult run_with_inputs(const ExperimentConfig& cfg, Policy p,
-                          const ExperimentInputs& inputs) {
-  // Seed streams match api::Experiment::run so that the shim and the new
-  // API produce byte-identical results for equivalent configurations.
-  sim::Engine engine(Rng::derive(cfg.seed, "engine"));
-  ResourceManager manager(
-      make_scheduler(p, cfg.venn, Rng::derive(cfg.seed, "scheduler")));
-  AssignmentMatrixObserver matrix;
-  manager.add_observer(&matrix);
-  CoordinatorConfig ccfg;
-  ccfg.horizon = cfg.horizon;
-  Coordinator coord(engine, manager, inputs.devices, inputs.jobs, ccfg);
-  coord.run();
-  RunResult result = collect_results(coord, policy_name(p));
-  result.assignment_matrix = matrix.matrix();
-  return result;
-}
-
-RunResult run_experiment(const ExperimentConfig& cfg, Policy p) {
-  const ExperimentInputs inputs = build_inputs(cfg);
-  return run_with_inputs(cfg, p, inputs);
 }
 
 }  // namespace venn

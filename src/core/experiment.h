@@ -1,4 +1,4 @@
-// Experiment input generation + the legacy Policy-enum shim.
+// Experiment input generation (legacy single-model path).
 //
 // Builds a device population (hardware mixture + diurnal availability) and a
 // workload (base job trace + workload sampler + optional §5.4 bias). The
@@ -6,16 +6,16 @@
 // cross-policy comparisons see identical inputs (the paper's simulator
 // replays the same traces for every baseline).
 //
-// NOTE: the closed `Policy` enum, `make_scheduler` and the
-// `run_experiment` / `run_with_inputs` entry points below are DEPRECATED,
-// kept as thin shims for one release. New code uses the open,
-// string-keyed API behind `venn/venn.h`: PolicyRegistry +
-// ScenarioSpec/ExperimentBuilder (src/api/).
+// The closed `Policy` enum, `make_scheduler`, `run_experiment` and
+// `run_with_inputs` shims that used to live here were removed as promised
+// one release after deprecation; use the open, string-keyed API behind
+// `venn/venn.h` (PolicyRegistry + ScenarioSpec/ExperimentBuilder). The
+// scenario-level generator path (api/builder.h + src/workload/) supersedes
+// this config for new worlds; it remains the byte-stable substrate for
+// generator-free scenarios.
 #pragma once
 
-#include <memory>
 #include <optional>
-#include <string>
 
 #include "core/metrics.h"
 #include "scheduler/venn_sched.h"
@@ -24,20 +24,6 @@
 #include "trace/job_trace.h"
 
 namespace venn {
-
-// DEPRECATED: closed policy enumeration. Use registry names instead
-// ("random", "fifo", "srsf", "venn", "venn-nosched", "venn-nomatch").
-enum class Policy {
-  kRandom = 0,     // optimized random matching (normalization baseline)
-  kFifo,
-  kSrsf,
-  kVenn,           // IRS + matching (+ fairness if epsilon > 0)
-  kVennNoSched,    // matching only, FIFO order  ("Venn w/o sched", Fig. 11)
-  kVennNoMatch,    // IRS only                   ("Venn w/o match", Fig. 11)
-};
-
-[[deprecated("use PolicyRegistry names (venn/venn.h)")]] [[nodiscard]]
-std::string policy_name(Policy p);
 
 struct ExperimentConfig {
   std::uint64_t seed = 42;
@@ -68,24 +54,5 @@ struct ExperimentInputs {
   std::vector<trace::JobSpec> jobs;
 };
 [[nodiscard]] ExperimentInputs build_inputs(const ExperimentConfig& cfg);
-
-// DEPRECATED: constructs the scheduler for an enum policy. `sched_seed`
-// feeds the policy's private random stream. Use
-// PolicyRegistry::instance().create(name, params, seed) instead.
-[[deprecated("use PolicyRegistry::create (venn/venn.h)")]] [[nodiscard]]
-std::unique_ptr<Scheduler> make_scheduler(Policy p, const VennConfig& venn,
-                                          std::uint64_t sched_seed);
-
-// DEPRECATED: end-to-end run via the enum policy. Use
-// api::ExperimentBuilder (venn/venn.h); results are byte-identical for the
-// equivalent scenario + policy name.
-[[deprecated("use api::ExperimentBuilder (venn/venn.h)")]] [[nodiscard]]
-RunResult run_experiment(const ExperimentConfig& cfg, Policy p);
-
-// DEPRECATED: as above but with inputs already built. Use
-// api::Experiment::run (venn/venn.h).
-[[deprecated("use api::Experiment::run (venn/venn.h)")]] [[nodiscard]]
-RunResult run_with_inputs(const ExperimentConfig& cfg, Policy p,
-                          const ExperimentInputs& inputs);
 
 }  // namespace venn

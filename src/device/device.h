@@ -29,11 +29,17 @@ class Device {
  public:
   Device(DeviceId id, DeviceSpec spec, std::vector<Session> sessions);
 
+  // Sessionless device for streaming-churn scenarios: availability is
+  // pulled lazily from a workload::ChurnStream instead of being stored
+  // here, so sessions() stays empty for the device's whole lifetime.
+  Device(DeviceId id, DeviceSpec spec) : Device(id, spec, {}) {}
+
   [[nodiscard]] DeviceId id() const { return id_; }
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
   [[nodiscard]] const std::vector<Session>& sessions() const {
     return sessions_;
   }
+  [[nodiscard]] bool has_sessions() const { return !sessions_.empty(); }
 
   // Relative execution speed in (0, 1]: a speed-1.0 device finishes a task
   // in its nominal duration; slower devices take proportionally longer.

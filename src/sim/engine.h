@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 
 #include "sim/event_queue.h"
 #include "util/rng.h"
@@ -33,6 +35,13 @@ class Engine {
   // stops or `fn` returns false.
   void every(SimTime period, std::function<bool()> fn);
 
+  // Drive a lazy event stream: `fn` fires at `first`, then at whatever time
+  // it returns, until it returns nullopt. Times in the past are clamped to
+  // now(). The workload generators feed the queue through this — one
+  // pending event per stream instead of a materialized event list.
+  void stream(std::optional<SimTime> first,
+              std::function<std::optional<SimTime>()> fn);
+
   // Run until the queue drains, `t_max` is reached, or the event budget is
   // exhausted (throws std::runtime_error on budget exhaustion — a drained
   // budget almost always indicates a scheduling livelock bug).
@@ -44,6 +53,9 @@ class Engine {
   }
 
  private:
+  void stream_tick(SimTime at,
+                   std::shared_ptr<std::function<std::optional<SimTime>()>> fn);
+
   EventQueue queue_;
   Rng rng_;
   std::uint64_t event_budget_ = 200'000'000;

@@ -5,35 +5,43 @@
 
 namespace venn::trace {
 
+double sample_preferred_hour(const AvailabilityConfig& cfg, Rng& rng) {
+  // Per-device preferred start hour, fixed across days (same person, same
+  // routine) with small day-to-day jitter applied per session.
+  return cfg.peak_hour + rng.normal(0.0, cfg.peak_spread_hours);
+}
+
+void append_day_sessions(const AvailabilityConfig& cfg, int day,
+                         double preferred_hour, Rng& rng,
+                         std::vector<Session>& out) {
+  if (!rng.bernoulli(cfg.daily_online_prob)) return;
+
+  const double jitter = rng.normal(0.0, 0.75);
+  double start_h = preferred_hour + jitter;
+  const double dur_h = std::max(
+      0.25, rng.lognormal_mean_cv(cfg.mean_session_hours, cfg.session_cv));
+  SimTime start = day * kDay + start_h * kHour;
+  SimTime end = start + dur_h * kHour;
+  if (start < 0.0) start = 0.0;
+  if (end > start) out.push_back({start, end});
+
+  if (rng.bernoulli(cfg.extra_session_prob)) {
+    // Daytime top-up charge, uniform over working hours.
+    const double s_h = rng.uniform(9.0, 18.0);
+    const double d_h = std::max(
+        0.1, rng.lognormal_mean_cv(cfg.extra_session_hours, cfg.session_cv));
+    out.push_back(
+        {day * kDay + s_h * kHour, day * kDay + (s_h + d_h) * kHour});
+  }
+}
+
 std::vector<Session> generate_sessions(const AvailabilityConfig& cfg,
                                        Rng& rng) {
   std::vector<Session> sessions;
   const int days = static_cast<int>(std::ceil(cfg.horizon / kDay));
-  // Per-device preferred start hour, fixed across days (same person, same
-  // routine) with small day-to-day jitter.
-  const double preferred =
-      cfg.peak_hour + rng.normal(0.0, cfg.peak_spread_hours);
-
+  const double preferred = sample_preferred_hour(cfg, rng);
   for (int day = 0; day < days; ++day) {
-    if (!rng.bernoulli(cfg.daily_online_prob)) continue;
-
-    const double jitter = rng.normal(0.0, 0.75);
-    double start_h = preferred + jitter;
-    const double dur_h = std::max(
-        0.25, rng.lognormal_mean_cv(cfg.mean_session_hours, cfg.session_cv));
-    SimTime start = day * kDay + start_h * kHour;
-    SimTime end = start + dur_h * kHour;
-    if (start < 0.0) start = 0.0;
-    if (end > start) sessions.push_back({start, end});
-
-    if (rng.bernoulli(cfg.extra_session_prob)) {
-      // Daytime top-up charge, uniform over working hours.
-      const double s_h = rng.uniform(9.0, 18.0);
-      const double d_h = std::max(
-          0.1, rng.lognormal_mean_cv(cfg.extra_session_hours, cfg.session_cv));
-      sessions.push_back({day * kDay + s_h * kHour,
-                          day * kDay + (s_h + d_h) * kHour});
-    }
+    append_day_sessions(cfg, day, preferred, rng, sessions);
   }
 
   std::sort(sessions.begin(), sessions.end(),

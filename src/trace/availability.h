@@ -37,6 +37,16 @@ struct AvailabilityConfig {
 std::vector<Session> generate_sessions(const AvailabilityConfig& cfg,
                                        Rng& rng);
 
+// Building blocks of generate_sessions, shared with the lazy per-day
+// streaming variant (workload/churn.h, `churn=diurnal`): the per-device
+// preferred start hour, and the raw (unclipped, unmerged) sessions of one
+// day. Draw order is part of the contract — both callers must produce the
+// same stream of Rng draws for a given config.
+double sample_preferred_hour(const AvailabilityConfig& cfg, Rng& rng);
+void append_day_sessions(const AvailabilityConfig& cfg, int day,
+                         double preferred_hour, Rng& rng,
+                         std::vector<Session>& out);
+
 // Fraction of `devices` online at each multiple of `step` over the horizon —
 // the series behind Fig. 2a.
 struct AvailabilityPoint {

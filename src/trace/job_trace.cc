@@ -53,15 +53,12 @@ std::vector<BiasedWorkload> all_biased_workloads() {
           BiasedWorkload::kMemoryHeavy, BiasedWorkload::kResourceHeavy};
 }
 
-namespace {
-// Log-uniform integer in [lo, hi].
 int log_uniform_int(int lo, int hi, Rng& rng) {
   if (lo < 1 || hi < lo) throw std::invalid_argument("log_uniform_int range");
   const double u = rng.uniform(std::log(static_cast<double>(lo)),
                                std::log(static_cast<double>(hi) + 1.0));
   return std::clamp(static_cast<int>(std::exp(u)), lo, hi);
 }
-}  // namespace
 
 std::vector<JobSpec> generate_base_trace(const JobTraceConfig& cfg, Rng& rng) {
   std::vector<JobSpec> trace;
@@ -78,9 +75,33 @@ std::vector<JobSpec> generate_base_trace(const JobTraceConfig& cfg, Rng& rng) {
   return trace;
 }
 
-std::vector<JobSpec> sample_workload(const std::vector<JobSpec>& base,
-                                     Workload w, std::size_t n,
-                                     const JobTraceConfig& cfg, Rng& rng) {
+std::optional<Workload> workload_from_name(const std::string& s) {
+  if (s == "even") return Workload::kEven;
+  if (s == "small") return Workload::kSmall;
+  if (s == "large") return Workload::kLarge;
+  if (s == "low") return Workload::kLow;
+  if (s == "high") return Workload::kHigh;
+  return std::nullopt;
+}
+
+std::string workload_cli_name(Workload w) {
+  switch (w) {
+    case Workload::kEven:
+      return "even";
+    case Workload::kSmall:
+      return "small";
+    case Workload::kLarge:
+      return "large";
+    case Workload::kLow:
+      return "low";
+    case Workload::kHigh:
+      return "high";
+  }
+  throw std::invalid_argument("unknown Workload");
+}
+
+std::vector<const JobSpec*> filter_workload(const std::vector<JobSpec>& base,
+                                            Workload w) {
   if (base.empty()) throw std::invalid_argument("empty base trace");
 
   double avg_total = 0.0, avg_demand = 0.0;
@@ -110,6 +131,13 @@ std::vector<JobSpec> sample_workload(const std::vector<JobSpec>& base,
     }();
     if (keep) pool.push_back(&j);
   }
+  return pool;
+}
+
+std::vector<JobSpec> sample_workload(const std::vector<JobSpec>& base,
+                                     Workload w, std::size_t n,
+                                     const JobTraceConfig& cfg, Rng& rng) {
+  const std::vector<const JobSpec*> pool = filter_workload(base, w);
   if (pool.empty()) throw std::logic_error("workload filter left no jobs");
 
   std::vector<JobSpec> jobs;

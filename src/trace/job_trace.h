@@ -54,6 +54,19 @@ std::string biased_workload_name(BiasedWorkload w);
 std::vector<Workload> all_workloads();
 std::vector<BiasedWorkload> all_biased_workloads();
 
+// CLI/config spelling ("even"|"small"|"large"|"low"|"high") -> Workload;
+// nullopt on unknown spellings. Shared by api::parse_workload and the
+// workload mix samplers. workload_cli_name is the exact inverse.
+std::optional<Workload> workload_from_name(const std::string& s);
+std::string workload_cli_name(Workload w);
+
+// Pointers into `base` selected by the §5.1 filter for `w` (Small/Large by
+// total demand vs. the base average, Low/High by per-round demand). Shared
+// by sample_workload and the `mix=even` sampler so the filter semantics
+// cannot drift. Throws std::invalid_argument on an empty base.
+std::vector<const JobSpec*> filter_workload(const std::vector<JobSpec>& base,
+                                            Workload w);
+
 struct JobTraceConfig {
   // Base trace size from which workloads sample.
   std::size_t base_trace_size = 400;
@@ -85,6 +98,11 @@ struct JobTraceConfig {
   // waste scarce devices.
   std::array<double, kNumCategories> category_weights{0.40, 0.25, 0.20, 0.15};
 };
+
+// Log-uniform integer in [lo, hi] — the long-tail shape behind the base
+// trace's rounds/demand draws, shared with the workload mix samplers.
+// Throws std::invalid_argument when lo < 1 or hi < lo.
+int log_uniform_int(int lo, int hi, Rng& rng);
 
 // The base job trace (Fig. 8b analogue): `base_trace_size` jobs with rounds
 // and demand drawn log-uniformly. Arrival times are NOT set here (workload

@@ -1,0 +1,141 @@
+// Validated string-to-number parsing shared by every key=value surface
+// (ScenarioSpec / PolicySpec / PolicyParams / workload GenParams). Every
+// helper rejects empty strings, leading/trailing whitespace, trailing
+// garbage ("12x"), hex/exotic spellings ("0x10", "inf", "nan") and
+// out-of-range magnitudes with std::invalid_argument naming the offending
+// key, so typos fail loudly instead of silently truncating or saturating.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace venn::internal {
+
+// strtol/strtod silently skip leading whitespace and strtod accepts hex
+// floats and "inf"/"nan"; a CLI override with any of those is a typo, not a
+// number. Reject up front so the strto* result is trustworthy.
+inline void check_numeric_shape(const std::string& key,
+                                const std::string& value) {
+  if (value.empty()) {
+    throw std::invalid_argument("empty value for " + key);
+  }
+  if (std::isspace(static_cast<unsigned char>(value.front())) ||
+      std::isspace(static_cast<unsigned char>(value.back()))) {
+    throw std::invalid_argument("whitespace in value for " + key + ": \"" +
+                                value + "\"");
+  }
+  for (const char c : value) {
+    if (c == 'x' || c == 'X') {
+      throw std::invalid_argument("bad number for " + key + ": \"" + value +
+                                  "\"");
+    }
+  }
+}
+
+inline long parse_long(const std::string& key, const std::string& value) {
+  check_numeric_shape(key, value);
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::invalid_argument("bad integer for " + key + ": \"" + value +
+                                "\"");
+  }
+  if (errno == ERANGE) {
+    throw std::invalid_argument("out of range for " + key + ": \"" + value +
+                                "\"");
+  }
+  return v;
+}
+
+// For size-like keys (device counts, job counts): negatives are rejected
+// here rather than wrapping through a size_t cast.
+inline std::size_t parse_size(const std::string& key,
+                              const std::string& value) {
+  const long v = parse_long(key, value);
+  if (v < 0) {
+    throw std::invalid_argument("negative value for " + key + ": \"" + value +
+                                "\"");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+// For int-typed non-negative keys (round/demand bounds): rejects values the
+// int field cannot hold instead of wrapping through a static_cast.
+inline int parse_int(const std::string& key, const std::string& value) {
+  const long v = parse_long(key, value);
+  if (v < 0) {
+    throw std::invalid_argument("negative value for " + key + ": \"" + value +
+                                "\"");
+  }
+  if (v > INT_MAX) {
+    throw std::invalid_argument("out of range for " + key + ": \"" + value +
+                                "\"");
+  }
+  return static_cast<int>(v);
+}
+
+inline std::uint64_t parse_u64(const std::string& key,
+                               const std::string& value) {
+  check_numeric_shape(key, value);
+  if (value[0] == '-') {
+    throw std::invalid_argument("negative value for " + key + ": \"" + value +
+                                "\"");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::invalid_argument("bad integer for " + key + ": \"" + value +
+                                "\"");
+  }
+  if (errno == ERANGE) {
+    throw std::invalid_argument("out of range for " + key + ": \"" + value +
+                                "\"");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+inline double parse_double(const std::string& key, const std::string& value) {
+  check_numeric_shape(key, value);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::invalid_argument("bad number for " + key + ": \"" + value +
+                                "\"");
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    throw std::invalid_argument("out of range for " + key + ": \"" + value +
+                                "\"");
+  }
+  return v;
+}
+
+// For rate/scale-like keys that must be strictly positive.
+inline double parse_positive(const std::string& key, const std::string& value) {
+  const double v = parse_double(key, value);
+  if (v <= 0.0) {
+    throw std::invalid_argument("value for " + key + " must be > 0, got \"" +
+                                value + "\"");
+  }
+  return v;
+}
+
+// For probability-like keys in [0, 1].
+inline double parse_prob(const std::string& key, const std::string& value) {
+  const double v = parse_double(key, value);
+  if (v < 0.0 || v > 1.0) {
+    throw std::invalid_argument("value for " + key +
+                                " must be in [0, 1], got \"" + value + "\"");
+  }
+  return v;
+}
+
+}  // namespace venn::internal

@@ -83,6 +83,14 @@ double Rng::exponential(double rate) {
   return d(engine_);
 }
 
+double Rng::weibull(double shape, double scale) {
+  if (shape <= 0.0 || scale <= 0.0) {
+    throw std::invalid_argument("weibull shape/scale must be > 0");
+  }
+  std::weibull_distribution<double> d(shape, scale);
+  return d(engine_);
+}
+
 std::int64_t Rng::poisson(double mean) {
   std::poisson_distribution<std::int64_t> d(mean);
   return d(engine_);

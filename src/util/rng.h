@@ -56,6 +56,11 @@ class Rng {
   // Exponential with the given rate (events per unit time).
   double exponential(double rate);
 
+  // Weibull with the given shape k and scale lambda (mean
+  // lambda * Gamma(1 + 1/k)). Shape < 1 gives the heavy-tailed on/off
+  // durations of device-churn models.
+  double weibull(double shape, double scale);
+
   // Poisson sample with the given mean.
   std::int64_t poisson(double mean);
 

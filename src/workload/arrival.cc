@@ -1,0 +1,217 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+
+namespace venn::workload {
+
+namespace {
+
+// ------------------------------------------------------------- static --
+// One batch at `at-min`, optionally spaced `spacing-min` apart — the
+// paper's static-arrival setting (§5.1 runs all jobs from t=0).
+class StaticArrivals final : public ArrivalProcess {
+ public:
+  StaticArrivals(SimTime at, SimTime spacing) : at_(at), spacing_(spacing) {}
+  [[nodiscard]] std::string name() const override { return "static"; }
+
+  [[nodiscard]] std::unique_ptr<ArrivalStream> stream(Rng) const override {
+    class Stream final : public ArrivalStream {
+     public:
+      Stream(SimTime at, SimTime spacing) : t_(at), spacing_(spacing) {}
+      std::optional<SimTime> next() override {
+        const SimTime t = t_;
+        t_ += spacing_;
+        return t;
+      }
+
+     private:
+      SimTime t_;
+      SimTime spacing_;
+    };
+    return std::make_unique<Stream>(at_, spacing_);
+  }
+
+ private:
+  SimTime at_;
+  SimTime spacing_;
+};
+
+// ------------------------------------------------------------ poisson --
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(SimTime mean_gap) : mean_gap_(mean_gap) {}
+  [[nodiscard]] std::string name() const override { return "poisson"; }
+
+  [[nodiscard]] std::unique_ptr<ArrivalStream> stream(Rng rng) const override {
+    class Stream final : public ArrivalStream {
+     public:
+      Stream(double rate, Rng rng) : rate_(rate), rng_(std::move(rng)) {}
+      std::optional<SimTime> next() override {
+        t_ += rng_.exponential(rate_);
+        return t_;
+      }
+
+     private:
+      double rate_;
+      Rng rng_;
+      SimTime t_ = 0.0;
+    };
+    return std::make_unique<Stream>(1.0 / mean_gap_, std::move(rng));
+  }
+
+ private:
+  SimTime mean_gap_;
+};
+
+// ------------------------------------------------------------- bursty --
+// Two-state Markov-modulated Poisson process: a calm regime at the base
+// rate and a burst regime at `burst-factor` times the base rate, with
+// exponential regime holding times. Simulated exactly via competing
+// exponentials (next arrival vs. next regime switch).
+class BurstyArrivals final : public ArrivalProcess {
+ public:
+  BurstyArrivals(SimTime mean_gap, double burst_factor, SimTime mean_burst,
+                 SimTime mean_calm)
+      : base_rate_(1.0 / mean_gap),
+        burst_factor_(burst_factor),
+        mean_burst_(mean_burst),
+        mean_calm_(mean_calm) {}
+  [[nodiscard]] std::string name() const override { return "bursty"; }
+
+  [[nodiscard]] std::unique_ptr<ArrivalStream> stream(Rng rng) const override {
+    class Stream final : public ArrivalStream {
+     public:
+      Stream(const BurstyArrivals& p, Rng rng) : p_(p), rng_(std::move(rng)) {}
+      std::optional<SimTime> next() override {
+        for (;;) {
+          const double rate =
+              in_burst_ ? p_.base_rate_ * p_.burst_factor_ : p_.base_rate_;
+          const double hold = in_burst_ ? p_.mean_burst_ : p_.mean_calm_;
+          const SimTime to_arrival = rng_.exponential(rate);
+          const SimTime to_switch = rng_.exponential(1.0 / hold);
+          if (to_arrival <= to_switch) {
+            t_ += to_arrival;
+            return t_;
+          }
+          t_ += to_switch;
+          in_burst_ = !in_burst_;
+        }
+      }
+
+     private:
+      const BurstyArrivals& p_;
+      Rng rng_;
+      SimTime t_ = 0.0;
+      bool in_burst_ = false;
+    };
+    return std::make_unique<Stream>(*this, std::move(rng));
+  }
+
+ private:
+  double base_rate_;
+  double burst_factor_;
+  SimTime mean_burst_;
+  SimTime mean_calm_;
+};
+
+// ------------------------------------------------------------ diurnal --
+// Inhomogeneous Poisson with a daily cosine intensity peaking at
+// `peak-hour` — job arrivals correlated with the diurnal availability
+// pattern of Fig. 2a. Sampled by thinning against the peak rate.
+class DiurnalArrivals final : public ArrivalProcess {
+ public:
+  DiurnalArrivals(SimTime mean_gap, double peak_hour, double depth)
+      : base_rate_(1.0 / mean_gap), peak_hour_(peak_hour), depth_(depth) {}
+  [[nodiscard]] std::string name() const override { return "diurnal"; }
+
+  [[nodiscard]] std::unique_ptr<ArrivalStream> stream(Rng rng) const override {
+    class Stream final : public ArrivalStream {
+     public:
+      Stream(const DiurnalArrivals& p, Rng rng) : p_(p), rng_(std::move(rng)) {}
+      std::optional<SimTime> next() override {
+        const double max_rate = p_.base_rate_ * (1.0 + p_.depth_);
+        for (;;) {
+          t_ += rng_.exponential(max_rate);
+          constexpr double kTwoPi = 6.283185307179586476925;
+          const double phase = kTwoPi * (t_ - p_.peak_hour_ * kHour) / kDay;
+          const double rate =
+              p_.base_rate_ * (1.0 + p_.depth_ * std::cos(phase));
+          if (rng_.uniform() * max_rate <= rate) return t_;
+        }
+      }
+
+     private:
+      const DiurnalArrivals& p_;
+      Rng rng_;
+      SimTime t_ = 0.0;
+    };
+    return std::make_unique<Stream>(*this, std::move(rng));
+  }
+
+ private:
+  double base_rate_;
+  double peak_hour_;
+  double depth_;
+};
+
+void register_builtins(GeneratorRegistry<ArrivalProcess>& reg) {
+  reg.register_generator(
+      "static", {"at-min", "spacing-min"},
+      [](const GenParams& p, std::uint64_t) {
+        return std::make_unique<StaticArrivals>(
+            p.real("at-min", 0.0) * kMinute,
+            p.real("spacing-min", 0.0) * kMinute);
+      });
+  reg.register_generator(
+      "poisson", {"interarrival-min"}, [](const GenParams& p, std::uint64_t) {
+        return std::make_unique<PoissonArrivals>(
+            p.positive("interarrival-min", 30.0) * kMinute);
+      });
+  reg.register_generator(
+      "bursty",
+      {"interarrival-min", "burst-factor", "mean-burst-min", "mean-calm-min"},
+      [](const GenParams& p, std::uint64_t) {
+        return std::make_unique<BurstyArrivals>(
+            p.positive("interarrival-min", 30.0) * kMinute,
+            p.positive("burst-factor", 10.0),
+            p.positive("mean-burst-min", 30.0) * kMinute,
+            p.positive("mean-calm-min", 240.0) * kMinute);
+      });
+  reg.register_generator(
+      "diurnal", {"interarrival-min", "peak-hour", "depth"},
+      [](const GenParams& p, std::uint64_t) {
+        return std::make_unique<DiurnalArrivals>(
+            p.positive("interarrival-min", 30.0) * kMinute,
+            p.real("peak-hour", 14.0), p.prob("depth", 0.8));
+      });
+}
+
+}  // namespace
+
+GeneratorRegistry<ArrivalProcess>& arrival_registry() {
+  // Leaked singleton bootstrapped with the built-ins on first use, so
+  // namespace-scope GeneratorRegistration objects in other translation
+  // units see a fully initialized registry regardless of static-init order.
+  static auto* reg = [] {
+    auto* r = new GeneratorRegistry<ArrivalProcess>("arrival process");
+    register_builtins(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+std::vector<SimTime> materialize_arrivals(const ArrivalProcess& process,
+                                          std::size_t n, SimTime horizon,
+                                          Rng rng) {
+  std::vector<SimTime> out;
+  out.reserve(n);
+  auto stream = process.stream(std::move(rng));
+  while (out.size() < n) {
+    const auto t = stream->next();
+    if (!t || *t >= horizon) break;
+    out.push_back(std::max(*t, 0.0));
+  }
+  return out;
+}
+
+}  // namespace venn::workload

@@ -1,0 +1,58 @@
+// Arrival processes: when jobs enter the system.
+//
+// The paper evaluates under Poisson arrivals (§5.1, 30-min mean
+// inter-arrival) but motivates Venn with production burstiness (Fig. 8b);
+// these generators make the arrival side of the world a scenario knob. A
+// process is a factory of lazy ArrivalStreams: the coordinator's open-loop
+// mode pulls one arrival at a time and schedules the next as a
+// self-rescheduling engine event, so a month of arrivals never exists in
+// memory at once. Closed-loop scenarios take the first N via
+// materialize_arrivals.
+//
+// Built-ins (arrival=<name>, knobs as arrival.<key>=<value>):
+//   static   one batch at a fixed time          at-min, spacing-min
+//   poisson  homogeneous Poisson                interarrival-min
+//   bursty   2-state MMPP (calm/burst)          interarrival-min,
+//                                               burst-factor, mean-burst-min,
+//                                               mean-calm-min
+//   diurnal  inhomogeneous Poisson, daily peak  interarrival-min, peak-hour,
+//            (thinning)                         depth
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace venn::workload {
+
+// Lazy, monotone stream of arrival times. next() returns nullopt when the
+// process is exhausted (most built-ins are unbounded; the caller caps by
+// count or horizon).
+class ArrivalStream {
+ public:
+  virtual ~ArrivalStream() = default;
+  [[nodiscard]] virtual std::optional<SimTime> next() = 0;
+};
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  // All randomness comes from `rng`; derive it from the scenario seed so
+  // every policy in an experiment replays identical arrivals.
+  [[nodiscard]] virtual std::unique_ptr<ArrivalStream> stream(Rng rng) const = 0;
+};
+
+// The arrival-process registry, built-ins pre-registered.
+[[nodiscard]] GeneratorRegistry<ArrivalProcess>& arrival_registry();
+
+// First `n` arrivals (or fewer if the stream ends or leaves [0, horizon)).
+[[nodiscard]] std::vector<SimTime> materialize_arrivals(
+    const ArrivalProcess& process, std::size_t n, SimTime horizon, Rng rng);
+
+}  // namespace venn::workload

@@ -1,0 +1,500 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/availability.h"
+
+namespace venn::workload {
+
+namespace {
+
+// ------------------------------------------------------------ diurnal --
+// The trace/availability.h model, refactored into a lazy per-day stream:
+// the same per-day draws (via trace::append_day_sessions), but generated
+// one day at a time with a small merge buffer instead of a whole-horizon
+// vector. A day's main session can start a few hours before its day
+// boundary (negative jitter) or spill past it, so a buffered session is
+// only emitted once generation has advanced a full day past its end.
+class DiurnalChurn final : public ChurnModel {
+ public:
+  explicit DiurnalChurn(const GenParams& p) {
+    cfg_.peak_hour = p.real("peak-hour", cfg_.peak_hour);
+    cfg_.peak_spread_hours = p.positive("peak-spread-h", cfg_.peak_spread_hours);
+    cfg_.mean_session_hours = p.positive("session-h", cfg_.mean_session_hours);
+    cfg_.session_cv = p.positive("session-cv", cfg_.session_cv);
+    cfg_.daily_online_prob = p.prob("daily-online", cfg_.daily_online_prob);
+    cfg_.extra_session_prob = p.prob("extra-prob", cfg_.extra_session_prob);
+    cfg_.extra_session_hours = p.positive("extra-h", cfg_.extra_session_hours);
+  }
+
+  [[nodiscard]] std::string name() const override { return "diurnal"; }
+
+  [[nodiscard]] std::unique_ptr<ChurnStream> stream(
+      const DeviceStreamCtx& ctx) const override {
+    class Stream final : public ChurnStream {
+     public:
+      Stream(trace::AvailabilityConfig cfg, const DeviceStreamCtx& ctx)
+          : cfg_(cfg), horizon_(ctx.horizon), rng_(ctx.seed) {
+        cfg_.horizon = horizon_;
+        days_ = static_cast<int>(std::ceil(horizon_ / kDay));
+        preferred_ = trace::sample_preferred_hour(cfg_, rng_);
+        // A day-d session starts no earlier than d*kDay + preferred + jitter
+        // hours; with a large peak-spread the preferred hour can be well
+        // below zero, so size the emission guard to this device instead of
+        // assuming one day covers it (plus a generous jitter allowance).
+        guard_ = kDay + std::max(0.0, -preferred_ + 6.0) * kHour;
+      }
+
+      std::optional<Session> next() override {
+        for (;;) {
+          if (!buf_.empty()) {
+            const Session front = buf_.front();
+            // Safe to emit once no future day can produce a session
+            // overlapping it.
+            if (day_ >= days_ || day_ * kDay >= front.end + guard_) {
+              buf_.erase(buf_.begin());
+              // Clamp against what was already emitted: the stream contract
+              // (monotone, non-overlapping) holds even if a pathological
+              // config defeats the guard.
+              Session s{std::max({front.start, 0.0, emitted_end_}),
+                        std::min(front.end, horizon_)};
+              if (s.start >= horizon_) return std::nullopt;
+              if (s.end <= s.start) continue;
+              emitted_end_ = s.end;
+              return s;
+            }
+          }
+          if (day_ >= days_) {
+            if (buf_.empty()) return std::nullopt;
+            continue;  // drain the tail of the buffer
+          }
+          trace::append_day_sessions(cfg_, day_++, preferred_, rng_, buf_);
+          std::sort(buf_.begin(), buf_.end(),
+                    [](const Session& a, const Session& b) {
+                      return a.start < b.start;
+                    });
+          // Merge overlaps within the buffer.
+          std::vector<Session> merged;
+          for (const auto& s : buf_) {
+            if (!merged.empty() && s.start < merged.back().end) {
+              merged.back().end = std::max(merged.back().end, s.end);
+            } else {
+              merged.push_back(s);
+            }
+          }
+          buf_ = std::move(merged);
+        }
+      }
+
+     private:
+      trace::AvailabilityConfig cfg_;
+      SimTime horizon_;
+      Rng rng_;
+      int days_ = 0;
+      int day_ = 0;
+      double preferred_ = 0.0;
+      SimTime guard_ = kDay;         // emission-safety margin, see ctor
+      SimTime emitted_end_ = 0.0;    // end of the last emitted session
+      std::vector<Session> buf_;  // pending sessions, sorted, merged
+    };
+    return std::make_unique<Stream>(cfg_, ctx);
+  }
+
+  [[nodiscard]] double mean_sessions_per_day() const override {
+    return cfg_.daily_online_prob * (1.0 + cfg_.extra_session_prob);
+  }
+  [[nodiscard]] double mean_session_seconds() const override {
+    const double main_h = cfg_.mean_session_hours;
+    const double extra_h = cfg_.extra_session_hours;
+    const double p_extra = cfg_.extra_session_prob;
+    return (main_h + p_extra * extra_h) / (1.0 + p_extra) * kHour;
+  }
+
+ private:
+  trace::AvailabilityConfig cfg_;
+};
+
+// ------------------------------------------------------------ weibull --
+// Alternating Weibull on/off renewal process. Shape < 1 gives the heavy
+// tails measured for real device uptime; scale-h sets the means. The
+// `initial-online` probability seeds the t=0 state so the population does
+// not start synchronized.
+class WeibullChurn final : public ChurnModel {
+ public:
+  explicit WeibullChurn(const GenParams& p)
+      : up_shape_(p.positive("up-shape", 0.8)),
+        up_scale_(p.positive("up-scale-h", 2.5) * kHour),
+        down_shape_(p.positive("down-shape", 0.9)),
+        down_scale_(p.positive("down-scale-h", 6.0) * kHour),
+        initial_online_(p.prob("initial-online", 0.3)) {}
+
+  [[nodiscard]] std::string name() const override { return "weibull"; }
+
+  [[nodiscard]] std::unique_ptr<ChurnStream> stream(
+      const DeviceStreamCtx& ctx) const override {
+    class Stream final : public ChurnStream {
+     public:
+      Stream(const WeibullChurn& m, const DeviceStreamCtx& ctx)
+          : m_(m), horizon_(ctx.horizon), rng_(ctx.seed) {}
+
+      std::optional<Session> next() override {
+        if (first_) {
+          first_ = false;
+          if (!rng_.bernoulli(m_.initial_online_)) {
+            t_ += rng_.weibull(m_.down_shape_, m_.down_scale_);
+          }
+        } else {
+          t_ += rng_.weibull(m_.down_shape_, m_.down_scale_);
+        }
+        if (t_ >= horizon_) return std::nullopt;
+        const SimTime start = t_;
+        t_ += std::max(kMinute, rng_.weibull(m_.up_shape_, m_.up_scale_));
+        return Session{start, std::min(t_, horizon_)};
+      }
+
+     private:
+      const WeibullChurn& m_;
+      SimTime horizon_;
+      Rng rng_;
+      SimTime t_ = 0.0;
+      bool first_ = true;
+    };
+    return std::make_unique<Stream>(*this, ctx);
+  }
+
+  [[nodiscard]] double mean_sessions_per_day() const override {
+    return kDay / (mean_up() + mean_down());
+  }
+  [[nodiscard]] double mean_session_seconds() const override {
+    return mean_up();
+  }
+
+ private:
+  [[nodiscard]] double mean_up() const {
+    return up_scale_ * std::tgamma(1.0 + 1.0 / up_shape_);
+  }
+  [[nodiscard]] double mean_down() const {
+    return down_scale_ * std::tgamma(1.0 + 1.0 / down_shape_);
+  }
+
+  double up_shape_, up_scale_, down_shape_, down_scale_, initial_online_;
+};
+
+// -------------------------------------------------------- flash-crowd --
+// Exponential on/off baseline plus synchronized "flash" windows where a
+// `join-prob` fraction of the whole population comes online at once (a
+// promotional push, a popular live event). The supply spike is what breaks
+// schedulers tuned for smooth diurnal curves.
+class FlashCrowdChurn final : public ChurnModel {
+ public:
+  explicit FlashCrowdChurn(const GenParams& p)
+      : base_up_(p.positive("base-up-h", 1.5) * kHour),
+        base_down_(p.positive("base-down-h", 12.0) * kHour),
+        first_(p.real("first-day", 2.0) * kDay),
+        period_(p.real("period-days", 7.0) * kDay),
+        dur_(p.positive("dur-h", 1.0) * kHour),
+        join_prob_(p.prob("join-prob", 0.7)) {
+    if (period_ < 0.0 || first_ < 0.0) {
+      throw std::invalid_argument(
+          "churn.first-day / churn.period-days must be >= 0");
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return "flash-crowd"; }
+
+  [[nodiscard]] std::unique_ptr<ChurnStream> stream(
+      const DeviceStreamCtx& ctx) const override {
+    class Stream final : public ChurnStream {
+     public:
+      Stream(const FlashCrowdChurn& m, const DeviceStreamCtx& ctx)
+          : m_(m), horizon_(ctx.horizon), rng_(ctx.seed) {}
+
+      std::optional<Session> next() override {
+        if (!primed_) {
+          primed_ = true;
+          base_ = pull_base();
+          flash_ = pull_flash();
+        }
+        std::optional<Session> cur;
+        if (base_ && (!flash_ || base_->start <= flash_->start)) {
+          cur = base_;
+          base_ = pull_base();
+        } else if (flash_) {
+          cur = flash_;
+          flash_ = pull_flash();
+        } else {
+          return std::nullopt;
+        }
+        // Coalesce whatever overlaps the current session, from either
+        // source (both are internally monotone).
+        for (bool merged = true; merged;) {
+          merged = false;
+          if (base_ && base_->start <= cur->end) {
+            cur->end = std::max(cur->end, base_->end);
+            base_ = pull_base();
+            merged = true;
+          }
+          if (flash_ && flash_->start <= cur->end) {
+            cur->end = std::max(cur->end, flash_->end);
+            flash_ = pull_flash();
+            merged = true;
+          }
+        }
+        cur->end = std::min(cur->end, horizon_);
+        if (cur->start >= horizon_ || cur->end <= cur->start) {
+          return std::nullopt;  // both sources are monotone: exhausted
+        }
+        return cur;
+      }
+
+     private:
+      std::optional<Session> pull_base() {
+        if (base_first_) {
+          base_first_ = false;
+          if (!rng_.bernoulli(0.3)) {
+            t_ += rng_.exponential(1.0 / m_.base_down_);
+          }
+        } else {
+          t_ += rng_.exponential(1.0 / m_.base_down_);
+        }
+        if (t_ >= horizon_) return std::nullopt;
+        const SimTime start = t_;
+        t_ += std::max(kMinute, rng_.exponential(1.0 / m_.base_up_));
+        return Session{start, t_};
+      }
+
+      std::optional<Session> pull_flash() {
+        for (;;) {
+          if (m_.period_ <= 0.0 && flash_idx_ > 0) {
+            return std::nullopt;  // period-days=0: a single flash
+          }
+          const SimTime start =
+              m_.first_ + static_cast<double>(flash_idx_) * m_.period_;
+          if (start >= horizon_) return std::nullopt;
+          ++flash_idx_;
+          if (rng_.bernoulli(m_.join_prob_)) {
+            return Session{start, start + m_.dur_};
+          }
+        }
+      }
+
+      const FlashCrowdChurn& m_;
+      SimTime horizon_;
+      Rng rng_;
+      bool primed_ = false;
+      bool base_first_ = true;
+      SimTime t_ = 0.0;
+      std::uint64_t flash_idx_ = 0;
+      std::optional<Session> base_, flash_;
+    };
+    return std::make_unique<Stream>(*this, ctx);
+  }
+
+  [[nodiscard]] double mean_sessions_per_day() const override {
+    double per_day = kDay / (base_up_ + base_down_);
+    if (period_ > 0.0) per_day += join_prob_ * kDay / period_;
+    return per_day;
+  }
+  [[nodiscard]] double mean_session_seconds() const override {
+    return base_up_;
+  }
+
+ private:
+  double base_up_, base_down_;
+  SimTime first_, period_, dur_;
+  double join_prob_;
+};
+
+// -------------------------------------------------------------- trace --
+// CSV replay: `device,start_s,end_s` rows (header and #-comments skipped).
+// Real availability traces (FedScale-style) plug in here. The trace itself
+// is loaded once and shared; per-device streams walk their row list, with
+// device indices mapped modulo the traced population.
+class TraceReplayChurn final : public ChurnModel {
+ public:
+  explicit TraceReplayChurn(const GenParams& p) {
+    const std::string path = p.str("file", "");
+    if (path.empty()) {
+      throw std::invalid_argument("churn=trace requires churn.file=<csv>");
+    }
+    std::ifstream in(path);
+    if (!in) {
+      throw std::invalid_argument("churn.file: cannot open \"" + path + "\"");
+    }
+    std::map<long, std::vector<Session>> by_device;
+    std::string line;
+    std::size_t lineno = 0;
+    const auto bad_row = [&lineno](const std::string& what) {
+      return std::invalid_argument("churn.file: " + what + " at line " +
+                                   std::to_string(lineno));
+    };
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream row(line);
+      std::string dev_s, start_s, end_s;
+      if (!std::getline(row, dev_s, ',') || !std::getline(row, start_s, ',') ||
+          !std::getline(row, end_s)) {
+        throw bad_row("bad row");
+      }
+      // Fields parse through the hardened helpers (no inf/nan/hex/garbage)
+      // or the row is rejected — a typo'd trace must not silently become a
+      // different device population.
+      long dev = 0;
+      try {
+        dev = venn::internal::parse_long("device id", dev_s);
+      } catch (const std::invalid_argument&) {
+        // A header's first field starts with a letter ("device"); anything
+        // starting numeric-ish is a typo'd data row, not a header — don't
+        // silently drop it.
+        if (lineno == 1 && !dev_s.empty() &&
+            std::isalpha(static_cast<unsigned char>(dev_s[0]))) {
+          continue;
+        }
+        throw bad_row("bad device id \"" + dev_s + "\"");
+      }
+      double s = 0.0, e = 0.0;
+      try {
+        s = venn::internal::parse_double("start", start_s);
+        e = venn::internal::parse_double("end", end_s);
+      } catch (const std::invalid_argument&) {
+        throw bad_row("bad timestamps \"" + start_s + "," + end_s + "\"");
+      }
+      if (s < 0.0 || e <= s) {
+        throw bad_row("empty or inverted session [" + start_s + ", " + end_s +
+                      ")");
+      }
+      by_device[dev].push_back({s, e});
+    }
+    if (by_device.empty()) {
+      throw std::invalid_argument("churn.file: no sessions in \"" + path +
+                                  "\"");
+    }
+    double total_dur = 0.0, total_n = 0.0;
+    SimTime span = 0.0;
+    for (auto& [dev, sessions] : by_device) {
+      std::sort(sessions.begin(), sessions.end(),
+                [](const Session& a, const Session& b) {
+                  return a.start < b.start;
+                });
+      // Coalesce overlapping AND exactly-abutting rows (<=): quantized
+      // traces often emit back-to-back sessions, and a shared boundary
+      // timestamp would race a parked device's idle-pool retirement against
+      // its next check-in in materialized mode.
+      std::vector<Session> merged;
+      for (const auto& s : sessions) {
+        if (!merged.empty() && s.start <= merged.back().end) {
+          merged.back().end = std::max(merged.back().end, s.end);
+        } else {
+          merged.push_back(s);
+        }
+      }
+      for (const auto& s : merged) {
+        total_dur += s.duration();
+        total_n += 1.0;
+        span = std::max(span, s.end);
+      }
+      traces_.push_back(std::move(merged));
+    }
+    mean_session_s_ = total_n > 0.0 ? total_dur / total_n : kHour;
+    sessions_per_day_ =
+        span > 0.0 ? total_n / static_cast<double>(traces_.size()) /
+                         (span / kDay)
+                   : 1.0;
+  }
+
+  [[nodiscard]] std::string name() const override { return "trace"; }
+
+  [[nodiscard]] std::unique_ptr<ChurnStream> stream(
+      const DeviceStreamCtx& ctx) const override {
+    class Stream final : public ChurnStream {
+     public:
+      Stream(const std::vector<Session>& rows, SimTime horizon)
+          : rows_(rows), horizon_(horizon) {}
+      std::optional<Session> next() override {
+        while (i_ < rows_.size()) {
+          Session s = rows_[i_++];
+          if (s.start >= horizon_) return std::nullopt;
+          s.end = std::min(s.end, horizon_);
+          if (s.end > s.start) return s;
+        }
+        return std::nullopt;
+      }
+
+     private:
+      const std::vector<Session>& rows_;
+      SimTime horizon_;
+      std::size_t i_ = 0;
+    };
+    return std::make_unique<Stream>(traces_[ctx.index % traces_.size()],
+                                    ctx.horizon);
+  }
+
+  [[nodiscard]] double mean_sessions_per_day() const override {
+    return sessions_per_day_;
+  }
+  [[nodiscard]] double mean_session_seconds() const override {
+    return mean_session_s_;
+  }
+
+ private:
+  std::vector<std::vector<Session>> traces_;
+  double mean_session_s_ = kHour;
+  double sessions_per_day_ = 1.0;
+};
+
+void register_builtins(GeneratorRegistry<ChurnModel>& reg) {
+  reg.register_generator(
+      "diurnal",
+      {"peak-hour", "peak-spread-h", "session-h", "session-cv", "daily-online",
+       "extra-prob", "extra-h"},
+      [](const GenParams& p, std::uint64_t) {
+        return std::make_unique<DiurnalChurn>(p);
+      });
+  reg.register_generator(
+      "weibull",
+      {"up-shape", "up-scale-h", "down-shape", "down-scale-h",
+       "initial-online"},
+      [](const GenParams& p, std::uint64_t) {
+        return std::make_unique<WeibullChurn>(p);
+      });
+  reg.register_generator(
+      "flash-crowd",
+      {"base-up-h", "base-down-h", "first-day", "period-days", "dur-h",
+       "join-prob"},
+      [](const GenParams& p, std::uint64_t) {
+        return std::make_unique<FlashCrowdChurn>(p);
+      });
+  reg.register_generator("trace", {"file"},
+                         [](const GenParams& p, std::uint64_t) {
+                           return std::make_unique<TraceReplayChurn>(p);
+                         });
+}
+
+}  // namespace
+
+GeneratorRegistry<ChurnModel>& churn_registry() {
+  static auto* reg = [] {
+    auto* r = new GeneratorRegistry<ChurnModel>("churn model");
+    register_builtins(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+std::vector<Session> materialize_sessions(const ChurnModel& model,
+                                          const DeviceStreamCtx& ctx) {
+  std::vector<Session> out;
+  auto stream = model.stream(ctx);
+  while (auto s = stream->next()) out.push_back(*s);
+  return out;
+}
+
+}  // namespace venn::workload

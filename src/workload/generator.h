@@ -1,0 +1,190 @@
+// GeneratorRegistry: the open, string-keyed workload-generator extension
+// point — the workload-side mirror of api::PolicyRegistry.
+//
+// The paper's results hinge on the interplay between bursty job arrivals
+// and diurnal device availability (§2.1, Fig. 2a/8b); this registry makes
+// both sides of that world pluggable. Three generator families share the
+// mechanism:
+//
+//   arrival processes  (workload/arrival.h)  — when jobs arrive
+//   job-mix samplers   (workload/mix.h)      — what each job demands
+//   device-churn models (workload/churn.h)   — when devices are online
+//
+// Each family has its own registry instance (arrival_registry() etc., one
+// per interface type), built-ins pre-registered, and external generators
+// self-register from their own translation unit:
+//
+//   const venn::workload::GeneratorRegistration<ArrivalProcess> kMine{
+//       arrival_registry(), "lunar", {"period-days"},
+//       [](const GenParams& p, std::uint64_t) {
+//         return std::make_unique<LunarArrivals>(p.real("period-days", 28));
+//       }};
+//
+// Registration declares the accepted parameter keys; create() rejects any
+// key the generator does not accept, so `arrival.ratee=2` fails loudly
+// instead of silently doing nothing.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/parse.h"
+
+namespace venn::workload {
+
+// Free-form key=value knobs handed to a generator factory (populated from
+// `arrival.<key>` / `mix.<key>` / `churn.<key>` scenario overrides). The
+// typed accessors return `def` when the key is absent and throw
+// std::invalid_argument when a present value fails to parse or violates the
+// accessor's range — a typo'd knob must not silently coerce.
+struct GenParams {
+  std::map<std::string, std::string> kv;
+
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+  }
+  [[nodiscard]] long integer(const std::string& key, long def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : internal::parse_long(key, it->second);
+  }
+  [[nodiscard]] double real(const std::string& key, double def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : internal::parse_double(key, it->second);
+  }
+  [[nodiscard]] double positive(const std::string& key, double def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : internal::parse_positive(key, it->second);
+  }
+  [[nodiscard]] double prob(const std::string& key, double def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : internal::parse_prob(key, it->second);
+  }
+  // Size-like knobs (counts): rejects negatives instead of wrapping.
+  [[nodiscard]] std::size_t size(const std::string& key,
+                                 std::size_t def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : internal::parse_size(key, it->second);
+  }
+  // Non-negative int knobs: rejects negatives and values beyond INT_MAX.
+  [[nodiscard]] int count(const std::string& key, int def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : internal::parse_int(key, it->second);
+  }
+};
+
+template <typename Iface>
+class GeneratorRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Iface>(
+      const GenParams& params, std::uint64_t seed)>;
+
+  // `family` names the registry in error messages / --list output
+  // ("arrival process", "job mix", "churn model").
+  explicit GeneratorRegistry(std::string family)
+      : family_(std::move(family)) {}
+
+  // Registers a factory under `name`, accepting exactly `keys` parameters.
+  // Throws std::invalid_argument on empty/duplicate names or null factory.
+  void register_generator(std::string name, std::vector<std::string> keys,
+                          Factory factory) {
+    if (name.empty()) {
+      throw std::invalid_argument("register " + family_ + ": empty name");
+    }
+    if (!factory) {
+      throw std::invalid_argument("register " + family_ +
+                                  ": null factory for " + name);
+    }
+    const auto [it, inserted] = entries_.emplace(
+        std::move(name), Entry{std::move(keys), std::move(factory)});
+    if (!inserted) {
+      throw std::invalid_argument("register " + family_ + ": duplicate \"" +
+                                  it->first + "\"");
+    }
+  }
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return entries_.contains(name);
+  }
+
+  // Instantiates the named generator. Rejects unknown names (listing the
+  // registered ones) and parameter keys the generator does not accept.
+  // `seed` feeds construction-time draws (e.g. a mix sampler's base trace).
+  [[nodiscard]] std::unique_ptr<Iface> create(const std::string& name,
+                                              const GenParams& params,
+                                              std::uint64_t seed) const {
+    const Entry& entry = find(name);
+    for (const auto& [key, _] : params.kv) {
+      if (std::find(entry.keys.begin(), entry.keys.end(), key) ==
+          entry.keys.end()) {
+        std::string msg = family_ + " \"" + name + "\" has no key \"" + key +
+                          "\"; accepted:";
+        for (const auto& k : entry.keys) msg += " " + k;
+        if (entry.keys.empty()) msg += " (none)";
+        throw std::invalid_argument(msg);
+      }
+    }
+    auto gen = entry.factory(params, seed);
+    if (!gen) {
+      throw std::logic_error(family_ + " factory \"" + name +
+                             "\" returned null");
+    }
+    return gen;
+  }
+
+  // Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, _] : entries_) out.push_back(name);
+    return out;  // std::map iteration is already sorted
+  }
+
+  // The parameter keys `name` accepts (for --list / error messages).
+  [[nodiscard]] const std::vector<std::string>& keys(
+      const std::string& name) const {
+    return find(name).keys;
+  }
+
+  [[nodiscard]] const std::string& family() const { return family_; }
+
+ private:
+  struct Entry {
+    std::vector<std::string> keys;
+    Factory factory;
+  };
+
+  const Entry& find(const std::string& name) const {
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::string msg = "unknown " + family_ + " \"" + name + "\"; registered:";
+      for (const auto& [known, _] : entries_) msg += " " + known;
+      throw std::invalid_argument(msg);
+    }
+    return it->second;
+  }
+
+  std::string family_;
+  std::map<std::string, Entry> entries_;
+};
+
+// RAII self-registration helper for external generators: declare one at
+// namespace scope and the generator is available before main() runs.
+template <typename Iface>
+struct GeneratorRegistration {
+  GeneratorRegistration(GeneratorRegistry<Iface>& registry, std::string name,
+                        std::vector<std::string> keys,
+                        typename GeneratorRegistry<Iface>::Factory factory) {
+    registry.register_generator(std::move(name), std::move(keys),
+                                std::move(factory));
+  }
+};
+
+}  // namespace venn::workload

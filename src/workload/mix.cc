@@ -1,0 +1,221 @@
+#include "workload/mix.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace venn::workload {
+
+namespace {
+
+// Shared trace-shape knobs; defaults come from trace::JobTraceConfig so
+// the families cannot drift from the legacy path they mirror. The
+// validated accessors reject negative counts instead of wrapping.
+trace::JobTraceConfig trace_config(const GenParams& p) {
+  trace::JobTraceConfig cfg;
+  cfg.base_trace_size = p.size("base-trace", cfg.base_trace_size);
+  cfg.min_rounds = p.count("min-rounds", cfg.min_rounds);
+  cfg.max_rounds = p.count("max-rounds", cfg.max_rounds);
+  cfg.min_demand = p.count("min-demand", cfg.min_demand);
+  cfg.max_demand = p.count("max-demand", cfg.max_demand);
+  cfg.nominal_task_s = p.positive("task-s", cfg.nominal_task_s);
+  cfg.task_cv = p.positive("task-cv", cfg.task_cv);
+  return cfg;
+}
+
+trace::Workload parse_workload_key(const std::string& s) {
+  const auto w = trace::workload_from_name(s);
+  if (!w) {
+    throw std::invalid_argument("unknown mix.workload \"" + s +
+                                "\" (even|small|large|low|high)");
+  }
+  return *w;
+}
+
+ResourceCategory parse_category_key(const std::string& s) {
+  if (s == "general") return ResourceCategory::kGeneral;
+  if (s == "compute") return ResourceCategory::kComputeRich;
+  if (s == "memory") return ResourceCategory::kMemoryRich;
+  if (s == "resource") return ResourceCategory::kHighPerf;
+  throw std::invalid_argument("unknown mix.category \"" + s +
+                              "\" (general|compute|memory|resource)");
+}
+
+// --------------------------------------------------------------- even --
+// The §5.1 workloads: draw from a base trace filtered by demand
+// characteristics, categories from the default skewed weights. The base
+// trace is built once at construction from the generator seed, so the same
+// scenario always samples from the same long-tail population.
+class TraceMix : public JobMixSampler {
+ public:
+  TraceMix(const GenParams& p, std::uint64_t seed) : cfg_(trace_config(p)) {
+    Rng rng(seed);
+    const auto base = trace::generate_base_trace(cfg_, rng);
+    const trace::Workload w = parse_workload_key(p.str("workload", "even"));
+    for (const trace::JobSpec* j : trace::filter_workload(base, w)) {
+      pool_.push_back(*j);
+    }
+    if (pool_.empty()) throw std::logic_error("mix filter left no jobs");
+  }
+
+  [[nodiscard]] std::string name() const override { return "even"; }
+
+  [[nodiscard]] trace::JobSpec sample(Rng& rng) const override {
+    trace::JobSpec j = pool_[rng.index(pool_.size())];
+    j.category = sample_category(rng);
+    return j;
+  }
+
+ protected:
+  [[nodiscard]] virtual ResourceCategory sample_category(Rng& rng) const {
+    return all_categories()[rng.weighted_index(cfg_.category_weights)];
+  }
+
+  trace::JobTraceConfig cfg_;
+  std::vector<trace::JobSpec> pool_;
+};
+
+// ------------------------------------------------------------- biased --
+// §5.4 mixtures as a per-job Bernoulli: with probability `frac` the job
+// targets the hot category, otherwise it spreads uniformly over the rest.
+class BiasedMix final : public TraceMix {
+ public:
+  BiasedMix(const GenParams& p, std::uint64_t seed)
+      : TraceMix(p, seed),
+        heavy_(parse_category_key(p.str("category", "compute"))),
+        frac_(p.prob("frac", 0.5)) {
+    for (ResourceCategory c : all_categories()) {
+      if (c != heavy_) others_.push_back(c);
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return "biased"; }
+
+ protected:
+  [[nodiscard]] ResourceCategory sample_category(Rng& rng) const override {
+    if (rng.bernoulli(frac_)) return heavy_;
+    return others_[rng.index(others_.size())];
+  }
+
+ private:
+  ResourceCategory heavy_;
+  double frac_;
+  std::vector<ResourceCategory> others_;
+};
+
+// --------------------------------------------------------- heavy-tail --
+// Pareto(alpha) per-round demand, capped at max-demand — the production
+// extremes of Fig. 8b (demand spanning three orders of magnitude) that the
+// log-uniform base trace deliberately tones down.
+class HeavyTailMix final : public JobMixSampler {
+ public:
+  HeavyTailMix(const GenParams& p)
+      : cfg_(trace_config(p)), alpha_(p.positive("alpha", 1.2)) {}
+
+  [[nodiscard]] std::string name() const override { return "heavy-tail"; }
+
+  [[nodiscard]] trace::JobSpec sample(Rng& rng) const override {
+    trace::JobSpec j;
+    j.rounds = trace::log_uniform_int(cfg_.min_rounds, cfg_.max_rounds, rng);
+    const double u = std::max(rng.uniform(), 1e-12);
+    const double pareto =
+        static_cast<double>(cfg_.min_demand) * std::pow(u, -1.0 / alpha_);
+    j.demand = static_cast<int>(
+        std::min(pareto, static_cast<double>(cfg_.max_demand)));
+    j.nominal_task_s = cfg_.nominal_task_s;
+    j.task_cv = cfg_.task_cv;
+    j.deadline_s = j.deadline_rule(cfg_.max_demand);
+    j.category = all_categories()[rng.weighted_index(cfg_.category_weights)];
+    return j;
+  }
+
+ private:
+  trace::JobTraceConfig cfg_;
+  double alpha_;
+};
+
+// ------------------------------------------------------------- tenant --
+// Multi-tenant category mixes: each of `tenants` organizations gets a
+// Dirichlet-drawn category profile at construction (one tenant may be
+// all-keyboard, another video-heavy); jobs pick a tenant uniformly and a
+// category from its profile. Models the §2.3 contention pattern arising
+// from heterogeneous tenants rather than one global skew.
+class TenantMix final : public JobMixSampler {
+ public:
+  TenantMix(const GenParams& p, std::uint64_t seed) : cfg_(trace_config(p)) {
+    const std::size_t tenants = p.size("tenants", 4);
+    if (tenants == 0) {
+      throw std::invalid_argument("mix.tenants must be >= 1");
+    }
+    const double alpha = p.positive("alpha", 0.5);
+    Rng rng(seed);
+    for (std::size_t t = 0; t < tenants; ++t) {
+      profiles_.push_back(rng.dirichlet(kNumCategories, alpha));
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return "tenant"; }
+
+  [[nodiscard]] trace::JobSpec sample(Rng& rng) const override {
+    trace::JobSpec j;
+    j.rounds = trace::log_uniform_int(cfg_.min_rounds, cfg_.max_rounds, rng);
+    j.demand = trace::log_uniform_int(cfg_.min_demand, cfg_.max_demand, rng);
+    j.nominal_task_s = cfg_.nominal_task_s;
+    j.task_cv = cfg_.task_cv;
+    j.deadline_s = j.deadline_rule(cfg_.max_demand);
+    const auto& profile = profiles_[rng.index(profiles_.size())];
+    j.category = all_categories()[rng.weighted_index(profile)];
+    return j;
+  }
+
+ private:
+  trace::JobTraceConfig cfg_;
+  std::vector<std::vector<double>> profiles_;
+};
+
+const std::vector<std::string> kTraceKeys = {
+    "workload",   "base-trace", "min-rounds", "max-rounds",
+    "min-demand", "max-demand", "task-s",     "task-cv"};
+
+std::vector<std::string> with_trace_keys(std::vector<std::string> extra) {
+  extra.insert(extra.end(), kTraceKeys.begin(), kTraceKeys.end());
+  return extra;
+}
+
+void register_builtins(GeneratorRegistry<JobMixSampler>& reg) {
+  reg.register_generator("even", kTraceKeys,
+                         [](const GenParams& p, std::uint64_t seed) {
+                           return std::make_unique<TraceMix>(p, seed);
+                         });
+  reg.register_generator("biased", with_trace_keys({"category", "frac"}),
+                         [](const GenParams& p, std::uint64_t seed) {
+                           return std::make_unique<BiasedMix>(p, seed);
+                         });
+  reg.register_generator(
+      "heavy-tail",
+      {"alpha", "min-demand", "max-demand", "min-rounds", "max-rounds",
+       "task-s", "task-cv"},
+      [](const GenParams& p, std::uint64_t) {
+        return std::make_unique<HeavyTailMix>(p);
+      });
+  reg.register_generator(
+      "tenant",
+      {"tenants", "alpha", "min-rounds", "max-rounds", "min-demand",
+       "max-demand", "task-s", "task-cv"},
+      [](const GenParams& p, std::uint64_t seed) {
+        return std::make_unique<TenantMix>(p, seed);
+      });
+}
+
+}  // namespace
+
+GeneratorRegistry<JobMixSampler>& mix_registry() {
+  static auto* reg = [] {
+    auto* r = new GeneratorRegistry<JobMixSampler>("job mix");
+    register_builtins(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+}  // namespace venn::workload

@@ -1,0 +1,47 @@
+// Job-mix samplers: what each arriving job demands.
+//
+// The paper's five evaluation workloads re-sample one long-tailed base
+// trace (§5.1, Fig. 8b) and §5.4 adds category-biased mixtures; these
+// samplers generalize both into a registry family. A sampler draws one
+// JobSpec at a time (arrival times belong to the arrival process), so the
+// open-loop coordinator can admit jobs forever without a pre-built list.
+//
+// Built-ins (mix=<name>, knobs as mix.<key>=<value>):
+//   even        base-trace sampling, the §5.1 workloads
+//                 workload (even|small|large|low|high), base-trace,
+//                 min-rounds, max-rounds, min-demand, max-demand, task-s,
+//                 task-cv
+//   biased      §5.4 category bias, per-job Bernoulli
+//                 category (general|compute|memory|resource), frac,
+//                 + the `even` trace keys
+//   heavy-tail  Pareto per-round demand (production-style extremes)
+//                 alpha, min-demand, max-demand, min-rounds, max-rounds,
+//                 task-s, task-cv
+//   tenant      multi-tenant category profiles (Dirichlet per tenant)
+//                 tenants, alpha, min-rounds, max-rounds, min-demand,
+//                 max-demand, task-s, task-cv
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "trace/job_trace.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace venn::workload {
+
+class JobMixSampler {
+ public:
+  virtual ~JobMixSampler() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  // Draws one job's static spec. `spec.arrival` is left at 0 — the arrival
+  // process owns submission times. All randomness comes from `rng`; derive
+  // it from the scenario seed so every policy sees the identical job list.
+  [[nodiscard]] virtual trace::JobSpec sample(Rng& rng) const = 0;
+};
+
+// The job-mix registry, built-ins pre-registered.
+[[nodiscard]] GeneratorRegistry<JobMixSampler>& mix_registry();
+
+}  // namespace venn::workload

@@ -1,0 +1,55 @@
+#include "workload/workload.h"
+
+#include <sstream>
+
+namespace venn::workload {
+
+GeneratorSet build_generators(const GeneratorSpec& arrival,
+                              const GeneratorSpec& mix,
+                              const GeneratorSpec& churn, std::uint64_t seed) {
+  GeneratorSet set;
+  if (arrival.configured()) {
+    set.arrival = arrival_registry().create(
+        arrival.name, arrival.params, Rng::derive(seed, "arrival-gen"));
+  }
+  if (mix.configured()) {
+    set.mix = mix_registry().create(mix.name, mix.params,
+                                    Rng::derive(seed, "mix-gen"));
+  }
+  if (churn.configured()) {
+    set.churn = churn_registry().create(churn.name, churn.params,
+                                        Rng::derive(seed, "churn-gen"));
+  }
+  return set;
+}
+
+namespace {
+
+template <typename Iface>
+void describe_family(std::ostringstream& out, const std::string& plural,
+                     const GeneratorRegistry<Iface>& reg,
+                     const std::string& prefix) {
+  out << plural << " (" << prefix << "=<name>, knobs as " << prefix
+      << ".<key>=<value>):\n";
+  for (const auto& name : reg.names()) {
+    out << "  " << name;
+    const auto& keys = reg.keys(name);
+    if (!keys.empty()) {
+      out << "  keys:";
+      for (const auto& k : keys) out << " " << k;
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace
+
+std::string describe_generators() {
+  std::ostringstream out;
+  describe_family(out, "arrival processes", arrival_registry(), "arrival");
+  describe_family(out, "job mixes", mix_registry(), "mix");
+  describe_family(out, "churn models", churn_registry(), "churn");
+  return out.str();
+}
+
+}  // namespace venn::workload

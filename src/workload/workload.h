@@ -1,0 +1,62 @@
+// Aggregation layer of the workload subsystem: named generator specs as
+// they appear in a ScenarioSpec, and the instantiated set an Experiment
+// carries.
+//
+// A scenario configures each family by name plus dotted knobs:
+//
+//   arrival=bursty  arrival.burst-factor=20
+//   mix=heavy-tail  mix.alpha=1.1
+//   churn=weibull   churn.up-scale-h=4
+//
+// An unset family (empty name) falls back to the legacy single-model path
+// (trace/availability.h diurnal sessions, base-trace Poisson workload), so
+// pre-subsystem scenarios reproduce byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "workload/arrival.h"
+#include "workload/churn.h"
+#include "workload/generator.h"
+#include "workload/mix.h"
+
+namespace venn::workload {
+
+// One family's configuration: a registry name plus its knobs. An empty
+// name means "not configured" (legacy behavior for that family).
+struct GeneratorSpec {
+  std::string name;
+  GenParams params;
+
+  [[nodiscard]] bool configured() const { return !name.empty(); }
+};
+
+// The instantiated generators of one experiment. Null members mean the
+// family is not configured. Generators are immutable once built; all
+// per-run randomness flows through streams seeded from the scenario seed,
+// so every policy in an experiment replays the identical world.
+struct GeneratorSet {
+  std::unique_ptr<ArrivalProcess> arrival;
+  std::unique_ptr<JobMixSampler> mix;
+  std::unique_ptr<ChurnModel> churn;
+
+  [[nodiscard]] bool any() const {
+    return arrival != nullptr || mix != nullptr || churn != nullptr;
+  }
+};
+
+// Instantiates the configured families via their registries. Construction
+// seeds (e.g. a mix sampler's base trace) derive from `seed` per family.
+// Throws std::invalid_argument for unknown names or unaccepted keys.
+[[nodiscard]] GeneratorSet build_generators(const GeneratorSpec& arrival,
+                                            const GeneratorSpec& mix,
+                                            const GeneratorSpec& churn,
+                                            std::uint64_t seed);
+
+// Human-readable listing of all three registries with accepted keys — the
+// workload half of `venn_sim_cli --list`.
+[[nodiscard]] std::string describe_generators();
+
+}  // namespace venn::workload

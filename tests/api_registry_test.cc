@@ -112,45 +112,5 @@ TEST(PolicyParams, TypedExtraAccessors) {
   EXPECT_THROW((void)p.real("typo", 0.0), std::invalid_argument);
 }
 
-// The deprecated enum shim must produce byte-identical results to the new
-// API for the equivalent scenario + policy name (both derive their seed
-// streams through Rng::derive).
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-TEST(DeprecatedShim, MatchesNewApiByteForByte) {
-  ExperimentConfig cfg;
-  cfg.seed = 33;
-  cfg.num_devices = 600;
-  cfg.num_jobs = 8;
-  cfg.horizon = 10.0 * kDay;
-  cfg.job_trace.min_rounds = 2;
-  cfg.job_trace.max_rounds = 6;
-  cfg.job_trace.min_demand = 3;
-  cfg.job_trace.max_demand = 15;
-  const RunResult legacy = run_experiment(cfg, Policy::kVenn);
-
-  ScenarioSpec sc;
-  sc.seed = cfg.seed;
-  sc.num_devices = cfg.num_devices;
-  sc.num_jobs = cfg.num_jobs;
-  sc.horizon = cfg.horizon;
-  sc.job_trace = cfg.job_trace;
-  const RunResult fresh = ExperimentBuilder().scenario(sc).policy("venn").run();
-
-  EXPECT_EQ(legacy.scheduler, fresh.scheduler);
-  ASSERT_EQ(legacy.jobs.size(), fresh.jobs.size());
-  for (std::size_t i = 0; i < legacy.jobs.size(); ++i) {
-    EXPECT_EQ(legacy.jobs[i].jct, fresh.jobs[i].jct) << "job " << i;
-    EXPECT_EQ(legacy.jobs[i].completed_rounds, fresh.jobs[i].completed_rounds);
-    EXPECT_EQ(legacy.jobs[i].total_aborts, fresh.jobs[i].total_aborts);
-  }
-  EXPECT_EQ(legacy.assignment_matrix, fresh.assignment_matrix);
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
 }  // namespace
 }  // namespace venn

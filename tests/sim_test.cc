@@ -162,5 +162,45 @@ TEST_P(EventOrderTest, AlwaysTimeOrdered) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventOrderTest, ::testing::Range(1, 6));
 
+TEST(Engine, StreamDrivesLazySequence) {
+  Engine e(1);
+  std::vector<SimTime> fired;
+  int remaining = 5;
+  e.stream(10.0, [&]() -> std::optional<SimTime> {
+    fired.push_back(e.now());
+    if (--remaining == 0) return std::nullopt;
+    return e.now() + 10.0;
+  });
+  e.run_until(1000.0);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10.0, 20.0, 30.0, 40.0, 50.0}));
+}
+
+TEST(Engine, StreamClampsPastTimesToNow) {
+  Engine e(1);
+  std::vector<SimTime> fired;
+  e.at(5.0, [] {});
+  bool first = true;
+  e.stream(3.0, [&]() -> std::optional<SimTime> {
+    fired.push_back(e.now());
+    if (!first) return std::nullopt;
+    first = false;
+    return 1.0;  // in the past: fires at now() instead
+  });
+  e.run_until(1000.0);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[0], 3.0);
+  EXPECT_DOUBLE_EQ(fired[1], 3.0);
+}
+
+TEST(Engine, StreamWithNulloptFirstIsNoop) {
+  Engine e(1);
+  e.stream(std::nullopt, []() -> std::optional<SimTime> {
+    ADD_FAILURE() << "must not fire";
+    return std::nullopt;
+  });
+  e.run_until(1000.0);
+  EXPECT_EQ(e.events_executed(), 0u);
+}
+
 }  // namespace
 }  // namespace venn::sim

@@ -67,6 +67,49 @@ TEST(Availability, EmptyPopulationYieldsEmptyCurve) {
   EXPECT_TRUE(availability_curve({}, kDay, kHour).empty());
 }
 
+TEST(Availability, NonPositiveStepYieldsEmptyCurve) {
+  std::vector<Device> devices;
+  devices.emplace_back(DeviceId(0), DeviceSpec{},
+                       std::vector<Session>{{0.0, kHour}});
+  EXPECT_TRUE(availability_curve(devices, kDay, 0.0).empty());
+  EXPECT_TRUE(availability_curve(devices, kDay, -kHour).empty());
+}
+
+TEST(Availability, ZeroLengthHorizonSamplesOnlyT0) {
+  std::vector<Device> devices;
+  devices.emplace_back(DeviceId(0), DeviceSpec{},
+                       std::vector<Session>{{0.0, kHour}});
+  const auto curve = availability_curve(devices, 0.0, kHour);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(curve[0].fraction_online, 1.0);  // session covers t=0
+}
+
+TEST(Availability, StepLargerThanHorizonSamplesOnlyT0) {
+  std::vector<Device> devices;
+  devices.emplace_back(DeviceId(0), DeviceSpec{},
+                       std::vector<Session>{{kHour, 2 * kHour}});
+  const auto curve = availability_curve(devices, kDay, 10 * kDay);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(curve[0].fraction_online, 0.0);  // offline at t=0
+}
+
+TEST(Availability, CurveFractionsStayInUnitInterval) {
+  AvailabilityConfig cfg;
+  cfg.horizon = 2 * kDay;
+  Rng rng(21);
+  std::vector<Device> devices;
+  for (int i = 0; i < 50; ++i) {
+    devices.emplace_back(DeviceId(i), DeviceSpec{},
+                         generate_sessions(cfg, rng));
+  }
+  for (const auto& pt : availability_curve(devices, cfg.horizon, kHour)) {
+    EXPECT_GE(pt.fraction_online, 0.0);
+    EXPECT_LE(pt.fraction_online, 1.0);
+  }
+}
+
 TEST(Hardware, SpecsAreClampedToUnitSquare) {
   HardwareConfig cfg;
   Rng rng(4);

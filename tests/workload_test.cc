@@ -1,0 +1,503 @@
+// Unit tests for the workload generator subsystem: registry semantics,
+// per-generator determinism at fixed seed, and statistical sanity of each
+// built-in family.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "workload/arrival.h"
+#include "workload/churn.h"
+#include "workload/mix.h"
+#include "workload/workload.h"
+
+namespace venn::workload {
+namespace {
+
+// ----------------------------------------------------------- registry --
+
+TEST(GeneratorRegistry, BuiltinsRegisteredAtStartup) {
+  for (const char* name : {"static", "poisson", "bursty", "diurnal"}) {
+    EXPECT_TRUE(arrival_registry().contains(name)) << name;
+  }
+  for (const char* name : {"even", "biased", "heavy-tail", "tenant"}) {
+    EXPECT_TRUE(mix_registry().contains(name)) << name;
+  }
+  for (const char* name : {"diurnal", "weibull", "flash-crowd", "trace"}) {
+    EXPECT_TRUE(churn_registry().contains(name)) << name;
+  }
+}
+
+TEST(GeneratorRegistry, UnknownNameThrowsListingKnownOnes) {
+  try {
+    (void)churn_registry().create("no-such-churn", {}, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-churn"), std::string::npos);
+    EXPECT_NE(msg.find("weibull"), std::string::npos);
+  }
+}
+
+TEST(GeneratorRegistry, UnacceptedKeyThrowsListingAcceptedOnes) {
+  GenParams p;
+  p.kv["interarival-min"] = "10";  // typo'd key
+  try {
+    (void)arrival_registry().create("poisson", p, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("interarival-min"), std::string::npos);
+    EXPECT_NE(msg.find("interarrival-min"), std::string::npos);
+  }
+}
+
+TEST(GeneratorRegistry, DuplicateAndEmptyRegistrationRejected) {
+  auto& reg = arrival_registry();
+  const auto factory = [](const GenParams&, std::uint64_t) {
+    return std::unique_ptr<ArrivalProcess>(
+        arrival_registry().create("poisson", {}, 1));
+  };
+  reg.register_generator("dup-test-arrival", {}, factory);
+  EXPECT_TRUE(reg.contains("dup-test-arrival"));
+  EXPECT_THROW(reg.register_generator("dup-test-arrival", {}, factory),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_generator("", {}, factory), std::invalid_argument);
+  EXPECT_THROW(reg.register_generator("null-factory", {}, nullptr),
+               std::invalid_argument);
+}
+
+TEST(GeneratorRegistry, SelfRegistrationHelper) {
+  static const GeneratorRegistration<ArrivalProcess> kReg{
+      arrival_registry(),
+      "self-registered-arrival",
+      {"rate"},
+      [](const GenParams&, std::uint64_t) {
+        return arrival_registry().create("poisson", {}, 1);
+      }};
+  EXPECT_TRUE(arrival_registry().contains("self-registered-arrival"));
+  EXPECT_EQ(arrival_registry().keys("self-registered-arrival"),
+            std::vector<std::string>{"rate"});
+}
+
+TEST(GenParamsTest, TypedAccessorsValidate) {
+  GenParams p;
+  p.kv["n"] = "42";
+  p.kv["x"] = "0.5";
+  p.kv["s"] = "fast";
+  EXPECT_EQ(p.integer("n", 0), 42);
+  EXPECT_DOUBLE_EQ(p.real("x", 0.0), 0.5);
+  EXPECT_EQ(p.str("s", ""), "fast");
+  EXPECT_EQ(p.integer("missing", -3), -3);
+  p.kv["bad"] = "2O";  // letter O
+  EXPECT_THROW((void)p.integer("bad", 0), std::invalid_argument);
+  EXPECT_THROW((void)p.real("bad", 0.0), std::invalid_argument);
+  p.kv["neg"] = "-1";
+  EXPECT_THROW((void)p.positive("neg", 1.0), std::invalid_argument);
+  p.kv["big"] = "1.5";
+  EXPECT_THROW((void)p.prob("big", 0.5), std::invalid_argument);
+}
+
+TEST(DescribeGenerators, MentionsEveryFamilyAndKeys) {
+  const std::string desc = describe_generators();
+  for (const char* needle :
+       {"arrival processes", "job mixes", "churn models", "poisson",
+        "heavy-tail", "flash-crowd", "interarrival-min", "up-scale-h"}) {
+    EXPECT_NE(desc.find(needle), std::string::npos) << needle;
+  }
+}
+
+// ----------------------------------------------------------- arrivals --
+
+std::vector<SimTime> take_arrivals(const std::string& name,
+                                   const GenParams& params, std::size_t n,
+                                   std::uint64_t seed) {
+  const auto gen = arrival_registry().create(name, params, seed);
+  return materialize_arrivals(*gen, n, 1e12, Rng(seed));
+}
+
+TEST(Arrivals, DeterministicAtFixedSeed) {
+  for (const char* name : {"static", "poisson", "bursty", "diurnal"}) {
+    const auto a = take_arrivals(name, {}, 200, 7);
+    const auto b = take_arrivals(name, {}, 200, 7);
+    EXPECT_EQ(a, b) << name;
+    if (std::string(name) != "static") {
+      const auto c = take_arrivals(name, {}, 200, 8);
+      EXPECT_NE(a, c) << name << " must vary with the seed";
+    }
+  }
+}
+
+TEST(Arrivals, MonotoneNonNegative) {
+  for (const char* name : {"static", "poisson", "bursty", "diurnal"}) {
+    const auto a = take_arrivals(name, {}, 500, 11);
+    ASSERT_EQ(a.size(), 500u) << name;
+    SimTime prev = 0.0;
+    for (const SimTime t : a) {
+      EXPECT_GE(t, prev) << name;
+      prev = t;
+    }
+  }
+}
+
+TEST(Arrivals, StaticBatchHonorsAtAndSpacing) {
+  GenParams p;
+  p.kv["at-min"] = "10";
+  p.kv["spacing-min"] = "5";
+  const auto a = take_arrivals("static", p, 3, 1);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[0], 10 * kMinute);
+  EXPECT_DOUBLE_EQ(a[1], 15 * kMinute);
+  EXPECT_DOUBLE_EQ(a[2], 20 * kMinute);
+}
+
+TEST(Arrivals, PoissonMeanGapMatchesConfig) {
+  GenParams p;
+  p.kv["interarrival-min"] = "10";
+  const auto a = take_arrivals("poisson", p, 3000, 5);
+  const double mean_gap = a.back() / static_cast<double>(a.size());
+  EXPECT_NEAR(mean_gap, 10 * kMinute, 2 * kMinute);
+}
+
+TEST(Arrivals, BurstyIsBurstierThanPoisson) {
+  // Squared coefficient of variation of inter-arrival gaps: 1 for Poisson,
+  // > 1 for the MMPP.
+  const auto cv2 = [](const std::vector<SimTime>& a) {
+    double mean = 0.0, m2 = 0.0;
+    const auto n = static_cast<double>(a.size() - 1);
+    for (std::size_t i = 1; i < a.size(); ++i) mean += a[i] - a[i - 1];
+    mean /= n;
+    for (std::size_t i = 1; i < a.size(); ++i) {
+      const double d = a[i] - a[i - 1] - mean;
+      m2 += d * d;
+    }
+    return m2 / n / (mean * mean);
+  };
+  GenParams bursty;
+  bursty.kv["burst-factor"] = "20";
+  EXPECT_GT(cv2(take_arrivals("bursty", bursty, 4000, 3)), 1.5);
+  EXPECT_NEAR(cv2(take_arrivals("poisson", {}, 4000, 3)), 1.0, 0.25);
+}
+
+TEST(Arrivals, DiurnalConcentratesNearPeakHour) {
+  GenParams p;
+  p.kv["peak-hour"] = "12";
+  p.kv["depth"] = "1.0";
+  const auto a = take_arrivals("diurnal", p, 5000, 9);
+  std::size_t near = 0, far = 0;
+  for (const SimTime t : a) {
+    const double h = std::fmod(t, kDay) / kHour;
+    if (h >= 9.0 && h < 15.0) ++near;       // around the peak
+    if (h >= 21.0 || h < 3.0) ++far;        // around the trough
+  }
+  EXPECT_GT(near, 3 * far);
+}
+
+// ---------------------------------------------------------------- mix --
+
+TEST(MixSamplers, DeterministicAtFixedSeed) {
+  for (const char* name : {"even", "biased", "heavy-tail", "tenant"}) {
+    const auto gen_a = mix_registry().create(name, {}, 5);
+    const auto gen_b = mix_registry().create(name, {}, 5);
+    Rng ra(1), rb(1);
+    for (int i = 0; i < 100; ++i) {
+      const auto ja = gen_a->sample(ra);
+      const auto jb = gen_b->sample(rb);
+      EXPECT_EQ(ja.rounds, jb.rounds) << name;
+      EXPECT_EQ(ja.demand, jb.demand) << name;
+      EXPECT_EQ(ja.category, jb.category) << name;
+    }
+  }
+}
+
+TEST(MixSamplers, FieldsAreValid) {
+  for (const char* name : {"even", "biased", "heavy-tail", "tenant"}) {
+    const auto gen = mix_registry().create(name, {}, 5);
+    Rng rng(2);
+    for (int i = 0; i < 300; ++i) {
+      const auto j = gen->sample(rng);
+      EXPECT_GT(j.rounds, 0) << name;
+      EXPECT_GT(j.demand, 0) << name;
+      EXPECT_GT(j.nominal_task_s, 0.0) << name;
+      EXPECT_GE(j.deadline_s, 5.0 * kMinute - 1e-9) << name;
+      EXPECT_LE(j.deadline_s, 15.0 * kMinute + 1e-9) << name;
+      EXPECT_DOUBLE_EQ(j.arrival, 0.0) << name << " leaves arrival unset";
+    }
+  }
+}
+
+TEST(MixSamplers, BiasedFractionLandsOnHotCategory) {
+  GenParams p;
+  p.kv["category"] = "memory";
+  p.kv["frac"] = "0.7";
+  const auto gen = mix_registry().create("biased", p, 5);
+  Rng rng(3);
+  int hot = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    hot += gen->sample(rng).category == ResourceCategory::kMemoryRich ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.7, 0.05);
+}
+
+TEST(MixSamplers, HeavyTailExceedsLogUniformExtremes) {
+  GenParams p;
+  p.kv["alpha"] = "1.1";
+  p.kv["max-demand"] = "100000";
+  const auto gen = mix_registry().create("heavy-tail", p, 5);
+  Rng rng(4);
+  int max_demand = 0;
+  for (int i = 0; i < 3000; ++i) {
+    max_demand = std::max(max_demand, gen->sample(rng).demand);
+  }
+  EXPECT_GT(max_demand, 1000);  // log-uniform default caps at 100
+}
+
+TEST(MixSamplers, TenantProfilesAreHeterogeneous) {
+  GenParams p;
+  p.kv["tenants"] = "2";
+  p.kv["alpha"] = "0.2";  // spiky profiles
+  const auto gen = mix_registry().create("tenant", p, 11);
+  Rng rng(5);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(static_cast<int>(gen->sample(rng).category));
+  }
+  EXPECT_GE(seen.size(), 2u);  // more than one category in play
+  GenParams bad;
+  bad.kv["tenants"] = "0";
+  EXPECT_THROW((void)mix_registry().create("tenant", bad, 1),
+               std::invalid_argument);
+}
+
+TEST(MixSamplers, EvenWorkloadFilterRespected) {
+  GenParams p;
+  p.kv["workload"] = "high";
+  const auto gen = mix_registry().create("even", p, 7);
+  // Rebuild the filter's threshold the same way the sampler does.
+  const auto all = mix_registry().create("even", {}, 7);
+  Rng rng(6);
+  double avg = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) avg += all->sample(rng).demand;
+  avg /= n;
+  Rng rng2(6);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(gen->sample(rng2).demand, avg * 0.8);
+  }
+}
+
+// -------------------------------------------------------------- churn --
+
+std::vector<Session> sessions_for(const std::string& name,
+                                  const GenParams& params, std::size_t index,
+                                  std::uint64_t seed, SimTime horizon) {
+  const auto gen = churn_registry().create(name, params, seed);
+  return materialize_sessions(*gen, {index, seed, horizon});
+}
+
+void expect_valid_sessions(const std::vector<Session>& sessions,
+                           SimTime horizon, const std::string& label) {
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    EXPECT_LT(sessions[i].start, sessions[i].end) << label << " idx " << i;
+    EXPECT_GE(sessions[i].start, 0.0) << label;
+    EXPECT_LE(sessions[i].end, horizon + 1e-9) << label;
+    if (i > 0) {
+      EXPECT_GE(sessions[i].start, sessions[i - 1].end) << label;
+    }
+  }
+}
+
+TEST(Churn, DeterministicValidSessionsAtFixedSeed) {
+  const SimTime horizon = 14 * kDay;
+  for (const char* name : {"diurnal", "weibull", "flash-crowd"}) {
+    for (std::uint64_t dev = 0; dev < 20; ++dev) {
+      const auto a = sessions_for(name, {}, dev, 100 + dev, horizon);
+      const auto b = sessions_for(name, {}, dev, 100 + dev, horizon);
+      ASSERT_EQ(a.size(), b.size()) << name;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].start, b[i].start) << name;
+        EXPECT_DOUBLE_EQ(a[i].end, b[i].end) << name;
+      }
+      expect_valid_sessions(a, horizon, name);
+    }
+  }
+}
+
+TEST(Churn, DiurnalStreamMatchesBatchStatistics) {
+  // The streamed diurnal model must reproduce the availability shape of
+  // trace/availability.h: roughly one session per day at the defaults.
+  const SimTime horizon = 28 * kDay;
+  double total = 0.0;
+  const int devices = 200;
+  for (int d = 0; d < devices; ++d) {
+    total += static_cast<double>(
+        sessions_for("diurnal", {}, d, 50 + d, horizon).size());
+  }
+  const double per_day = total / devices / (horizon / kDay);
+  EXPECT_GT(per_day, 0.6);
+  EXPECT_LT(per_day, 1.5);
+}
+
+TEST(Churn, WeibullMeansTrackConfig) {
+  GenParams p;
+  p.kv["up-shape"] = "1.0";  // exponential special case
+  p.kv["up-scale-h"] = "4";
+  p.kv["down-shape"] = "1.0";
+  p.kv["down-scale-h"] = "8";
+  const auto gen = churn_registry().create("weibull", p, 1);
+  EXPECT_NEAR(gen->mean_session_seconds(), 4 * kHour, 1.0);
+  EXPECT_NEAR(gen->mean_sessions_per_day(), 2.0, 0.01);
+
+  const SimTime horizon = 40 * kDay;
+  double dur = 0.0, n = 0.0;
+  for (int d = 0; d < 100; ++d) {
+    for (const auto& s : materialize_sessions(
+             *gen, {static_cast<std::size_t>(d),
+                    static_cast<std::uint64_t>(900 + d), horizon})) {
+      dur += s.duration();
+      n += 1.0;
+    }
+  }
+  EXPECT_NEAR(dur / n, 4 * kHour, kHour);
+}
+
+TEST(Churn, FlashCrowdSpikesPopulationAtFlashTime) {
+  GenParams p;
+  p.kv["first-day"] = "1";
+  p.kv["period-days"] = "0";  // single flash
+  p.kv["dur-h"] = "2";
+  p.kv["join-prob"] = "0.9";
+  p.kv["base-down-h"] = "48";  // sparse baseline
+  const auto gen = churn_registry().create("flash-crowd", p, 1);
+  const SimTime horizon = 3 * kDay;
+  const SimTime flash_t = 1 * kDay + kHour;
+  const SimTime quiet_t = 2.5 * kDay;
+  int on_flash = 0, on_quiet = 0;
+  const int devices = 300;
+  for (int d = 0; d < devices; ++d) {
+    const auto sessions = materialize_sessions(
+        *gen, {static_cast<std::size_t>(d),
+               static_cast<std::uint64_t>(3000 + d), horizon});
+    expect_valid_sessions(sessions, horizon, "flash-crowd");
+    for (const auto& s : sessions) {
+      if (s.contains(flash_t)) ++on_flash;
+      if (s.contains(quiet_t)) ++on_quiet;
+    }
+  }
+  EXPECT_GT(on_flash, devices / 2);          // the crowd showed up
+  EXPECT_LT(on_quiet, devices / 4);          // baseline stays sparse
+}
+
+TEST(Churn, TraceReplayRoundTripsCsv) {
+  const std::string path = ::testing::TempDir() + "/venn_churn_trace.csv";
+  {
+    std::ofstream out(path);
+    out << "device,start,end\n";
+    out << "# comment\n";
+    out << "0,0,3600\n";
+    out << "0,7200,10800\n";
+    out << "1,1800,9000\n";
+  }
+  GenParams p;
+  p.kv["file"] = path;
+  const auto gen = churn_registry().create("trace", p, 1);
+
+  const auto dev0 = materialize_sessions(*gen, {0, 1, 12.0 * kHour});
+  ASSERT_EQ(dev0.size(), 2u);
+  EXPECT_DOUBLE_EQ(dev0[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(dev0[0].end, 3600.0);
+  const auto dev1 = materialize_sessions(*gen, {1, 2, 12.0 * kHour});
+  ASSERT_EQ(dev1.size(), 1u);
+  // Devices beyond the traced population wrap around (modulo).
+  const auto dev2 = materialize_sessions(*gen, {2, 3, 12.0 * kHour});
+  ASSERT_EQ(dev2.size(), 2u);
+  EXPECT_DOUBLE_EQ(dev2[0].start, dev0[0].start);
+  // Horizon clips mid-session and drops later sessions.
+  const auto clipped = materialize_sessions(*gen, {0, 1, 0.5 * kHour});
+  ASSERT_EQ(clipped.size(), 1u);
+  EXPECT_DOUBLE_EQ(clipped[0].end, 0.5 * kHour);
+
+  std::remove(path.c_str());
+  EXPECT_THROW((void)churn_registry().create("trace", p, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)churn_registry().create("trace", {}, 1),
+               std::invalid_argument);
+}
+
+TEST(Churn, TraceReplayRejectsMalformedRows) {
+  const auto load = [](const std::string& body) {
+    const std::string path = ::testing::TempDir() + "/venn_churn_bad.csv";
+    std::ofstream(path) << body;
+    GenParams p;
+    p.kv["file"] = path;
+    auto result = churn_registry().create("trace", p, 1);
+    std::remove(path.c_str());
+    return result;
+  };
+  EXPECT_THROW((void)load("0,12x,400\n"), std::invalid_argument);
+  EXPECT_THROW((void)load("0,abc,def\n"), std::invalid_argument);
+  EXPECT_THROW((void)load("x7,0,400\n"), std::invalid_argument)
+      << "non-header bad device id";
+  EXPECT_THROW((void)load("0,400,100\n"), std::invalid_argument)
+      << "inverted session";
+  EXPECT_THROW((void)load("0,100\n"), std::invalid_argument)
+      << "missing field";
+  EXPECT_THROW((void)load("0,0,inf\n"), std::invalid_argument)
+      << "non-finite timestamp";
+  EXPECT_THROW((void)load("1o,0,3600\n2,0,100\n"), std::invalid_argument)
+      << "typo'd device id on line 1 is a bad row, not a header";
+  EXPECT_THROW((void)load("0,0x10,0x20\n"), std::invalid_argument)
+      << "hex timestamps";
+  // CRLF line endings and a header still parse.
+  EXPECT_NO_THROW((void)load("device,start,end\r\n0,0,3600\r\n"));
+  // Exactly-abutting rows coalesce into one session (a shared boundary
+  // would otherwise race idle-pool retirement against the next check-in).
+  const auto abutting = load("0,0,3600\n0,3600,7200\n");
+  const auto sessions = materialize_sessions(*abutting, {0, 1, 4.0 * kHour});
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_DOUBLE_EQ(sessions[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(sessions[0].end, 7200.0);
+}
+
+TEST(MixSamplers, NegativeCountKnobsRejected) {
+  for (const auto& [key, value] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"base-trace", "-1"}, {"min-rounds", "-2"}, {"max-demand", "-5"}}) {
+    GenParams p;
+    p.kv[key] = value;
+    try {
+      (void)mix_registry().create("even", p, 1);
+      FAIL() << key << "=" << value << " must throw";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(key), std::string::npos)
+          << e.what();
+    }
+  }
+  GenParams p;
+  p.kv["tenants"] = "-3";
+  EXPECT_THROW((void)mix_registry().create("tenant", p, 1),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------- build set --
+
+TEST(BuildGenerators, EmptySpecsYieldEmptySet) {
+  const GeneratorSet set = build_generators({}, {}, {}, 42);
+  EXPECT_FALSE(set.any());
+}
+
+TEST(BuildGenerators, ConfiguredFamiliesInstantiate) {
+  GeneratorSpec arrival{"bursty", {}};
+  GeneratorSpec mix{"heavy-tail", {}};
+  GeneratorSpec churn{"weibull", {}};
+  const GeneratorSet set = build_generators(arrival, mix, churn, 42);
+  ASSERT_TRUE(set.any());
+  EXPECT_EQ(set.arrival->name(), "bursty");
+  EXPECT_EQ(set.mix->name(), "heavy-tail");
+  EXPECT_EQ(set.churn->name(), "weibull");
+}
+
+}  // namespace
+}  // namespace venn::workload
