@@ -246,6 +246,7 @@ RunResult Experiment::run_with(std::unique_ptr<Scheduler> scheduler,
   CoordinatorConfig ccfg;
   ccfg.horizon = scenario_.horizon;
   ccfg.seed = scenario_.seed;
+  ccfg.use_index = scenario_.use_index;
   if (generators_->churn) {
     // The model feeds the analytic supply estimates in both modes;
     // stream_sessions additionally defers session generation to run time.

@@ -81,6 +81,8 @@ bool ScenarioSpec::try_set(const std::string& key, const std::string& value) {
     open_loop = parse_long(key, value) != 0;
   } else if (key == "stream") {
     streaming = parse_long(key, value) != 0;
+  } else if (key == "index") {
+    use_index = parse_long(key, value) != 0;
   } else {
     return false;
   }

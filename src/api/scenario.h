@@ -62,6 +62,11 @@ struct ScenarioSpec {
   // stream=1: device sessions are pulled lazily from the churn model
   // (requires churn=) — O(devices) memory instead of O(devices × horizon).
   bool streaming = false;
+  // index=0 disables the incremental eligibility index and falls back to
+  // the full-fleet-scan scheduling hot path. Both modes are byte-identical;
+  // the knob exists for A/B perf measurement (bench/hotpath_index) and as
+  // an escape hatch.
+  bool use_index = true;
 
   // Simulation.
   SimTime horizon = 28.0 * kDay;
@@ -71,9 +76,9 @@ struct ScenarioSpec {
   // (none|general|compute|memory|resource), horizon-days, min-rounds,
   // max-rounds, min-demand, max-demand, interarrival-min, base-trace,
   // task-s, task-cv, arrival, arrival.<key>, mix, mix.<key>, churn,
-  // churn.<key>, open-loop (0|1), stream (0|1). Returns false if the key
-  // is not a scenario key. Throws std::invalid_argument on a known key
-  // with a bad value.
+  // churn.<key>, open-loop (0|1), stream (0|1), index (0|1). Returns false
+  // if the key is not a scenario key. Throws std::invalid_argument on a
+  // known key with a bad value.
   bool try_set(const std::string& key, const std::string& value);
 
   // As try_set, but an unknown key throws std::invalid_argument.

@@ -35,6 +35,30 @@ Coordinator::Coordinator(sim::Engine& engine, ResourceManager& manager,
     for (const auto& d : devices_) acc += 1.0 / d.speed();
     mean_exec_factor_ = acc / static_cast<double>(devices_.size());
   }
+  idle_pos_.assign(devices_.size(), 0);
+  if (cfg_.use_index) {
+    index_ = std::make_unique<EligibilityIndex>(
+        std::span<const Device>(devices_));
+  }
+  // The pending-entry cache and the eligibility index are one feature: the
+  // `--no-index` fallback keeps the full job-queue walk per offer too.
+  manager_.set_use_pending_cache(cfg_.use_index);
+}
+
+void Coordinator::idle_insert(std::size_t d) {
+  if (idle_pos_[d] != 0) return;
+  idle_vec_.push_back(d);
+  idle_pos_[d] = idle_vec_.size();
+}
+
+void Coordinator::idle_erase(std::size_t d) {
+  const std::size_t pos = idle_pos_[d];
+  if (pos == 0) return;
+  const std::size_t last = idle_vec_.back();
+  idle_vec_[pos - 1] = last;
+  idle_pos_[last] = pos;
+  idle_vec_.pop_back();
+  idle_pos_[d] = 0;
 }
 
 std::size_t Coordinator::resident_session_count() const {
@@ -50,6 +74,23 @@ std::size_t Coordinator::resident_session_count() const {
 }
 
 double Coordinator::supply_rate(const Requirement& req) const {
+  ++hstats_.supply_queries;
+  if (index_) {
+    // Index path: eligible supply from the per-signature atom buckets —
+    // O(#atoms) instead of a fleet scan, numerically identical to the scan
+    // below (counts are exact integers; the span is the same maximum).
+    const std::size_t g = index_->register_requirement(req);
+    if (cfg_.churn != nullptr) {
+      const double rate = static_cast<double>(index_->eligible_count(g)) *
+                          cfg_.churn->mean_sessions_per_day() / kDay;
+      return std::max(rate, 1e-9);
+    }
+    const double checkins = index_->eligible_session_checkins(g);
+    const SimTime span = index_->session_span();
+    if (span <= 0.0 || checkins <= 0.0) return 1e-9;
+    return checkins / span;
+  }
+
   if (cfg_.churn != nullptr) {
     // Analytic rate from the churn model — used whether or not sessions
     // are streamed, so both modes produce identical solo estimates.
@@ -86,6 +127,10 @@ double Coordinator::solo_jct_estimate(const trace::JobSpec& spec) const {
   double mean_session = kHour;
   if (cfg_.churn != nullptr) {
     mean_session = cfg_.churn->mean_session_seconds();
+  } else if (index_) {
+    // The index accumulated the identical device-order sums once at
+    // construction; the sessions never change after that.
+    if (index_->has_sessions()) mean_session = index_->mean_session_seconds();
   } else {
     double session_time = 0.0, session_count = 0.0;
     for (const auto& d : devices_) {
@@ -207,7 +252,7 @@ void Coordinator::advance_device(std::size_t dev_idx) {
     // One event retires the session AND pulls the next one — the stream
     // stays one session ahead, never materialized.
     engine_.at(std::min(s->end, cfg_.horizon), [this, dev_idx] {
-      idle_pool_.erase(dev_idx);
+      idle_erase(dev_idx);
       advance_device(dev_idx);
     });
     return;
@@ -243,18 +288,76 @@ void Coordinator::submit_request(Job* job) {
 }
 
 void Coordinator::offer_idle_pool(SimTime now) {
-  if (idle_pool_.empty()) return;
-  std::vector<std::size_t> order(idle_pool_.begin(), idle_pool_.end());
-  std::sort(order.begin(), order.end());  // determinism before shuffle
-  engine_.rng().shuffle(order);
-  for (std::size_t d : order) {
-    if (!idle_pool_.contains(d)) continue;  // consumed earlier this sweep
+  if (idle_vec_.empty()) return;
+  ++hstats_.sweeps;
+  // Sweep order is a uniformly random permutation of the pool, generated
+  // lazily (Fisher-Yates position by position) from a per-sweep stream
+  // derived from the scenario seed. Randomness therefore costs one draw per
+  // device *visited*, and the index mode's early stop cannot perturb any
+  // other subsystem: the engine stream never sees sweep draws.
+  Rng sweep_rng(
+      Rng::derive(Rng::derive(cfg_.seed, "idle-sweep"), sweep_counter_++));
+  // Both modes visit the pool in the same lazily-drawn Fisher-Yates
+  // permutation; they differ only in how the permutation is realized. The
+  // index mode keeps an *implicit* snapshot — positions displaced by
+  // earlier draws live in a small side map — so a sweep costs O(devices
+  // visited), not O(pool), and the usual early break keeps "visited" tiny.
+  // The fallback materializes the snapshot up front: it will visit every
+  // position anyway, and a flat copy beats a hash map there. idle_vec_
+  // itself must not change mid-sweep for either snapshot to stay valid, so
+  // erases of assigned devices are deferred to the end of the loop (nothing
+  // else mutates the pool synchronously; session events are queue-deferred).
+  std::unordered_map<std::size_t, std::size_t> displaced;
+  std::vector<std::size_t> flat;
+  if (!index_) flat = idle_vec_;
+  const auto draw = [&](std::size_t i, std::size_t j) {
+    if (!index_) {
+      std::swap(flat[i], flat[j]);
+      return flat[i];
+    }
+    const auto it = displaced.find(j);
+    const std::size_t d = it != displaced.end() ? it->second : idle_vec_[j];
+    if (j != i) {  // position i is never re-read; j might be
+      const auto ii = displaced.find(i);
+      displaced[j] = ii != displaced.end() ? ii->second : idle_vec_[i];
+    }
+    return d;
+  };
+  std::vector<std::size_t> assigned;
+  const std::size_t n = idle_vec_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = i + sweep_rng.index(n - i);
+    const std::size_t d = draw(i, j);
+    ++hstats_.sweep_visits;
+    if (index_) {
+      // Offers past this point are provably no-ops once nothing wants
+      // devices (empty candidate set, no randomness consumed), so stopping
+      // — or skipping a device whose cached signature misses every pending
+      // group — is byte-identical to scanning on.
+      const std::uint64_t wants = manager_.wants_mask();
+      if (wants == 0) break;
+      // The index mirrors the manager's requirement registration order (it
+      // registers each job's requirement during the solo-JCT estimate that
+      // precedes manager registration), so bits compare directly. Wanted
+      // bits the index has not seen — impossible on the coordinator's own
+      // registration path, but cheap to guard — disable the skip rather
+      // than risk a false negative.
+      const std::size_t known_bits = index_->num_requirements();
+      const std::uint64_t known =
+          known_bits >= 64 ? ~0ULL : (1ULL << known_bits) - 1;
+      if ((wants & ~known) == 0 && (index_->signature(d) & wants) == 0) {
+        ++hstats_.sweep_skips;
+        continue;
+      }
+    }
+    ++hstats_.sweep_offers;
     const auto outcome = manager_.offer(devices_[d], now);
     if (outcome) {
-      idle_pool_.erase(d);
+      assigned.push_back(d);
       handle_outcome(d, *outcome);
     }
   }
+  for (const std::size_t d : assigned) idle_erase(d);
 }
 
 void Coordinator::attempt_checkin(std::size_t dev_idx) {
@@ -280,10 +383,10 @@ void Coordinator::attempt_checkin(std::size_t dev_idx) {
   }
   // Park in the idle pool until the session ends. In streaming mode the
   // session's advance event retires the pool entry.
-  idle_pool_.insert(dev_idx);
+  idle_insert(dev_idx);
   if (!streaming_churn()) {
     engine_.at(std::min(session_end, cfg_.horizon),
-               [this, dev_idx] { idle_pool_.erase(dev_idx); });
+               [this, dev_idx] { idle_erase(dev_idx); });
   }
 }
 

@@ -25,13 +25,18 @@
 //   open loop — when `arrival` + `mix` are set, jobs are admitted mid-run
 //     from the arrival stream (the paper's dynamic-arrival setting) instead
 //     of coming from a pre-built spec list.
+//
+// Supply estimation and idle-pool sweeps run against an incremental
+// eligibility index (core/elig_index.h) by default; `use_index=false` keeps
+// the original full-fleet-scan paths, and the two modes are byte-identical
+// (asserted by tests/hotpath_index_test.cc).
 #pragma once
 
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "core/elig_index.h"
 #include "core/resource_manager.h"
 #include "sim/engine.h"
 #include "trace/job_trace.h"
@@ -63,6 +68,13 @@ struct CoordinatorConfig {
   // scenario seed (NOT the engine's), so every policy replays the same
   // world.
   std::uint64_t seed = 0;
+
+  // Incremental eligibility index (core/elig_index.h). On by default:
+  // supply-rate queries and idle-pool sweeps consult per-signature atom
+  // buckets instead of rescanning the fleet. The fallback (`index=0` /
+  // `--no-index`) keeps the original full-scan paths; both modes produce
+  // byte-identical simulations, which tests assert.
+  bool use_index = true;
 };
 
 class Coordinator {
@@ -96,6 +108,23 @@ class Coordinator {
     return sessions_streamed_;
   }
   [[nodiscard]] std::size_t resident_session_count() const;
+
+  // --- hot-path accounting ----------------------------------------------
+  // Per-event work evidence for the perf-regression harness: with the index
+  // on, sweep offers stop scaling with fleet size (sweeps stop as soon as no
+  // request wants devices and skip ineligible devices outright), and supply
+  // queries stop rescanning devices.
+  struct HotpathStats {
+    std::uint64_t sweeps = 0;            // offer_idle_pool invocations
+    std::uint64_t sweep_visits = 0;      // idle devices visited across sweeps
+    std::uint64_t sweep_offers = 0;      // offers actually made to the manager
+    std::uint64_t sweep_skips = 0;       // visits skipped via the index
+    std::uint64_t supply_queries = 0;    // supply_rate evaluations
+  };
+  [[nodiscard]] const HotpathStats& hotpath_stats() const { return hstats_; }
+
+  // The eligibility index, or nullptr with `use_index=false`. For tests.
+  [[nodiscard]] const EligibilityIndex* index() const { return index_.get(); }
 
   // Assignment accounting (the Fig. 8a matrix) is no longer baked in here;
   // install an AssignmentMatrixObserver (core/observer.h) on the
@@ -139,9 +168,28 @@ class Coordinator {
 
   std::vector<std::unique_ptr<Job>> jobs_;
   std::unordered_map<JobId, Job*> by_id_;
-  std::unordered_set<std::size_t> idle_pool_;  // device indices
+
+  // Idle pool as a dense vector + position map: O(1) insert / erase /
+  // membership without hashing, and an O(k) lazy-Fisher-Yates draw of the
+  // first k sweep positions. Vector order is an implementation detail but
+  // fully deterministic (it depends only on the event sequence).
+  std::vector<std::size_t> idle_vec_;   // members, arbitrary order
+  std::vector<std::size_t> idle_pos_;   // device -> position+1; 0 = absent
+  [[nodiscard]] bool idle_contains(std::size_t d) const {
+    return idle_pos_[d] != 0;
+  }
+  void idle_insert(std::size_t d);
+  void idle_erase(std::size_t d);
+
   std::size_t unfinished_jobs_ = 0;
   double mean_exec_factor_ = 1.0;  // population mean of 1/speed
+  std::uint64_t sweep_counter_ = 0;  // seeds the per-sweep selection stream
+
+  // Incremental eligibility/availability index (use_index mode). Mutable
+  // mechanics live behind the pointer: supply_rate() is const but lazily
+  // registers requirements with the index on first sight.
+  std::unique_ptr<EligibilityIndex> index_;
+  mutable HotpathStats hstats_;
 
   [[nodiscard]] bool streaming_churn() const {
     return cfg_.churn != nullptr && cfg_.stream_sessions;

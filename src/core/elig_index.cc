@@ -1,0 +1,86 @@
+#include "core/elig_index.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace venn {
+
+EligibilityIndex::EligibilityIndex(std::span<const Device> devices) {
+  signatures_.assign(devices.size(), 0);
+  specs_.reserve(devices.size());
+  session_counts_.reserve(devices.size());
+
+  // Session statistics accumulate in device order, matching the legacy scan
+  // loops bit for bit (double sums are order-sensitive; counts are integers
+  // and therefore exact either way).
+  for (const auto& d : devices) {
+    specs_.push_back(&d.spec());
+    session_counts_.push_back(static_cast<double>(d.sessions().size()));
+    if (!d.sessions().empty()) {
+      session_span_ = std::max(session_span_, d.sessions().back().end);
+    }
+    for (const auto& s : d.sessions()) {
+      session_time_ += s.duration();
+      session_count_ += 1.0;
+    }
+  }
+
+  // Everything starts in the signature-0 bucket; requirement registrations
+  // move devices to their atoms incrementally.
+  Atom& zero = atoms_[0];
+  zero.device_count = devices.size();
+  for (double c : session_counts_) zero.session_checkins += c;
+}
+
+std::size_t EligibilityIndex::register_requirement(const Requirement& req) {
+  for (std::size_t i = 0; i < reqs_.size(); ++i) {
+    if (reqs_[i] == req) return i;
+  }
+  if (reqs_.size() >= SignatureSpace::kMaxRequirements) {
+    throw std::length_error("EligibilityIndex: too many distinct requirements");
+  }
+  const std::size_t bit = reqs_.size();
+  reqs_.push_back(req);
+  ++mstats_.requirement_registrations;
+
+  // The one full pass this structure ever pays per distinct requirement:
+  // flip the new bit on eligible devices and move them between buckets.
+  const std::uint64_t mask = 1ULL << bit;
+  for (std::size_t d = 0; d < signatures_.size(); ++d) {
+    ++mstats_.device_rescans;
+    if (!req.eligible(*specs_[d])) continue;
+    const std::uint64_t old_sig = signatures_[d];
+    const std::uint64_t new_sig = old_sig | mask;
+    signatures_[d] = new_sig;
+
+    Atom& from = atoms_.at(old_sig);
+    --from.device_count;
+    from.session_checkins -= session_counts_[d];
+    Atom& to = atoms_[new_sig];
+    ++to.device_count;
+    to.session_checkins += session_counts_[d];
+    if (from.device_count == 0) atoms_.erase(old_sig);
+  }
+  return bit;
+}
+
+std::size_t EligibilityIndex::eligible_count(std::size_t group) const {
+  std::size_t n = 0;
+  for (const auto& [sig, atom] : atoms_) {
+    if ((sig >> group) & 1ULL) n += atom.device_count;
+  }
+  return n;
+}
+
+double EligibilityIndex::eligible_session_checkins(std::size_t group) const {
+  // Each bucket total is an exact integer (sums of session counts), so the
+  // cross-bucket sum equals the scan path's per-device accumulation
+  // regardless of order.
+  double n = 0.0;
+  for (const auto& [sig, atom] : atoms_) {
+    if ((sig >> group) & 1ULL) n += atom.session_checkins;
+  }
+  return n;
+}
+
+}  // namespace venn

@@ -1,0 +1,124 @@
+// Incremental eligibility/availability index over a device population.
+//
+// The scheduling hot path used to rescan the whole fleet on every supply
+// query: `Coordinator::supply_rate` walked all devices (and, without a churn
+// model, all of their sessions) per job registration, and every idle-pool
+// sweep offered every parked device to the manager regardless of whether any
+// pending job could take it. This index makes those costs incremental:
+//
+//   * each device carries a cached *eligibility signature* — the bitmask of
+//     registered job requirements it satisfies, the same ≤64-group atoms
+//     `compute_irs_plan` consumes — updated only when a new distinct
+//     requirement arrives (job arrival), never per scheduling decision;
+//   * devices are bucketed per signature into *atom buckets* holding the
+//     device count and the total materialized-session check-in count, so
+//     eligible-supply queries are O(#atoms) instead of O(devices);
+//   * population session statistics (span, mean session seconds) are
+//     computed once at construction in the exact accumulation order the
+//     legacy scan used, so index-backed estimates are byte-identical to the
+//     scan path (`--no-index` / `index=0`), which tests assert.
+//
+// Requirement bit indices are assigned in first-seen order, exactly like
+// `SignatureSpace::register_requirement`; as long as the coordinator
+// registers each job's requirement here immediately before the resource
+// manager registers the same requirement in its own space (which the job
+// registration path does), the two bit spaces stay aligned and a device
+// signature from this index can be intersected directly with the manager's
+// pending-group mask.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "device/device.h"
+#include "device/eligibility.h"
+
+namespace venn {
+
+class EligibilityIndex {
+ public:
+  // One eligibility atom: the devices sharing a signature.
+  struct Atom {
+    std::size_t device_count = 0;
+    // Total number of materialized sessions (= daily-averaged check-ins
+    // numerator) of the bucket's devices. Integer-valued, stored as double
+    // so sums reproduce the scan path's double accumulation exactly.
+    double session_checkins = 0.0;
+  };
+
+  struct MaintenanceStats {
+    std::uint64_t requirement_registrations = 0;  // distinct requirements
+    std::uint64_t device_rescans = 0;  // device visits across registrations
+  };
+
+  // Builds the index over a fixed population. Devices are identified by
+  // their position in `devices` for the index's lifetime; specs and session
+  // vectors must not change afterwards (sessions may be absent for
+  // streaming-churn populations).
+  explicit EligibilityIndex(std::span<const Device> devices);
+
+  // Registers `req` (idempotent), returns its bit index. A new distinct
+  // requirement rebuckets the population once — O(devices) per *distinct*
+  // requirement, O(#requirements) afterwards — instead of every supply
+  // query paying a fleet scan.
+  std::size_t register_requirement(const Requirement& req);
+
+  [[nodiscard]] std::size_t num_requirements() const { return reqs_.size(); }
+  [[nodiscard]] const Requirement& requirement(std::size_t idx) const {
+    return reqs_.at(idx);
+  }
+
+  // Cached signature of the device at `dev_idx` over the registered
+  // requirements (bit g set iff requirement g is satisfied).
+  [[nodiscard]] std::uint64_t signature(std::size_t dev_idx) const {
+    return signatures_[dev_idx];
+  }
+
+  [[nodiscard]] std::size_t num_devices() const { return signatures_.size(); }
+
+  // Eligible-device count for requirement bit `group`: O(#atoms).
+  [[nodiscard]] std::size_t eligible_count(std::size_t group) const;
+
+  // Total materialized-session count of eligible devices for requirement
+  // bit `group` (the legacy scan's check-in numerator): O(#atoms).
+  [[nodiscard]] double eligible_session_checkins(std::size_t group) const;
+
+  // --- population session statistics (computed once at construction) ------
+  // Latest session end over all devices (the scan path's averaging span).
+  [[nodiscard]] SimTime session_span() const { return session_span_; }
+  // Total session time / count over all devices, accumulated in device
+  // order like the scan path.
+  [[nodiscard]] double total_session_seconds() const { return session_time_; }
+  [[nodiscard]] double total_session_count() const { return session_count_; }
+  [[nodiscard]] bool has_sessions() const { return session_count_ > 0.0; }
+  [[nodiscard]] double mean_session_seconds() const {
+    return session_time_ / session_count_;
+  }
+
+  // Atom buckets keyed by signature (signature 0 = devices eligible for no
+  // registered requirement). Exposed for tests and benches.
+  [[nodiscard]] const std::unordered_map<std::uint64_t, Atom>& atoms() const {
+    return atoms_;
+  }
+
+  [[nodiscard]] const MaintenanceStats& maintenance_stats() const {
+    return mstats_;
+  }
+
+ private:
+  std::vector<Requirement> reqs_;
+  std::vector<std::uint64_t> signatures_;       // per device
+  std::vector<const DeviceSpec*> specs_;        // per device (not owned)
+  std::vector<double> session_counts_;          // per device, integer-valued
+  std::unordered_map<std::uint64_t, Atom> atoms_;
+
+  SimTime session_span_ = 0.0;
+  double session_time_ = 0.0;
+  double session_count_ = 0.0;
+
+  MaintenanceStats mstats_;
+};
+
+}  // namespace venn

@@ -20,7 +20,12 @@ void ResourceManager::register_job(Job* job, double solo_jct_estimate) {
   e.group =
       sigs_.register_requirement(requirement_for(job->spec().category));
   e.solo_jct_estimate = solo_jct_estimate;
-  jobs_.emplace(job->id(), e);
+  JobEntry& stored = jobs_.emplace(job->id(), e).first->second;
+  const auto pos = std::lower_bound(
+      job_order_.begin(), job_order_.end(), job->id(),
+      [](const JobEntry* a, JobId id) { return a->job->id() < id; });
+  job_order_.insert(pos, &stored);
+  wants_dirty_ = true;
 }
 
 void ResourceManager::deregister_job(JobId id) {
@@ -34,7 +39,10 @@ void ResourceManager::deregister_job(JobId id) {
   for (RunObserver* obs : observers_) {
     obs->on_job_finish(*it->second.job, it->second.job->completion_time());
   }
+  job_order_.erase(
+      std::find(job_order_.begin(), job_order_.end(), &it->second));
   jobs_.erase(it);
+  wants_dirty_ = true;
 }
 
 void ResourceManager::add_observer(RunObserver* obs) {
@@ -42,33 +50,53 @@ void ResourceManager::add_observer(RunObserver* obs) {
   observers_.push_back(obs);
 }
 
+PendingJob ResourceManager::make_pending(const JobEntry& e) const {
+  const auto& req = e.job->request();
+  PendingJob pj;
+  pj.job = e.job->id();
+  pj.request = req->id;
+  pj.group = e.group;
+  pj.remaining_demand = req->remaining_demand();
+  pj.request_demand = req->demand;
+  pj.remaining_service = e.job->remaining_service();
+  pj.total_rounds = e.job->spec().rounds;
+  pj.completed_rounds = e.job->completed_rounds();
+  pj.job_arrival = e.job->spec().arrival;
+  pj.request_submitted = req->submitted;
+  pj.solo_jct_estimate = e.solo_jct_estimate;
+  pj.random_priority = e.random_priority;
+  return pj;
+}
+
 std::vector<PendingJob> ResourceManager::pending_view() const {
+  // job_order_ is kept sorted by job id, so the walk is deterministic
+  // without a per-call sort.
+  ++hstats_.view_builds;
   std::vector<PendingJob> out;
-  out.reserve(jobs_.size());
-  for (const auto& [id, e] : jobs_) {
-    const auto& req = e.job->request();
+  out.reserve(job_order_.size());
+  for (const JobEntry* e : job_order_) {
+    const auto& req = e->job->request();
     if (!req || !req->wants_devices()) continue;
-    PendingJob pj;
-    pj.job = id;
-    pj.request = req->id;
-    pj.group = e.group;
-    pj.remaining_demand = req->remaining_demand();
-    pj.request_demand = req->demand;
-    pj.remaining_service = e.job->remaining_service();
-    pj.total_rounds = e.job->spec().rounds;
-    pj.completed_rounds = e.job->completed_rounds();
-    pj.job_arrival = e.job->spec().arrival;
-    pj.request_submitted = req->submitted;
-    pj.solo_jct_estimate = e.solo_jct_estimate;
-    pj.random_priority = e.random_priority;
-    out.push_back(pj);
+    out.push_back(make_pending(*e));
   }
-  // Deterministic order regardless of hash-map iteration.
-  std::sort(out.begin(), out.end(),
-            [](const PendingJob& a, const PendingJob& b) {
-              return a.job < b.job;
-            });
   return out;
+}
+
+void ResourceManager::refresh_queue_cache() const {
+  wants_mask_ = 0;
+  wanting_.clear();
+  for (JobEntry* e : job_order_) {
+    const auto& req = e->job->request();
+    if (!req || !req->wants_devices()) continue;
+    wants_mask_ |= (1ULL << e->group);
+    wanting_.push_back(e);
+  }
+  wants_dirty_ = false;
+}
+
+std::uint64_t ResourceManager::wants_mask() const {
+  if (wants_dirty_) refresh_queue_cache();
+  return wants_mask_;
 }
 
 std::size_t ResourceManager::num_pending_jobs() const {
@@ -87,6 +115,7 @@ RoundRequest& ResourceManager::open_request(JobId id, SimTime now,
   JobEntry& e = it->second;
   RoundRequest& req = e.job->open_request(RequestId(next_request_id_++), now);
   e.random_priority = random_priority;
+  wants_dirty_ = true;
   notify_queue_change(now);
   return req;
 }
@@ -95,11 +124,13 @@ void ResourceManager::close_request(JobId id, SimTime now) {
   if (!jobs_.contains(id)) {
     throw std::invalid_argument("close_request: unknown job");
   }
+  wants_dirty_ = true;
   notify_queue_change(now);
 }
 
 void ResourceManager::assignment_failed(JobId id, SimTime now) {
   if (!jobs_.contains(id)) return;  // job may have finished meanwhile
+  wants_dirty_ = true;
   notify_queue_change(now);
 }
 
@@ -114,10 +145,29 @@ DeviceView ResourceManager::device_view(const Device& dev) const {
 std::optional<AssignOutcome> ResourceManager::try_assign(const Device& dev,
                                                          SimTime now) {
   const DeviceView view = device_view(dev);
+  ++hstats_.offers;
 
   std::vector<PendingJob> candidates;
-  for (const auto& pj : pending_view()) {
-    if ((view.signature >> pj.group) & 1ULL) candidates.push_back(pj);
+  if (use_pending_cache_) {
+    // Candidate enumeration walks only the (cached, id-ordered) entries
+    // whose request still wants devices — no per-offer materialization.
+    if (wants_dirty_) refresh_queue_cache();
+    for (const JobEntry* e : wanting_) {
+      ++hstats_.candidates_scanned;
+      const auto& req = e->job->request();
+      if (!req || !req->wants_devices()) continue;
+      if (!((view.signature >> e->group) & 1ULL)) continue;
+      candidates.push_back(make_pending(*e));
+    }
+  } else {
+    // Legacy fallback (`--no-index`): materialize the full pending view per
+    // offer and filter it, exactly like the seed's hot path. Produces the
+    // same candidates as the cached walk above — the cache is precisely the
+    // wants_devices() subset in the same id order.
+    for (const auto& pj : pending_view()) {
+      ++hstats_.candidates_scanned;
+      if ((view.signature >> pj.group) & 1ULL) candidates.push_back(pj);
+    }
   }
   if (candidates.empty()) return std::nullopt;
 
@@ -131,6 +181,7 @@ std::optional<AssignOutcome> ResourceManager::try_assign(const Device& dev,
     throw std::logic_error("scheduler picked a stale request");
   }
   ++req.assigned;
+  wants_dirty_ = true;  // this assignment may have filled the request
 
   AssignOutcome out;
   out.job = winner.job;

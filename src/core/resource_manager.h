@@ -89,6 +89,34 @@ class ResourceManager {
   // The pending-job view handed to policies; public for tests.
   [[nodiscard]] std::vector<PendingJob> pending_view() const;
 
+  // ----- hot-path queries -------------------------------------------------
+  // Bitmask over job groups with at least one request that still wants
+  // devices. O(1) when the queue is unchanged since the last query
+  // (recomputed lazily over the registered jobs otherwise). An offer for a
+  // device whose eligibility signature misses this mask is provably a no-op
+  // — the candidate set is empty and no randomness is consumed — which lets
+  // the coordinator's idle-pool sweep skip or stop early byte-identically.
+  [[nodiscard]] std::uint64_t wants_mask() const;
+  [[nodiscard]] bool wants_devices() const { return wants_mask() != 0; }
+
+  // With the cache on (default; the coordinator syncs it to its `use_index`
+  // knob), per-offer candidate enumeration walks only the jobs whose open
+  // request still wants devices, maintained lazily alongside wants_mask().
+  // Off = the `--no-index` fallback: every offer rescans the full job
+  // queue. Both settings yield identical candidates (the cache is exactly
+  // the wants_devices() filter of the full walk, in the same id order).
+  void set_use_pending_cache(bool on) { use_pending_cache_ = on; }
+
+  // Per-event work counters backing the perf-regression harness: the stress
+  // tests assert that index-backed runs bound these independently of fleet
+  // size while `--no-index` runs scale with it.
+  struct HotpathStats {
+    std::uint64_t offers = 0;             // try_assign invocations
+    std::uint64_t candidates_scanned = 0; // job entries examined across offers
+    std::uint64_t view_builds = 0;        // full pending_view materializations
+  };
+  [[nodiscard]] const HotpathStats& hotpath_stats() const { return hstats_; }
+
  private:
   struct JobEntry {
     Job* job = nullptr;
@@ -99,12 +127,26 @@ class ResourceManager {
 
   std::optional<AssignOutcome> try_assign(const Device& dev, SimTime now);
   void notify_queue_change(SimTime now);
+  [[nodiscard]] PendingJob make_pending(const JobEntry& e) const;
 
   std::unique_ptr<Scheduler> scheduler_;
   SignatureSpace sigs_;
   std::unordered_map<JobId, JobEntry> jobs_;
+  // Registered entries in ascending job-id order (pointers into jobs_, which
+  // keeps element addresses stable). Replaces the per-offer materialize+sort
+  // of the whole pending view with a pre-sorted walk.
+  std::vector<JobEntry*> job_order_;
   std::vector<RunObserver*> observers_;
   std::int64_t next_request_id_ = 0;
+
+  bool use_pending_cache_ = true;
+  mutable bool wants_dirty_ = true;
+  mutable std::uint64_t wants_mask_ = 0;
+  // Entries with a device-wanting open request, ascending id (cache mode).
+  mutable std::vector<JobEntry*> wanting_;
+  mutable HotpathStats hstats_;
+
+  void refresh_queue_cache() const;  // recomputes wants_mask_ + wanting_
 };
 
 }  // namespace venn

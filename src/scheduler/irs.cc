@@ -1,6 +1,7 @@
 #include "scheduler/irs.h"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace venn {
@@ -24,12 +25,16 @@ std::vector<std::size_t> IrsPlan::order_for(std::uint64_t signature) const {
   auto it = atom_order.find(signature);
   if (it != atom_order.end()) return it->second;
 
-  // Unseen atom: serve the scarcest eligible group first.
+  // Unseen atom: serve the scarcest eligible group first. Only the
+  // signature's set bits are visited (not all 64), and bits referencing
+  // groups absent from the plan — inactive groups, which have no supply
+  // entry — are excluded deliberately: a device can only be ordered across
+  // groups the plan knows about. tests/irs_test.cc pins this down for an
+  // unseen atom whose signature carries an inactive-group bit.
   std::vector<std::size_t> order;
-  for (std::size_t g = 0; g < 64; ++g) {
-    if ((signature >> g) & 1ULL) {
-      if (supply_rate.contains(g)) order.push_back(g);
-    }
+  for (std::uint64_t bits = signature; bits != 0; bits &= bits - 1) {
+    const auto g = static_cast<std::size_t>(std::countr_zero(bits));
+    if (supply_rate.contains(g)) order.push_back(g);
   }
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     const double sa = supply_rate.at(a);

@@ -62,6 +62,9 @@ struct IrsPlan {
   // Service order for a device with the given (active-restricted) signature.
   // Falls back to scarcest-first over the signature's groups when the exact
   // atom was not part of the plan input (e.g. first device of its kind).
+  // Signature bits referencing groups the plan does not know (inactive
+  // groups — no supply_rate entry) are ignored: only plan groups can be
+  // ordered. Iterates the signature's set bits, not all 64 positions.
   [[nodiscard]] std::vector<std::size_t> order_for(
       std::uint64_t signature) const;
 };

@@ -14,6 +14,14 @@ EventHandle EventQueue::schedule(SimTime t, EventFn fn) {
   if (t < now_) {
     throw std::invalid_argument("EventQueue::schedule: time in the past");
   }
+  queue_.push({t, next_seq_++, std::move(fn), nullptr});
+  return EventHandle();  // inert: no cancellation state allocated
+}
+
+EventHandle EventQueue::schedule_cancellable(SimTime t, EventFn fn) {
+  if (t < now_) {
+    throw std::invalid_argument("EventQueue::schedule: time in the past");
+  }
   auto flag = std::make_shared<bool>(false);
   queue_.push({t, next_seq_++, std::move(fn), flag});
   return EventHandle(std::move(flag));
@@ -27,14 +35,20 @@ EventHandle EventQueue::schedule_after(SimTime delay, EventFn fn) {
 }
 
 void EventQueue::drop_cancelled() {
-  while (!queue_.empty() && *queue_.top().cancelled) queue_.pop();
+  while (!queue_.empty() && queue_.top().cancelled &&
+         *queue_.top().cancelled) {
+    queue_.pop();
+  }
 }
 
 bool EventQueue::step() {
   drop_cancelled();
   if (queue_.empty()) return false;
   // Move the entry out before running: the callback may schedule new events.
-  Entry e = queue_.top();
+  // The const_cast+move is safe — the heap's ordering invariant only reads
+  // t/seq, which moving leaves intact — and skips a std::function copy
+  // (potentially a heap allocation) per event.
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
   queue_.pop();
   now_ = e.t;
   ++executed_;

@@ -39,9 +39,15 @@ class EventHandle {
 
 class EventQueue {
  public:
-  // Schedule `fn` at absolute time `t` (must be >= now()). Returns a handle
-  // usable for cancellation.
+  // Schedule `fn` at absolute time `t` (must be >= now()). The returned
+  // handle is inert (not cancellable): the overwhelming majority of events
+  // are fire-and-forget, and skipping the shared cancellation flag removes
+  // a heap allocation + atomic refcounting from the per-event hot path.
+  // Use schedule_cancellable() when cancellation is actually needed.
   EventHandle schedule(SimTime t, EventFn fn);
+
+  // As schedule(), but the handle can cancel the event (lazy deletion).
+  EventHandle schedule_cancellable(SimTime t, EventFn fn);
 
   // Convenience: schedule at now() + delay.
   EventHandle schedule_after(SimTime delay, EventFn fn);

@@ -53,7 +53,7 @@ TEST(EventQueue, CallbackCanScheduleMore) {
 TEST(EventQueue, CancelPreventsExecution) {
   EventQueue q;
   int fired = 0;
-  EventHandle h = q.schedule(1.0, [&] { ++fired; });
+  EventHandle h = q.schedule_cancellable(1.0, [&] { ++fired; });
   EXPECT_TRUE(h.active());
   h.cancel();
   EXPECT_FALSE(h.active());
@@ -62,9 +62,21 @@ TEST(EventQueue, CancelPreventsExecution) {
   EXPECT_EQ(q.executed(), 0u);
 }
 
+TEST(EventQueue, PlainScheduleHandleIsInertButEventFires) {
+  // Fire-and-forget events skip the cancellation flag allocation entirely;
+  // the returned handle is inert and cancel() on it is a safe no-op.
+  EventQueue q;
+  int fired = 0;
+  EventHandle h = q.schedule(1.0, [&] { ++fired; });
+  EXPECT_FALSE(h.active());
+  h.cancel();
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(EventQueue, CancelIsIdempotentAndSafeAfterRun) {
   EventQueue q;
-  EventHandle h = q.schedule(1.0, [] {});
+  EventHandle h = q.schedule_cancellable(1.0, [] {});
   q.run();
   h.cancel();  // already executed; must not crash
   h.cancel();
@@ -85,7 +97,7 @@ TEST(EventQueue, RunUntilStopsAtBoundary) {
 
 TEST(EventQueue, NextTimeSkipsCancelled) {
   EventQueue q;
-  EventHandle h = q.schedule(1.0, [] {});
+  EventHandle h = q.schedule_cancellable(1.0, [] {});
   q.schedule(2.0, [] {});
   h.cancel();
   const auto t = q.next_time();
