@@ -5,9 +5,13 @@
 // `index=0` (`--no-index` semantics), checks the two simulations agree,
 // and reports events/sec and per-event µs for each cell. Results are
 // written to BENCH_hotpath.json so the repo finally carries a perf
-// trajectory; CI re-runs the quick cells and fails if events/sec drops
-// more than the tolerance below the checked-in baseline
-// (bench/baselines/hotpath_baseline.json).
+// trajectory; CI re-runs the quick cells and fails if any cell's
+// index-vs-scan *speedup ratio* drops more than the tolerance below the
+// checked-in baseline (bench/baselines/hotpath_baseline.json). The gate
+// uses the ratio, not absolute events/sec, because the ratio is
+// machine-invariant: both modes run on the same hardware in the same
+// process, so the baseline does not need to come from the CI runner class
+// (absolute ev/s varies well beyond the tolerance across machines).
 //
 // Usage:
 //   hotpath_index [--quick] [--out=BENCH_hotpath.json]
@@ -15,9 +19,10 @@
 //                 [--horizon-days=0.25] [--seed=77] [--repeats=3]
 //
 //   --quick      CI-sized sweep: {1k, 10k} devices × {4, 16} jobs.
-//   --baseline   compare events/sec per cell against a previous output
-//                file; exit 1 if any cell regressed beyond the tolerance
-//                (or if no cell could be matched against the baseline).
+//   --baseline   compare each cell's index-vs-scan speedup ratio against a
+//                previous output file; exit 1 if any cell's ratio regressed
+//                beyond the tolerance (or if no cell could be matched
+//                against the baseline).
 //   --repeats    run each cell N times and keep the fastest wall time —
 //                damps scheduler/timer noise, which on sub-10ms cells can
 //                otherwise exceed the regression tolerance by itself.
@@ -242,17 +247,34 @@ int main(int argc, char** argv) {
     const std::string text = ss.str();
     bool ok = true;
     std::size_t matched = 0;
-    for (const CellResult& c : cells) {
-      double base = 0.0;
-      if (!baseline_events_per_sec(text, c, &base)) continue;  // new cell
+    // Cells were pushed scan-then-index per (devices, jobs) pair. Gate on
+    // the speedup ratio of each pair — machine-invariant, unlike absolute
+    // ev/s, which differs across machines by more than the tolerance.
+    for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+      const CellResult& scan = cells[i];
+      const CellResult& index = cells[i + 1];
+      double base_scan = 0.0, base_index = 0.0;
+      if (!baseline_events_per_sec(text, scan, &base_scan) ||
+          !baseline_events_per_sec(text, index, &base_index)) {
+        continue;  // new cell
+      }
+      // A zero on either side (truncated/hand-edited baseline, or a parse
+      // landing on 0) would make the ratio degenerate and the gate vacuous
+      // for this pair — treat it as unmatched instead.
+      if (base_scan <= 0.0 || base_index <= 0.0 ||
+          scan.events_per_sec <= 0.0 || index.events_per_sec <= 0.0) {
+        continue;
+      }
       ++matched;
-      const double floor = (1.0 - tolerance) * base;
-      if (c.events_per_sec < floor) {
+      const double base_speedup = base_index / base_scan;
+      const double speedup = index.events_per_sec / scan.events_per_sec;
+      const double floor = (1.0 - tolerance) * base_speedup;
+      if (speedup < floor) {
         std::fprintf(stderr,
-                     "FAIL: %zu devices x %zu jobs (%s): %.0f ev/s is "
-                     ">%.0f%% below baseline %.0f ev/s\n",
-                     c.devices, c.jobs, c.mode.c_str(), c.events_per_sec,
-                     100.0 * tolerance, base);
+                     "FAIL: %zu devices x %zu jobs: index-vs-scan speedup "
+                     "%.2fx is >%.0f%% below baseline %.2fx\n",
+                     scan.devices, scan.jobs, speedup, 100.0 * tolerance,
+                     base_speedup);
         ok = false;
       }
     }
@@ -266,7 +288,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (!ok) return 1;
-    bench::note(std::to_string(matched) + " cells within " +
+    bench::note(std::to_string(matched) + " cell speedups within " +
                 std::to_string(int(100 * tolerance)) + "% of baseline " +
                 baseline_path);
   }

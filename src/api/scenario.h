@@ -63,9 +63,13 @@ struct ScenarioSpec {
   // (requires churn=) — O(devices) memory instead of O(devices × horizon).
   bool streaming = false;
   // index=0 disables the incremental eligibility index and falls back to
-  // the full-fleet-scan scheduling hot path. Both modes are byte-identical;
-  // the knob exists for A/B perf measurement (bench/hotpath_index) and as
-  // an escape hatch.
+  // the full-fleet-scan scheduling hot path. Both modes simulate
+  // byte-identically with *each other*; the knob exists for A/B perf
+  // measurement (bench/hotpath_index) and as an escape hatch. Note that
+  // index=0 preserves the pre-index scan *algorithms* (their cost profile),
+  // not bit-exact pre-index trajectories: idle-sweep randomness is drawn
+  // from a per-sweep stream derived from the scenario seed in both modes,
+  // no longer from the engine RNG.
   bool use_index = true;
 
   // Simulation.

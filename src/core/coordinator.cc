@@ -288,6 +288,28 @@ void Coordinator::submit_request(Job* job) {
 }
 
 void Coordinator::offer_idle_pool(SimTime now) {
+  // A round can complete synchronously mid-sweep (handle_outcome ->
+  // maybe_complete -> submit_request lands back here when >= 80% of
+  // responses arrived before full allocation). A nested sweep would read
+  // the outer sweep's pool snapshot while idle_erase shrinks and reorders
+  // idle_vec_ under it, and could re-offer devices the outer sweep already
+  // assigned (their erases are deferred). Reentrant calls therefore only
+  // flag a follow-up; the outermost call drains the flag after its own
+  // sweep — and its deferred erases — have finished.
+  if (sweeping_) {
+    resweep_ = true;
+    ++hstats_.resweeps;
+    return;
+  }
+  sweeping_ = true;
+  do {
+    resweep_ = false;
+    sweep_idle_pool(now);
+  } while (resweep_);
+  sweeping_ = false;
+}
+
+void Coordinator::sweep_idle_pool(SimTime now) {
   if (idle_vec_.empty()) return;
   ++hstats_.sweeps;
   // Sweep order is a uniformly random permutation of the pool, generated
@@ -305,8 +327,11 @@ void Coordinator::offer_idle_pool(SimTime now) {
   // The fallback materializes the snapshot up front: it will visit every
   // position anyway, and a flat copy beats a hash map there. idle_vec_
   // itself must not change mid-sweep for either snapshot to stay valid, so
-  // erases of assigned devices are deferred to the end of the loop (nothing
-  // else mutates the pool synchronously; session events are queue-deferred).
+  // erases of assigned devices are deferred to the end of the loop. The
+  // deferral is safe because nothing else mutates the pool while the loop
+  // runs: session events are queue-deferred, and the sweeping_ guard in
+  // offer_idle_pool converts any synchronous resubmission (a round
+  // completing mid-sweep) into a follow-up sweep instead of a nested one.
   std::unordered_map<std::size_t, std::size_t> displaced;
   std::vector<std::size_t> flat;
   if (!index_) flat = idle_vec_;
@@ -336,16 +361,16 @@ void Coordinator::offer_idle_pool(SimTime now) {
       // group — is byte-identical to scanning on.
       const std::uint64_t wants = manager_.wants_mask();
       if (wants == 0) break;
-      // The index mirrors the manager's requirement registration order (it
-      // registers each job's requirement during the solo-JCT estimate that
-      // precedes manager registration), so bits compare directly. Wanted
-      // bits the index has not seen — impossible on the coordinator's own
-      // registration path, but cheap to guard — disable the skip rather
-      // than risk a false negative.
-      const std::size_t known_bits = index_->num_requirements();
-      const std::uint64_t known =
-          known_bits >= 64 ? ~0ULL : (1ULL << known_bits) - 1;
-      if ((wants & ~known) == 0 && (index_->signature(d) & wants) == 0) {
+      // The index normally mirrors the manager's requirement registration
+      // order (it registers each job's requirement during the solo-JCT
+      // estimate that precedes manager registration), but that is a
+      // convention, not a structural guarantee — a solo_jct_estimate probe
+      // for a category that never becomes a job would shift the index's
+      // bits. Verify the two spaces requirement-by-requirement (each bit
+      // checked once, then cached) and disable the skip for any wanted bit
+      // not yet proven aligned, rather than risk a false negative.
+      const std::uint64_t aligned = aligned_requirement_mask();
+      if ((wants & ~aligned) == 0 && (index_->signature(d) & wants) == 0) {
         ++hstats_.sweep_skips;
         continue;
       }
@@ -358,6 +383,17 @@ void Coordinator::offer_idle_pool(SimTime now) {
     }
   }
   for (const std::size_t d : assigned) idle_erase(d);
+}
+
+std::uint64_t Coordinator::aligned_requirement_mask() {
+  const std::size_t n =
+      std::min(index_->num_requirements(), manager_.signatures().size());
+  while (aligned_bits_ < n &&
+         index_->requirement(aligned_bits_) ==
+             manager_.signatures().requirement(aligned_bits_)) {
+    ++aligned_bits_;
+  }
+  return aligned_bits_ >= 64 ? ~0ULL : (1ULL << aligned_bits_) - 1;
 }
 
 void Coordinator::attempt_checkin(std::size_t dev_idx) {

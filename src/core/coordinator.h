@@ -72,8 +72,10 @@ struct CoordinatorConfig {
   // Incremental eligibility index (core/elig_index.h). On by default:
   // supply-rate queries and idle-pool sweeps consult per-signature atom
   // buckets instead of rescanning the fleet. The fallback (`index=0` /
-  // `--no-index`) keeps the original full-scan paths; both modes produce
-  // byte-identical simulations, which tests assert.
+  // `--no-index`) keeps the original full-scan algorithms (same cost
+  // profile, but not bit-exact pre-index trajectories — sweep randomness
+  // comes from a per-sweep derived stream in both modes); index and scan
+  // produce byte-identical simulations, which tests assert.
   bool use_index = true;
 };
 
@@ -115,11 +117,12 @@ class Coordinator {
   // request wants devices and skip ineligible devices outright), and supply
   // queries stop rescanning devices.
   struct HotpathStats {
-    std::uint64_t sweeps = 0;            // offer_idle_pool invocations
+    std::uint64_t sweeps = 0;            // idle-pool sweep passes executed
     std::uint64_t sweep_visits = 0;      // idle devices visited across sweeps
     std::uint64_t sweep_offers = 0;      // offers actually made to the manager
     std::uint64_t sweep_skips = 0;       // visits skipped via the index
     std::uint64_t supply_queries = 0;    // supply_rate evaluations
+    std::uint64_t resweeps = 0;          // reentrant sweep requests deferred
   };
   [[nodiscard]] const HotpathStats& hotpath_stats() const { return hstats_; }
 
@@ -149,7 +152,11 @@ class Coordinator {
   // their one-job-per-day budget at midnight).
   void attempt_checkin(std::size_t dev_idx);
   void handle_outcome(std::size_t dev_idx, const AssignOutcome& outcome);
+  // Reentrancy-guarded entry point: runs sweeps until no follow-up is
+  // pending; a call arriving while a sweep is in flight only flags one.
   void offer_idle_pool(SimTime now);
+  // One pass over the idle pool. Only offer_idle_pool may call this.
+  void sweep_idle_pool(SimTime now);
   void on_response(JobId job, RequestId request, std::size_t dev_idx,
                    double response_time);
   void maybe_complete(Job* job);
@@ -159,6 +166,13 @@ class Coordinator {
   // Estimated eligible check-in rate (devices/sec, daily average) for a
   // requirement, computed once from the generated population.
   [[nodiscard]] double supply_rate(const Requirement& req) const;
+
+  // Bitmask of requirement indices proven identical between the index's and
+  // the manager's registration orders (a prefix; verified incrementally,
+  // each bit once). The sweep skip only trusts index signatures on aligned
+  // bits — alignment is checked structurally, not assumed from the
+  // register-with-index-before-manager call convention.
+  [[nodiscard]] std::uint64_t aligned_requirement_mask();
 
   sim::Engine& engine_;
   ResourceManager& manager_;
@@ -175,9 +189,6 @@ class Coordinator {
   // fully deterministic (it depends only on the event sequence).
   std::vector<std::size_t> idle_vec_;   // members, arbitrary order
   std::vector<std::size_t> idle_pos_;   // device -> position+1; 0 = absent
-  [[nodiscard]] bool idle_contains(std::size_t d) const {
-    return idle_pos_[d] != 0;
-  }
   void idle_insert(std::size_t d);
   void idle_erase(std::size_t d);
 
@@ -185,10 +196,17 @@ class Coordinator {
   double mean_exec_factor_ = 1.0;  // population mean of 1/speed
   std::uint64_t sweep_counter_ = 0;  // seeds the per-sweep selection stream
 
+  // Sweep reentrancy guard: a round that completes synchronously mid-sweep
+  // (handle_outcome -> maybe_complete -> submit_request) would otherwise
+  // start a nested sweep over a pool snapshot the outer sweep still holds.
+  bool sweeping_ = false;
+  bool resweep_ = false;
+
   // Incremental eligibility/availability index (use_index mode). Mutable
   // mechanics live behind the pointer: supply_rate() is const but lazily
   // registers requirements with the index on first sight.
   std::unique_ptr<EligibilityIndex> index_;
+  std::size_t aligned_bits_ = 0;  // verified prefix, aligned_requirement_mask
   mutable HotpathStats hstats_;
 
   [[nodiscard]] bool streaming_churn() const {

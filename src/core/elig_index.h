@@ -19,12 +19,17 @@
 //     scan path (`--no-index` / `index=0`), which tests assert.
 //
 // Requirement bit indices are assigned in first-seen order, exactly like
-// `SignatureSpace::register_requirement`; as long as the coordinator
-// registers each job's requirement here immediately before the resource
-// manager registers the same requirement in its own space (which the job
+// `SignatureSpace::register_requirement`; when the coordinator registers
+// each job's requirement here immediately before the resource manager
+// registers the same requirement in its own space (which the job
 // registration path does), the two bit spaces stay aligned and a device
 // signature from this index can be intersected directly with the manager's
-// pending-group mask.
+// pending-group mask. The coordinator does not trust that call-order
+// convention blindly: it compares the two spaces requirement-by-requirement
+// (`Coordinator::aligned_requirement_mask`) and only applies the sweep skip
+// to bits proven aligned, so a stray registration (e.g. a solo-JCT probe
+// for a category that never becomes a job) degrades to plain offering
+// instead of silently skipping eligible devices.
 #pragma once
 
 #include <cstdint>

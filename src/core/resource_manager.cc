@@ -39,8 +39,9 @@ void ResourceManager::deregister_job(JobId id) {
   for (RunObserver* obs : observers_) {
     obs->on_job_finish(*it->second.job, it->second.job->completion_time());
   }
-  job_order_.erase(
-      std::find(job_order_.begin(), job_order_.end(), &it->second));
+  job_order_.erase(std::lower_bound(
+      job_order_.begin(), job_order_.end(), id,
+      [](const JobEntry* a, JobId b) { return a->job->id() < b; }));
   jobs_.erase(it);
   wants_dirty_ = true;
 }
