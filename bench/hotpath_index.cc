@@ -26,6 +26,11 @@
 //   --repeats    run each cell N times and keep the fastest wall time —
 //                damps scheduler/timer noise, which on sub-10ms cells can
 //                otherwise exceed the regression tolerance by itself.
+//
+// After the timed sweep, a protocol-agnostic check runs one small cell per
+// round protocol (sync / overcommit / async) in both index modes and fails
+// if any protocol's trajectory differs between index=1 and index=0 — the
+// sweep/index hot path must never depend on the aggregation regime.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -164,6 +169,39 @@ bool baseline_events_per_sec(const std::string& text, const CellResult& c,
   return true;
 }
 
+// The sweep/index hot path must be protocol-agnostic: the eligibility
+// index and the idle-pool sweep reason about *eligibility*, never about
+// the aggregation regime, so index=1 and index=0 must replay every round
+// protocol byte-identically. One small cell per protocol, compared on the
+// full metric trajectory (JCT + protocol counters).
+bool protocol_agnostic_check(std::uint64_t seed) {
+  const char* const protocols[] = {"sync", "overcommit", "async"};
+  bool all_ok = true;
+  std::printf("\nprotocol-agnostic hot path (index vs scan, 2k x 8):\n");
+  for (const char* proto : protocols) {
+    RunResult results[2];
+    for (const bool use_index : {false, true}) {
+      ExperimentBuilder b;
+      b.devices(2'000).jobs(8).horizon(2.0 * kDay).seed(seed);
+      b.set("churn", "weibull");
+      b.set("protocol", proto);
+      b.set("index", use_index ? "1" : "0");
+      results[use_index ? 1 : 0] = b.build().run(PolicySpec{"venn"});
+    }
+    const RunResult& scan = results[0];
+    const RunResult& index = results[1];
+    bool match =
+        scan.jobs.size() == index.jobs.size() && scan.protocol == index.protocol;
+    for (std::size_t i = 0; match && i < scan.jobs.size(); ++i) {
+      match = scan.jobs[i].jct == index.jobs[i].jct &&
+              scan.jobs[i].completed_rounds == index.jobs[i].completed_rounds;
+    }
+    std::printf("  %-12s %s\n", proto, match ? "match" : "MISMATCH");
+    all_ok = all_ok && match;
+  }
+  return all_ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -232,6 +270,13 @@ int main(int argc, char** argv) {
   bench::note("wrote " + out_path);
   if (!all_match) {
     std::fprintf(stderr, "FAIL: index and scan modes diverged\n");
+    return 1;
+  }
+
+  if (!protocol_agnostic_check(seed)) {
+    std::fprintf(stderr,
+                 "FAIL: index and scan modes diverged under a round "
+                 "protocol\n");
     return 1;
   }
 

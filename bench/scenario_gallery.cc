@@ -1,11 +1,14 @@
-// Scenario gallery: the workload-generator subsystem end to end.
+// Scenario gallery: the workload-generator and round-protocol subsystems
+// end to end.
 //
-// Sweeps arrival × churn (× mix) combinations far outside the paper's two
-// worlds — bursty MMPP arrivals over Weibull churn, flash crowds under a
-// compute-biased mix, a fully open-loop streaming scenario — and runs
+// Sweeps arrival × churn (× mix × protocol) combinations far outside the
+// paper's two worlds — bursty MMPP arrivals over Weibull churn, flash
+// crowds under a compute-biased mix, over-selection and buffered-async
+// aggregation regimes, a fully open-loop streaming scenario — and runs
 // venn vs. random on each shared trace. Every cell is run twice at the
-// same seed and checked byte-identical, so generator nondeterminism fails
-// this bench loudly.
+// same seed AND once with the eligibility index disabled (index=0), all
+// checked byte-identical, so generator or protocol nondeterminism — or a
+// protocol leaking into the index hot path — fails this bench loudly.
 //
 // Usage: scenario_gallery [--key=value ...]
 //   Overrides apply to every gallery scenario; CI smoke-runs with
@@ -48,6 +51,9 @@ bool byte_identical(const RunResult& a, const RunResult& b) {
       return false;
     }
   }
+  // The protocol counters are part of the trajectory too: staleness and
+  // wasted work must replay exactly.
+  if (!(a.protocol == b.protocol)) return false;
   return a.assignment_matrix == b.assignment_matrix;
 }
 
@@ -64,10 +70,11 @@ int main(int argc, char** argv) {
     extra.push_back(arg.substr(2));
   }
 
-  bench::header("Scenario gallery — arrival × churn × mix generators",
-                "§2.1/Fig. 2a + Fig. 8b generalized via src/workload/");
-  bench::note("every cell runs twice at the same seed; 'det' flags byte-"
-              "identical replay");
+  bench::header("Scenario gallery — arrival × churn × mix × protocol",
+                "§2.1/Fig. 2a + Fig. 8b generalized via src/workload/ and "
+                "src/protocol/");
+  bench::note("every cell runs twice at the same seed plus once with "
+              "index=0; 'det' flags byte-identical replay across all three");
 
   const std::vector<GalleryCell> cells = {
       {"poisson × diurnal",
@@ -88,6 +95,18 @@ int main(int argc, char** argv) {
       {"open-loop poisson × weibull (streaming)",
        {"arrival=poisson", "mix=even", "churn=weibull", "open-loop=1",
         "stream=1"}},
+      // --- round-protocol cells (src/protocol/) --------------------------
+      {"poisson × diurnal, overcommit 1.5",
+       {"arrival=poisson", "churn=diurnal", "protocol=overcommit",
+        "protocol.overcommit=1.5"}},
+      {"bursty × weibull, async buffer 8",
+       {"arrival=bursty", "churn=weibull", "protocol=async",
+        "protocol.buffer=8", "protocol.concurrency=24"}},
+      {"static × diurnal, async (defaults)",
+       {"arrival=static", "churn=diurnal", "protocol=async"}},
+      {"open-loop poisson × weibull, overcommit (streaming)",
+       {"arrival=poisson", "mix=even", "churn=weibull", "open-loop=1",
+        "stream=1", "protocol=overcommit"}},
   };
 
   std::printf("%-40s %12s %12s %9s %5s\n", "scenario", "random JCT",
@@ -97,7 +116,12 @@ int main(int argc, char** argv) {
     const RunResult rnd = run_cell(cell, extra, "random");
     const RunResult vn = run_cell(cell, extra, "venn");
     const RunResult vn2 = run_cell(cell, extra, "venn");
-    const bool det = byte_identical(vn, vn2);
+    // The sweep/index hot path must be protocol-agnostic: the same cell
+    // with the eligibility index disabled must replay byte-identically.
+    GalleryCell noindex = cell;
+    noindex.overrides.push_back("index=0");
+    const RunResult vn_scan = run_cell(noindex, extra, "venn");
+    const bool det = byte_identical(vn, vn2) && byte_identical(vn, vn_scan);
     all_deterministic = all_deterministic && det;
     if (rnd.jobs.empty() || vn.jobs.empty()) {
       std::printf("%-40s %12s %12s %9s %5s\n", cell.label, "-", "-", "-",

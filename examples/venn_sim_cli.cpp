@@ -17,6 +17,8 @@
 //                   churn=<name> + churn.<key> (see --list for names/keys),
 //                   open-loop (0|1, admit jobs mid-run), stream (0|1, lazy
 //                   device sessions — O(devices) memory)
+//   protocol keys   protocol=<sync|overcommit|async> + protocol.<key>
+//                   (round-aggregation regime; see --list for knobs)
 //   policy keys     policy (any registered name), epsilon, tiers,
 //                   supply-window-h, tail-pct, ewma-alpha, order-total,
 //                   param.<key> (free-form, for external policies)
@@ -114,6 +116,7 @@ int main(int argc, char** argv) {
           "  keys: epsilon tiers supply-window-h tail-pct ewma-alpha "
           "order-total param.<key>\n");
       std::printf("%s", workload::describe_generators().c_str());
+      std::printf("%s", protocol::describe_protocols().c_str());
       return 0;
     }
     if (arg == "--compare") { compare = true; continue; }

@@ -22,6 +22,11 @@
 //       through `arrival=`/`mix=`/`churn=` scenario keys; `stream=1`
 //       streams sessions lazily (O(devices) memory), `open-loop=1` admits
 //       jobs mid-run.
+//   RoundProtocol / ProtocolRegistry     — string-keyed round-aggregation
+//       regimes (src/protocol/): `sync` (the paper's §5.1 rounds),
+//       `overcommit` (over-selection with straggler release) and `async`
+//       (FedBuff-style buffered aggregation), wired through the
+//       `protocol=` scenario key plus `protocol.<knob>` overrides.
 //
 // Quickstart:
 //
@@ -45,6 +50,7 @@
 #include "core/experiment.h"
 #include "core/metrics.h"
 #include "core/observer.h"
+#include "protocol/registry.h"
 #include "util/stats.h"
 #include "workload/workload.h"
 
@@ -62,5 +68,10 @@ using api::SweepCell;
 using api::SweepRunner;
 using api::SweepSpec;
 using api::TimeSeriesRecorder;
+
+// The round-protocol extension surface (src/protocol/).
+using protocol::ProtocolRegistration;
+using protocol::ProtocolRegistry;
+using protocol::RoundProtocol;
 
 }  // namespace venn

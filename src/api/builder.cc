@@ -34,7 +34,10 @@ void validate_modes(const ScenarioSpec& s) {
   // Dotted knobs without a family name would otherwise be dropped silently
   // (`--churn.up-scale-h=4` with `--churn=weibull` forgotten).
   const std::pair<const workload::GeneratorSpec*, const char*> families[] = {
-      {&s.arrival_gen, "arrival"}, {&s.mix_gen, "mix"}, {&s.churn_gen, "churn"}};
+      {&s.arrival_gen, "arrival"},
+      {&s.mix_gen, "mix"},
+      {&s.churn_gen, "churn"},
+      {&s.protocol_gen, "protocol"}};
   for (const auto& [spec, prefix] : families) {
     if (!spec->configured() && !spec->params.kv.empty()) {
       throw std::invalid_argument(
@@ -216,6 +219,10 @@ Experiment::Experiment(
     generators_ = std::make_shared<const workload::GeneratorSet>(
         build_scenario_generators(scenario_));
   }
+  // Instantiating here (not per run) makes protocol knob validation an
+  // Experiment-construction error, like generator knob validation.
+  protocol_ = protocol::build_protocol(scenario_.protocol_gen,
+                                       stream_seed("protocol"));
 }
 
 std::uint64_t Experiment::stream_seed(std::string_view tag) const {
@@ -247,6 +254,7 @@ RunResult Experiment::run_with(std::unique_ptr<Scheduler> scheduler,
   ccfg.horizon = scenario_.horizon;
   ccfg.seed = scenario_.seed;
   ccfg.use_index = scenario_.use_index;
+  ccfg.protocol = protocol_.get();
   if (generators_->churn) {
     // The model feeds the analytic supply estimates in both modes;
     // stream_sessions additionally defers session generation to run time.

@@ -24,6 +24,7 @@
 #include "core/experiment.h"
 #include "core/metrics.h"
 #include "core/observer.h"
+#include "protocol/registry.h"
 
 namespace venn::api {
 
@@ -59,6 +60,13 @@ class Experiment {
   // The named seed stream for this experiment (engine, scheduler, ...).
   [[nodiscard]] std::uint64_t stream_seed(std::string_view tag) const;
 
+  // The round protocol every run of this experiment uses (instantiated
+  // once at construction from `protocol=` / `protocol.<key>` — the sync
+  // default when unconfigured).
+  [[nodiscard]] const protocol::RoundProtocol& round_protocol() const {
+    return *protocol_;
+  }
+
   // Runs a registered policy against the shared inputs.
   [[nodiscard]] RunResult run(const PolicySpec& policy) const;
 
@@ -74,6 +82,8 @@ class Experiment {
   // Instantiated workload generators (shared: Experiment is copyable and
   // the generators are immutable — per-run randomness lives in streams).
   std::shared_ptr<const workload::GeneratorSet> generators_;
+  // Instantiated round protocol (same sharing rationale). Never null.
+  std::shared_ptr<const protocol::RoundProtocol> protocol_;
   std::vector<RunObserver*> observers_;
 };
 

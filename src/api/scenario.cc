@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "api/parse.h"
+#include "protocol/registry.h"
 
 namespace venn::api {
 
@@ -71,12 +72,25 @@ bool ScenarioSpec::try_set(const std::string& key, const std::string& value) {
   } else if (key == "churn") {
     (void)workload::churn_registry().keys(value);  // throws on unknown name
     churn_gen.name = value;
+  } else if (key == "protocol") {
+    (void)protocol::protocol_registry().keys(value);  // throws on unknown
+    if (protocol_gen.configured() && protocol_gen.name != value) {
+      // Overrides accumulate from several sources (CLI flags, sweep
+      // grids, config files); two different aggregation regimes in one
+      // scenario is a conflict, not a last-writer-wins.
+      throw std::invalid_argument("conflicting values for protocol: \"" +
+                                  protocol_gen.name + "\" vs \"" + value +
+                                  "\"");
+    }
+    protocol_gen.name = value;
   } else if (key.starts_with("arrival.")) {
     arrival_gen.params.kv[key.substr(8)] = value;
   } else if (key.starts_with("mix.")) {
     mix_gen.params.kv[key.substr(4)] = value;
   } else if (key.starts_with("churn.")) {
     churn_gen.params.kv[key.substr(6)] = value;
+  } else if (key.starts_with("protocol.")) {
+    protocol_gen.params.kv[key.substr(9)] = value;
   } else if (key == "open-loop") {
     open_loop = parse_long(key, value) != 0;
   } else if (key == "stream") {

@@ -56,6 +56,14 @@ struct ScenarioSpec {
   workload::GeneratorSpec mix_gen;      // mix=...,     mix.<key>=...
   workload::GeneratorSpec churn_gen;    // churn=...,   churn.<key>=...
 
+  // Round protocol (src/protocol/): sync | overcommit | async plus dotted
+  // knobs (protocol.overcommit=1.3, protocol.buffer=64, ...). Unconfigured
+  // (empty name) keeps the paper's synchronous protocol byte-identically.
+  // Unlike the generator families, re-setting `protocol=` to a *different*
+  // name throws: a scenario assembled from several override sources must
+  // not silently run whichever protocol was named last.
+  workload::GeneratorSpec protocol_gen;  // protocol=..., protocol.<key>=...
+
   // open-loop=1: jobs are admitted mid-run from the arrival stream
   // (requires arrival= and mix=); `jobs` caps admissions, 0 = unbounded.
   bool open_loop = false;
@@ -80,9 +88,11 @@ struct ScenarioSpec {
   // (none|general|compute|memory|resource), horizon-days, min-rounds,
   // max-rounds, min-demand, max-demand, interarrival-min, base-trace,
   // task-s, task-cv, arrival, arrival.<key>, mix, mix.<key>, churn,
-  // churn.<key>, open-loop (0|1), stream (0|1), index (0|1). Returns false
-  // if the key is not a scenario key. Throws std::invalid_argument on a
-  // known key with a bad value.
+  // churn.<key>, protocol (sync|overcommit|async), protocol.<key>,
+  // open-loop (0|1), stream (0|1), index (0|1). Returns false if the key
+  // is not a scenario key. Throws std::invalid_argument on a known key
+  // with a bad value, and on a `protocol=` value conflicting with one set
+  // earlier.
   bool try_set(const std::string& key, const std::string& value);
 
   // As try_set, but an unknown key throws std::invalid_argument.

@@ -16,7 +16,9 @@ Coordinator::Coordinator(sim::Engine& engine, ResourceManager& manager,
       manager_(manager),
       devices_(std::move(devices)),
       specs_(std::move(specs)),
-      cfg_(cfg) {
+      cfg_(cfg),
+      protocol_(cfg.protocol != nullptr ? cfg.protocol
+                                        : &protocol::sync_protocol()) {
   if (cfg_.arrival != nullptr && cfg_.mix == nullptr) {
     throw std::invalid_argument(
         "Coordinator: open-loop arrivals require a job-mix sampler");
@@ -282,7 +284,10 @@ void Coordinator::schedule_job_arrival(std::size_t job_idx) {
 }
 
 void Coordinator::submit_request(Job* job) {
-  manager_.open_request(job->id(), engine_.now(), engine_.rng().uniform());
+  const int demand = job->spec().demand;
+  manager_.open_request(job->id(), engine_.now(), engine_.rng().uniform(),
+                        protocol_->selection_target(demand),
+                        protocol_->commit_threshold(demand));
   // A new request may be satisfiable from devices already idling.
   offer_idle_pool(engine_.now());
 }
@@ -304,7 +309,23 @@ void Coordinator::offer_idle_pool(SimTime now) {
   sweeping_ = true;
   do {
     resweep_ = false;
+    in_sweep_pass_ = true;
     sweep_idle_pool(now);
+    in_sweep_pass_ = false;
+    if (!deferred_releases_.empty()) {
+      // Straggler releases that arrived mid-pass (external sync-style
+      // protocols committing inside a sweep's allocating offer): the pool
+      // is stable again — release for real, then sweep once more so the
+      // refunded devices are immediately re-offerable.
+      const std::vector<PendingRelease> pending =
+          std::move(deferred_releases_);
+      deferred_releases_.clear();
+      std::size_t released = 0;
+      for (const PendingRelease& p : pending) {
+        released += release_stragglers(p.job, p.rid, now);
+      }
+      if (released > 0) resweep_ = true;
+    }
   } while (resweep_);
   sweeping_ = false;
 }
@@ -411,9 +432,19 @@ void Coordinator::attempt_checkin(std::size_t dev_idx) {
     }
     return;
   }
+  // Note a deliberate (pre-protocol, seed-era) modeling simplification the
+  // sync byte-identity guarantee preserves: a device whose computation
+  // spans midnight regains its budget at the boundary and may accept a
+  // second task while the first is still running — the one-job-per-day
+  // rule is a budget, not a mutex.
 
   const auto outcome = manager_.device_checkin(dev, now);
   if (outcome) {
+    // The device may already be parked in the idle pool: a straggler
+    // release re-parks a device that still has this day-boundary re-arm
+    // pending. Assigning it must retire the pool entry, or a later sweep
+    // would offer the busy device a second time.
+    idle_erase(dev_idx);
     handle_outcome(dev_idx, *outcome);
     return;
   }
@@ -449,12 +480,15 @@ void Coordinator::handle_outcome(std::size_t dev_idx,
 
   const RequestId rid = outcome.request;
   const JobId jid = outcome.job;
+  const int assigned_round = outcome.round;
+  inflight_[jid].push_back({rid, dev_idx, now});
   if (now + exec <= session_end) {
-    engine_.after(exec, [this, jid, rid, dev_idx, exec] {
-      on_response(jid, rid, dev_idx, exec);
+    engine_.after(exec, [this, jid, rid, dev_idx, assigned_round, exec] {
+      on_response(jid, rid, dev_idx, assigned_round, exec);
     });
   } else {
-    engine_.at(session_end, [this, jid, rid] {
+    engine_.at(session_end, [this, jid, rid, dev_idx] {
+      inflight_remove(jid, rid, dev_idx);
       Job* j = by_id_.count(jid) ? by_id_.at(jid) : nullptr;
       if (j == nullptr || !j->request() || j->request()->id != rid) return;
       RoundRequest& req = j->mutable_request();
@@ -463,8 +497,13 @@ void Coordinator::handle_outcome(std::size_t dev_idx,
         return;
       }
       ++req.failures;
-      if (req.state == RequestState::kPending) {
+      // A pre-allocation failure reopens one unit of demand; under
+      // continuous admission an allocated slot frees the same way.
+      if (req.state == RequestState::kPending ||
+          (protocol_->continuous_admission() &&
+           req.state == RequestState::kAllocated)) {
         --req.assigned;  // reopen one unit of demand
+        req.state = RequestState::kPending;
         manager_.assignment_failed(jid, engine_.now());
         offer_idle_pool(engine_.now());
       }
@@ -472,10 +511,24 @@ void Coordinator::handle_outcome(std::size_t dev_idx,
   }
 
   if (outcome.fully_allocated) {
-    // Start the reporting deadline; the round may already be completable if
-    // >= 80% of responses landed while the tail of devices was acquired.
+    // The round may already be completable if enough responses landed
+    // while the tail of devices was acquired.
     maybe_complete(job);
-    if (job->request() && job->request()->id == rid) {
+  }
+  if (protocol_->deadline_aborts() && job->request() &&
+      job->request()->id == rid) {
+    RoundRequest& req = job->mutable_request();
+    // Arm the reporting deadline once. Sync arms at full allocation (the
+    // paper's rule). A commit-while-pending protocol (over-selection) arms
+    // as soon as a committable cohort is in flight: its inflated selection
+    // target may exceed the eligible fleet and never fully allocate, and
+    // without this the round would hang unaborted when responders die.
+    const bool ready =
+        outcome.fully_allocated ||
+        (protocol_->commit_while_pending() &&
+         req.assigned >= req.needed_responses());
+    if (ready && !req.deadline_armed) {
+      req.deadline_armed = true;
       engine_.after(outcome.deadline,
                     [this, jid, rid] { on_deadline(jid, rid); });
     }
@@ -483,40 +536,98 @@ void Coordinator::handle_outcome(std::size_t dev_idx,
 }
 
 void Coordinator::on_response(JobId jid, RequestId rid, std::size_t dev_idx,
-                              double response_time) {
+                              int assigned_round, double response_time) {
+  const bool tracked = inflight_remove(jid, rid, dev_idx);
   auto it = by_id_.find(jid);
-  if (it == by_id_.end()) return;
-  Job* job = it->second;
-  if (!job->request() || job->request()->id != rid) return;
-  RoundRequest& req = job->mutable_request();
-  if (req.state == RequestState::kCompleted ||
-      req.state == RequestState::kAborted) {
+  Job* job = it != by_id_.end() ? it->second : nullptr;
+  if (job == nullptr || !job->request() || job->request()->id != rid ||
+      job->request()->state == RequestState::kCompleted ||
+      job->request()->state == RequestState::kAborted) {
+    // The round this device computed for no longer exists (committed,
+    // aborted, or the job finished): the result is discarded. Under sync
+    // these are the >= 80% rule's ignored stragglers. A computation no
+    // longer tracked was cut off by a straggler release — its waste was
+    // charged then (the elapsed span) and the device stopped computing;
+    // this phantom event must not charge it again.
+    if (tracked) {
+      ++pstats_.wasted_responses;
+      pstats_.wasted_work_s += response_time;
+    }
     return;
   }
+  RoundRequest& req = job->mutable_request();
   ++req.responses;
+  ++pstats_.responses;
+  // Staleness: round commits between this device's assignment and its
+  // response. Zero unless the protocol advances the round in place
+  // (buffered aggregation).
+  const int staleness = std::max(0, req.round - assigned_round);
+  pstats_.staleness_sum += static_cast<std::uint64_t>(staleness);
+  if (staleness > 0) ++pstats_.stale_responses;
   manager_.notify_response(jid, devices_[dev_idx].spec().capacity(),
-                           response_time, engine_.now());
+                           response_time, engine_.now(), staleness);
+  if (protocol_->continuous_admission()) {
+    // The response frees its slot: the long-lived request re-opens one
+    // unit of demand and the scheduler may admit another device.
+    --req.assigned;
+    req.state = RequestState::kPending;
+    manager_.release_assignment(jid, engine_.now());
+  }
   maybe_complete(job);
+  if (protocol_->continuous_admission()) {
+    offer_idle_pool(engine_.now());
+  }
 }
 
 void Coordinator::maybe_complete(Job* job) {
   if (!job->request()) return;
   RoundRequest& req = job->mutable_request();
-  if (req.state != RequestState::kAllocated) return;
+  if (req.state != RequestState::kAllocated &&
+      !(protocol_->commit_while_pending() &&
+        req.state == RequestState::kPending)) {
+    return;
+  }
   if (req.responses < req.needed_responses()) return;
 
   const SimTime now = engine_.now();
+  const JobId jid = job->id();
+  const RequestId rid = req.id;
+  ++pstats_.commits;
+
+  if (protocol_->keeps_request_open()) {
+    // Buffered-aggregation commit: the request survives; in-flight devices
+    // keep computing toward later commits (their responses arrive stale).
+    const SimTime resp_time = now - job->buffer_epoch();
+    manager_.notify_round_complete(jid, 0.0, resp_time, now);
+    job->commit_round_buffered(now);
+    if (job->finished()) {
+      manager_.close_request(jid, now);
+      finish_job(job);
+    }
+    return;
+  }
+
+  // An early cutoff (over-selection) can commit before the selection
+  // target was ever fully assigned; the never-reached allocation instant
+  // is the commit instant.
+  if (req.fully_allocated < 0.0) req.fully_allocated = now;
   req.completed = now;
   const SimTime sched_delay = req.scheduling_delay();
   const SimTime resp_time = now - req.fully_allocated;
-  const JobId jid = job->id();
 
   manager_.notify_round_complete(jid, sched_delay, resp_time, now);
   job->complete_round(now);
   manager_.close_request(jid, now);
 
+  std::size_t released = 0;
+  if (protocol_->releases_stragglers()) {
+    released = release_stragglers(job, rid, now);
+  }
   if (job->finished()) {
     finish_job(job);
+    // Released devices are re-offerable right away; without a next-round
+    // submission, sweep for the other jobs explicitly.
+    if (released > 0) offer_idle_pool(now);
   } else {
     submit_request(job);
   }
@@ -528,18 +639,97 @@ void Coordinator::on_deadline(JobId jid, RequestId rid) {
   Job* job = it->second;
   if (!job->request() || job->request()->id != rid) return;
   RoundRequest& req = job->mutable_request();
-  if (req.state != RequestState::kAllocated) return;  // completed already
+  // Sync deadlines only fire on allocated rounds; commit-while-pending
+  // protocols also abort a round still acquiring devices (their deadline
+  // arms before full allocation — which may never come).
+  if (req.state != RequestState::kAllocated &&
+      !(protocol_->commit_while_pending() &&
+        req.state == RequestState::kPending)) {
+    return;  // completed already
+  }
 
   VENN_DEBUG << "job " << jid << " round " << req.round << " aborted ("
              << req.responses << "/" << req.needed_responses() << ")";
   job->abort_request();
   manager_.close_request(jid, engine_.now());
+  if (protocol_->releases_stragglers()) {
+    // The aborted round's devices are still computing; release them before
+    // the retry is submitted so its sweep can re-acquire them.
+    release_stragglers(job, rid, engine_.now());
+  }
   submit_request(job);
+}
+
+std::size_t Coordinator::release_stragglers(Job* job, RequestId rid,
+                                            SimTime now) {
+  if (in_sweep_pass_) {
+    // A release inside an active sweep pass would insert into the pool the
+    // sweep is iterating — and the just-assigned straggler's deferred
+    // idle_erase would then silently drop it again. Defer to the
+    // offer_idle_pool driver, which drains between passes.
+    deferred_releases_.push_back({job, rid});
+    return 0;
+  }
+  auto it = inflight_.find(job->id());
+  if (it == inflight_.end()) return 0;
+  std::size_t released = 0;
+  auto& entries = it->second;
+  for (std::size_t i = 0; i < entries.size();) {
+    if (entries[i].rid != rid) {
+      ++i;
+      continue;
+    }
+    const InFlight entry = entries[i];
+    entries[i] = entries.back();
+    entries.pop_back();
+    ++released;
+    ++pstats_.stragglers_released;
+    pstats_.wasted_work_s += now - entry.started;
+    Device& dev = devices_[entry.dev];
+    // Refund the day budget charged at assignment; the already-scheduled
+    // response/failure event for the cut-off computation fires into a
+    // stale request id and is ignored.
+    dev.refund_participation(Device::day_of(entry.started));
+    manager_.notify_straggler_released(dev, *job, now);
+    const SimTime session_end = active_session_end(entry.dev, now);
+    if (session_end >= 0.0 && !dev.participated_on_day(Device::day_of(now))) {
+      idle_insert(entry.dev);
+      if (!streaming_churn()) {
+        // Mirror attempt_checkin's parking rule: the pool entry retires
+        // with the session. (Streaming mode's advance event does this.)
+        const std::size_t d = entry.dev;
+        engine_.at(std::min(session_end, cfg_.horizon),
+                   [this, d] { idle_erase(d); });
+      }
+    }
+  }
+  if (entries.empty()) inflight_.erase(it);
+  return released;
+}
+
+bool Coordinator::inflight_remove(JobId jid, RequestId rid, std::size_t dev) {
+  auto it = inflight_.find(jid);
+  if (it == inflight_.end()) return false;
+  auto& entries = it->second;
+  bool removed = false;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].rid == rid && entries[i].dev == dev) {
+      entries[i] = entries.back();
+      entries.pop_back();
+      removed = true;
+      break;
+    }
+  }
+  if (entries.empty()) inflight_.erase(it);
+  return removed;
 }
 
 void Coordinator::finish_job(Job* job) {
   job->set_completion_time(engine_.now());
   manager_.deregister_job(job->id());
+  // inflight_ entries for the finished job stay: each drains when its
+  // response/failure event fires, and keeping them classifies the final
+  // round's stragglers as wasted responses (they were never released).
   by_id_.erase(job->id());
   if (unfinished_jobs_ > 0) --unfinished_jobs_;
 }

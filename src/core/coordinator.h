@@ -8,12 +8,22 @@
 //   session open -> device checks in; assigned or parked in the idle pool
 //   assignment   -> device computes (log-normal exec time); fails if its
 //                   session ends first (ephemerality)
-//   responses    -> round completes at >= 80% of target reports (§5.1);
-//                   the reporting deadline (5-15 min, from full allocation)
-//                   aborts and resubmits otherwise
+//   responses    -> the round protocol decides completion; under the
+//                   default sync protocol a round completes at >= 80% of
+//                   target reports (§5.1) and the reporting deadline
+//                   (5-15 min, from full allocation) aborts and resubmits
+//                   otherwise
 //   round done   -> next round submitted immediately; last round records JCT
 //
 // Each device participates in at most one job per day (§5.1 realism rule).
+//
+// The round lifecycle — selection target, completion predicate, deadline
+// behavior, straggler disposition — is pluggable via
+// `CoordinatorConfig::protocol` (src/protocol/): `sync` reproduces the
+// paper byte-identically, `overcommit` over-selects and releases
+// stragglers at commit/abort (budget refunded, work wasted), `async` runs
+// FedBuff-style buffered aggregation (continuous admission, a commit every
+// B responses, per-response staleness tracked, no deadline).
 //
 // Two workload modes compose with the closed-loop replay above:
 //
@@ -38,6 +48,7 @@
 
 #include "core/elig_index.h"
 #include "core/resource_manager.h"
+#include "protocol/protocol.h"
 #include "sim/engine.h"
 #include "trace/job_trace.h"
 #include "workload/arrival.h"
@@ -63,6 +74,12 @@ struct CoordinatorConfig {
   // empty session vectors (specs only).
   const workload::ChurnModel* churn = nullptr;
   bool stream_sessions = false;
+
+  // Round protocol driving the request lifecycle (src/protocol/). Null
+  // keeps the paper's synchronous protocol (protocol::sync_protocol()),
+  // byte-identical to the pre-extraction coordinator. The caller retains
+  // ownership and must keep the protocol alive for the run.
+  const protocol::RoundProtocol* protocol = nullptr;
 
   // Base seed for the arrival/mix/churn streams. Derive it from the
   // scenario seed (NOT the engine's), so every policy replays the same
@@ -129,6 +146,27 @@ class Coordinator {
   // The eligibility index, or nullptr with `use_index=false`. For tests.
   [[nodiscard]] const EligibilityIndex* index() const { return index_.get(); }
 
+  // The round protocol in effect (the configured one, or the sync default).
+  [[nodiscard]] const protocol::RoundProtocol& round_protocol() const {
+    return *protocol_;
+  }
+
+  // --- protocol accounting ----------------------------------------------
+  // Aggregate round-protocol counters: commits, response staleness
+  // (buffered aggregation) and wasted work (over-selection straggler
+  // releases, results discarded after a round ended). Surfaced into
+  // RunResult::protocol by collect_results.
+  struct ProtocolStats {
+    std::uint64_t commits = 0;         // rounds committed across all jobs
+    std::uint64_t responses = 0;       // responses counted toward a round
+    std::uint64_t wasted_responses = 0;  // results discarded (round ended)
+    std::uint64_t stragglers_released = 0;  // devices cut off mid-compute
+    double wasted_work_s = 0.0;        // compute-seconds thrown away
+    std::uint64_t staleness_sum = 0;   // total staleness over responses
+    std::uint64_t stale_responses = 0;  // responses with staleness >= 1
+  };
+  [[nodiscard]] const ProtocolStats& protocol_stats() const { return pstats_; }
+
   // Assignment accounting (the Fig. 8a matrix) is no longer baked in here;
   // install an AssignmentMatrixObserver (core/observer.h) on the
   // ResourceManager instead — the api::Experiment run path does so
@@ -158,10 +196,19 @@ class Coordinator {
   // One pass over the idle pool. Only offer_idle_pool may call this.
   void sweep_idle_pool(SimTime now);
   void on_response(JobId job, RequestId request, std::size_t dev_idx,
-                   double response_time);
+                   int assigned_round, double response_time);
   void maybe_complete(Job* job);
   void on_deadline(JobId job, RequestId request);
   void finish_job(Job* job);
+  // Straggler disposition: release every device still computing for
+  // request `rid` of `job` back to the idle pool (day budget refunded,
+  // in-flight work counted as wasted). Returns the number released. Only
+  // called for protocols with releases_stragglers(), after the request has
+  // been committed or aborted (a released device must not be re-offerable
+  // to the round that just cut it off). Takes the Job pointer, not an id:
+  // a release deferred past finish_job must still reach observers, and the
+  // Job object outlives its by_id_ entry.
+  std::size_t release_stragglers(Job* job, RequestId rid, SimTime now);
 
   // Estimated eligible check-in rate (devices/sec, daily average) for a
   // requirement, computed once from the generated population.
@@ -201,6 +248,19 @@ class Coordinator {
   // start a nested sweep over a pool snapshot the outer sweep still holds.
   bool sweeping_ = false;
   bool resweep_ = false;
+  // True exactly while one sweep_idle_pool pass executes. Straggler
+  // releases arriving then are deferred (idle_insert would be defeated by
+  // the pass's end-of-loop erase of the just-assigned device); the
+  // offer_idle_pool driver drains them between passes. Unreachable for the
+  // built-in protocols (overcommit commits in the response event, never in
+  // a sweep's allocation), but an external sync-style protocol with
+  // releases_stragglers() can commit mid-sweep.
+  bool in_sweep_pass_ = false;
+  struct PendingRelease {
+    Job* job = nullptr;
+    RequestId rid;
+  };
+  std::vector<PendingRelease> deferred_releases_;
 
   // Incremental eligibility/availability index (use_index mode). Mutable
   // mechanics live behind the pointer: supply_rate() is const but lazily
@@ -208,6 +268,27 @@ class Coordinator {
   std::unique_ptr<EligibilityIndex> index_;
   std::size_t aligned_bits_ = 0;  // verified prefix, aligned_requirement_mask
   mutable HotpathStats hstats_;
+
+  // Round protocol in effect: cfg_.protocol or the sync default. Never
+  // null after construction.
+  const protocol::RoundProtocol* protocol_ = nullptr;
+  ProtocolStats pstats_;
+
+  // Devices currently computing, per job — the straggler set a release
+  // disposition acts on. Entries are added at assignment and removed when
+  // the response or the in-session failure fires; the per-job vector stays
+  // selection-target sized.
+  struct InFlight {
+    RequestId rid;
+    std::size_t dev = 0;
+    SimTime started = 0.0;
+  };
+  // Entries removed by a straggler release stop being tracked; the
+  // cut-off computation's still-scheduled response/failure event then
+  // finds nothing to remove and must not be accounted a second time —
+  // inflight_remove reports whether the computation was still tracked.
+  std::unordered_map<JobId, std::vector<InFlight>> inflight_;
+  bool inflight_remove(JobId jid, RequestId rid, std::size_t dev);
 
   [[nodiscard]] bool streaming_churn() const {
     return cfg_.churn != nullptr && cfg_.stream_sessions;

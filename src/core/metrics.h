@@ -28,10 +28,40 @@ struct JobResult {
   std::vector<RoundStats> rounds;
 };
 
+// Aggregate round-protocol accounting for one run (mirrors
+// Coordinator::ProtocolStats): rounds committed, response staleness under
+// buffered aggregation, and wasted work — straggler releases under
+// over-selection plus results discarded after their round ended.
+struct ProtocolCounters {
+  std::uint64_t commits = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t wasted_responses = 0;
+  std::uint64_t stragglers_released = 0;
+  double wasted_work_s = 0.0;
+  std::uint64_t staleness_sum = 0;
+  std::uint64_t stale_responses = 0;
+
+  // Mean staleness (round commits between assignment and response) over
+  // the responses that counted toward a round; 0 for synchronous runs.
+  [[nodiscard]] double mean_staleness() const {
+    return responses == 0 ? 0.0
+                          : static_cast<double>(staleness_sum) /
+                                static_cast<double>(responses);
+  }
+
+  // Field-wise equality — the byte-identity checks (scenario_gallery,
+  // hotpath_index, protocol tests) compare through this so a counter added
+  // later is automatically covered.
+  [[nodiscard]] bool operator==(const ProtocolCounters&) const = default;
+};
+
 struct RunResult {
   std::string scheduler;
   SimTime horizon = 0.0;
   std::vector<JobResult> jobs;
+  // Round-protocol counters (src/protocol/): zero-staleness, zero-release
+  // under the default sync protocol.
+  ProtocolCounters protocol;
   // Assignments by (device region, job category), filled from an
   // AssignmentMatrixObserver by the run path (zero if none was installed).
   AssignmentMatrix assignment_matrix{};

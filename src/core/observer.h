@@ -37,6 +37,19 @@ class RunObserver {
                              const AssignOutcome& /*outcome*/,
                              SimTime /*now*/) {}
 
+  // A device reported a result that counts toward the job's current round.
+  // `staleness` is the number of round commits between assignment and
+  // response — always 0 under synchronous protocols; buffered-aggregation
+  // (async) responses may be arbitrarily stale.
+  virtual void on_response_collected(const Job& /*job*/, int /*staleness*/,
+                                     SimTime /*now*/) {}
+
+  // A round committed or aborted while this device was still computing for
+  // it, and the protocol released the device back to the idle pool: its
+  // in-flight work is wasted and its day-participation budget refunded.
+  virtual void on_straggler_released(const Device& /*dev*/, const Job& /*job*/,
+                                     SimTime /*now*/) {}
+
   // A round completed, with its measured scheduling delay and response
   // collection time.
   virtual void on_round_complete(const Job& /*job*/, SimTime /*sched_delay*/,

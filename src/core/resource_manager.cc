@@ -110,11 +110,14 @@ void ResourceManager::notify_queue_change(SimTime now) {
 }
 
 RoundRequest& ResourceManager::open_request(JobId id, SimTime now,
-                                            double random_priority) {
+                                            double random_priority,
+                                            int selection_target,
+                                            int commit_threshold) {
   auto it = jobs_.find(id);
   if (it == jobs_.end()) throw std::invalid_argument("open_request: unknown job");
   JobEntry& e = it->second;
-  RoundRequest& req = e.job->open_request(RequestId(next_request_id_++), now);
+  RoundRequest& req = e.job->open_request(RequestId(next_request_id_++), now,
+                                          selection_target, commit_threshold);
   e.random_priority = random_priority;
   wants_dirty_ = true;
   notify_queue_change(now);
@@ -133,6 +136,12 @@ void ResourceManager::assignment_failed(JobId id, SimTime now) {
   if (!jobs_.contains(id)) return;  // job may have finished meanwhile
   wants_dirty_ = true;
   notify_queue_change(now);
+}
+
+void ResourceManager::release_assignment(JobId id, SimTime now) {
+  // Same cache/notification consequences as a pre-allocation failure: the
+  // request wants one more device than a moment ago.
+  assignment_failed(id, now);
 }
 
 DeviceView ResourceManager::device_view(const Device& dev) const {
@@ -213,8 +222,23 @@ std::optional<AssignOutcome> ResourceManager::offer(const Device& dev,
 }
 
 void ResourceManager::notify_response(JobId job, double capacity,
-                                      double response_time, SimTime now) {
+                                      double response_time, SimTime now,
+                                      int staleness) {
   scheduler_->on_response(job, capacity, response_time, now);
+  auto it = jobs_.find(job);
+  if (it == jobs_.end()) return;
+  for (RunObserver* obs : observers_) {
+    obs->on_response_collected(*it->second.job, staleness, now);
+  }
+}
+
+void ResourceManager::notify_straggler_released(const Device& dev,
+                                                const Job& job, SimTime now) {
+  // Takes the Job directly (not an id): a straggler release deferred past
+  // the job-finish deregistration must still reach observers.
+  for (RunObserver* obs : observers_) {
+    obs->on_straggler_released(dev, job, now);
+  }
 }
 
 void ResourceManager::notify_round_complete(JobId job, SimTime sched_delay,

@@ -49,8 +49,13 @@ class ResourceManager {
 
   // Opens the next-round request for a registered job and notifies the
   // policy of the queue change. `random_priority` seeds the optimized
-  // Random baseline's per-request ordering.
-  RoundRequest& open_request(JobId id, SimTime now, double random_priority);
+  // Random baseline's per-request ordering. `selection_target` /
+  // `commit_threshold` come from the round protocol (src/protocol/);
+  // negative values keep the synchronous defaults (acquire the job's
+  // demand, commit at ceil(0.8 x D)).
+  RoundRequest& open_request(JobId id, SimTime now, double random_priority,
+                             int selection_target = -1,
+                             int commit_threshold = -1);
 
   // Marks the job's current request completed / aborted and notifies the
   // policy. (The Job object records stats via its own methods.)
@@ -58,6 +63,11 @@ class ResourceManager {
 
   // A pre-allocation device failure reopened one unit of demand.
   void assignment_failed(JobId id, SimTime now);
+
+  // Continuous-admission protocols: a response (or in-flight failure)
+  // freed one assignment slot on the job's long-lived request — requeue it
+  // with the policy and invalidate the wants cache.
+  void release_assignment(JobId id, SimTime now);
 
   // ----- device flow -----------------------------------------------------
   // A device checks in (session start). Records supply with the policy and
@@ -70,10 +80,17 @@ class ResourceManager {
                                                    SimTime now);
 
   // ----- policy notifications passed through ------------------------------
+  // `staleness` (round commits between assignment and response; 0 under
+  // synchronous protocols) reaches observers; the policy sees the same
+  // response signal it always has.
   void notify_response(JobId job, double capacity, double response_time,
-                       SimTime now);
+                       SimTime now, int staleness = 0);
   void notify_round_complete(JobId job, SimTime sched_delay,
                              SimTime response_time, SimTime now);
+  // A protocol released `dev` mid-computation (straggler disposition);
+  // forwarded to observers for wasted-work accounting.
+  void notify_straggler_released(const Device& dev, const Job& job,
+                                 SimTime now);
 
   // ----- observers ---------------------------------------------------------
   // Subscribes `obs` to assignment / round-complete / job-finish events.

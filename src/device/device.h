@@ -60,6 +60,15 @@ class Device {
   }
   void mark_participation(int day) { last_participation_day_ = day; }
 
+  // Straggler release (over-selection protocols): a device cut off
+  // mid-computation did not actually spend its participation — refund the
+  // budget it was charged on `day` so it is re-offerable under the usual
+  // one-job-per-day rules. No-op if the device has since been charged for
+  // a different day.
+  void refund_participation(int day) {
+    if (last_participation_day_ == day) last_participation_day_ = -1;
+  }
+
   // Day index of a simulation time.
   [[nodiscard]] static int day_of(SimTime t) {
     return static_cast<int>(t / kDay);

@@ -2,7 +2,8 @@
 
 namespace venn {
 
-RoundRequest& Job::open_request(RequestId rid, SimTime now) {
+RoundRequest& Job::open_request(RequestId rid, SimTime now,
+                                int selection_target, int commit_threshold) {
   if (request_ && request_->state != RequestState::kAborted &&
       request_->state != RequestState::kCompleted) {
     throw std::logic_error("Job::open_request: a request is already open");
@@ -12,10 +13,12 @@ RoundRequest& Job::open_request(RequestId rid, SimTime now) {
   r.id = rid;
   r.job = id_;
   r.round = completed_rounds_;
-  r.demand = spec_.demand;
+  r.demand = selection_target > 0 ? selection_target : spec_.demand;
+  r.target_responses = commit_threshold > 0 ? commit_threshold : 0;
   r.submitted = now;
   r.deadline = spec_.deadline_s;
   request_ = r;
+  buffer_epoch_ = now;
   return *request_;
 }
 
@@ -36,6 +39,29 @@ void Job::complete_round(SimTime now) {
   pending_aborts_ = 0;
   ++completed_rounds_;
   request_.reset();
+}
+
+void Job::commit_round_buffered(SimTime now) {
+  if (!request_) {
+    throw std::logic_error("Job::commit_round_buffered: no request");
+  }
+  if (finished()) {
+    throw std::logic_error("Job::commit_round_buffered: job finished");
+  }
+  RoundRequest& r = *request_;
+  // Buffered rounds have no per-round allocation phase: the scheduling
+  // delay is folded into the inter-commit span (time to fill the buffer).
+  stats_.push_back({r.round, 0.0, now - buffer_epoch_, pending_aborts_});
+  pending_aborts_ = 0;
+  ++completed_rounds_;
+  buffer_epoch_ = now;
+  r.round = completed_rounds_;
+  r.responses = 0;
+  if (finished()) {
+    r.completed = now;
+    r.state = RequestState::kCompleted;
+    request_.reset();
+  }
 }
 
 }  // namespace venn

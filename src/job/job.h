@@ -52,13 +52,30 @@ class Job {
 
   // Opens a request for the next round (or a retry of the current round
   // after an abort). Exactly one request may be open at a time.
-  RoundRequest& open_request(RequestId rid, SimTime now);
+  // `selection_target` is the number of devices to acquire and
+  // `commit_threshold` the responses at which the round commits — both come
+  // from the round protocol; negative values keep the paper's synchronous
+  // defaults (acquire D, commit at ceil(0.8 x D)).
+  RoundRequest& open_request(RequestId rid, SimTime now,
+                             int selection_target = -1,
+                             int commit_threshold = -1);
 
   // Round attempt aborted: drop the request, remember the abort.
   void abort_request();
 
   // Round succeeded: record stats, close the request.
   void complete_round(SimTime now);
+
+  // Buffered-aggregation commit (async protocols): record the round with
+  // response_collection = time since the previous commit (or since the
+  // request opened), advance the request's round counter in place, reset
+  // its response count, and KEEP the request open — in-flight devices keep
+  // counting toward later commits. Closes the request only when this commit
+  // was the job's last round.
+  void commit_round_buffered(SimTime now);
+
+  // Timestamp the current buffered round started accumulating responses.
+  [[nodiscard]] SimTime buffer_epoch() const { return buffer_epoch_; }
 
   [[nodiscard]] const std::vector<RoundStats>& round_stats() const {
     return stats_;
@@ -81,6 +98,7 @@ class Job {
   JobId id_;
   trace::JobSpec spec_;
   std::optional<RoundRequest> request_;
+  SimTime buffer_epoch_ = 0.0;  // start of the current buffered round
   int completed_rounds_ = 0;
   int pending_aborts_ = 0;  // aborts of the round currently in flight
   int total_aborts_ = 0;

@@ -3,11 +3,20 @@
 // A CL job issues one resource request per training round (paper Fig. 6,
 // step 0), asking for `demand` devices. The request is *pending* until the
 // last needed device is assigned (that span is the scheduling delay of
-// Fig. 1), then *allocated* while responses stream in. The round succeeds
-// once 80% of the target participants report (paper §5.1) and aborts if the
-// reporting deadline passes first, in which case the job resubmits.
+// Fig. 1), then *allocated* while responses stream in. Under the default
+// synchronous protocol the round succeeds once 80% of the target
+// participants report (paper §5.1) and aborts if the reporting deadline
+// passes first, in which case the job resubmits.
+//
+// The round protocol (src/protocol/) parameterizes this lifecycle:
+// `demand` is the protocol's *selection target* (over-selection requests
+// more devices than the participant target `base_demand`), the commit
+// threshold is `target_responses`, and continuous-admission protocols
+// (buffered aggregation) flip an allocated request back to kPending as
+// responses free their slots, keeping one long-lived request per job.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/ids.h"
@@ -15,38 +24,61 @@
 namespace venn {
 
 enum class RequestState {
-  kPending,    // still acquiring devices
-  kAllocated,  // all devices assigned; collecting responses
-  kCompleted,  // >= 80% responses received
-  kAborted,    // deadline passed with < 80% responses
+  kPending,    // still acquiring devices (or re-acquiring a freed slot)
+  kAllocated,  // selection target assigned; collecting responses
+  kCompleted,  // commit threshold met
+  kAborted,    // reporting deadline passed below the commit threshold
 };
 
 // Fraction of the target participants that must report for a round to
 // succeed (paper §5.1: "a minimum of 80% target participants").
 inline constexpr double kReportFraction = 0.8;
 
+// Responses required to commit a round over participant target `demand` at
+// report fraction `fraction`: ceil(fraction x D), at least 1. The single
+// authoritative spelling of the rule — RoundRequest::needed_responses and
+// the sync/overcommit protocols must agree bit for bit (the epsilon guards
+// exact multiples against ceil'ing one too high), and byte-identical sync
+// replay depends on that agreement.
+[[nodiscard]] inline int report_threshold(double fraction, int demand) {
+  return std::max(1, static_cast<int>(std::ceil(fraction * demand - 1e-9)));
+}
+
 struct RoundRequest {
   RequestId id;
   JobId job;
-  int round = 0;   // zero-based round index this request serves
-  int demand = 0;  // devices needed (D)
+  int round = 0;   // zero-based round index this request serves (advanced
+                   // in place by buffered-aggregation commits)
+  int demand = 0;  // devices to acquire (the protocol's selection target;
+                   // equals the job's participant target D under sync —
+                   // the job's spec keeps D itself)
+  int target_responses = 0;  // commit threshold (0 = derive the §5.1
+                             // default from `demand`, see needed_responses)
 
   int assigned = 0;   // devices currently assigned (failures decrement
-                      // while pending)
-  int responses = 0;  // successful reports received
+                      // while pending; continuous-admission protocols also
+                      // decrement on response)
+  int responses = 0;  // successful reports received (reset per buffered
+                      // commit)
   int failures = 0;   // devices that died before reporting
 
   SimTime submitted = 0.0;
   SimTime fully_allocated = -1.0;  // set when assigned first reaches demand
   SimTime completed = -1.0;        // set on completion
   SimTime deadline = 0.0;          // reporting deadline length (from full
-                                   // allocation)
+                                   // allocation, or — for protocols that
+                                   // commit while pending — from the first
+                                   // instant a committable cohort is in
+                                   // flight)
+  bool deadline_armed = false;     // the deadline event exists (armed once)
   RequestState state = RequestState::kPending;
 
-  // Number of responses required for success: ceil(0.8 * D), at least 1.
+  // Number of responses required for the round to commit. Protocol-opened
+  // requests carry the threshold explicitly; a raw request (tests, legacy
+  // construction) falls back to the §5.1 default of ceil(0.8 * D).
   [[nodiscard]] int needed_responses() const {
-    return std::max(1, static_cast<int>(
-                           std::ceil(kReportFraction * demand - 1e-9)));
+    if (target_responses > 0) return target_responses;
+    return report_threshold(kReportFraction, demand);
   }
 
   [[nodiscard]] int remaining_demand() const { return demand - assigned; }

@@ -1,0 +1,73 @@
+// The three built-in round protocols. Exposed as concrete classes (rather
+// than hidden behind the registry factories) so unit tests and embedders
+// can construct them directly; scenario-driven code should go through
+// protocol_registry() / build_protocol() instead.
+#pragma once
+
+#include <string>
+
+#include "job/request.h"
+#include "protocol/protocol.h"
+
+namespace venn::protocol {
+
+// The paper's §5.1 regime: request exactly D devices, commit at
+// >= ceil(report_fraction x D) responses, abort at the reporting deadline,
+// let stragglers finish into the void.
+class SyncProtocol final : public RoundProtocol {
+ public:
+  explicit SyncProtocol(double report_fraction = kReportFraction);
+
+  [[nodiscard]] std::string name() const override { return "sync"; }
+  [[nodiscard]] int selection_target(int demand) const override;
+  [[nodiscard]] int commit_threshold(int demand) const override;
+
+ private:
+  double report_fraction_;
+};
+
+// Over-selection: request ceil(factor x D) devices, commit as soon as the
+// sync threshold is met (possibly before the tail of the selection is even
+// acquired), and release devices still computing back to the idle pool
+// with their day budget refunded. Throws std::invalid_argument for
+// factor < 1.
+class OvercommitProtocol final : public RoundProtocol {
+ public:
+  explicit OvercommitProtocol(double factor = 1.3,
+                              double report_fraction = kReportFraction);
+
+  [[nodiscard]] std::string name() const override { return "overcommit"; }
+  [[nodiscard]] int selection_target(int demand) const override;
+  [[nodiscard]] int commit_threshold(int demand) const override;
+  [[nodiscard]] bool commit_while_pending() const override { return true; }
+  [[nodiscard]] bool releases_stragglers() const override { return true; }
+
+ private:
+  double factor_;
+  double report_fraction_;
+};
+
+// FedBuff-style buffered aggregation: one long-lived request per job whose
+// demand bounds concurrency (default D; `concurrency` overrides), responses
+// free their slot so devices are admitted continuously, and a round commits
+// every `buffer` responses (default ceil(0.8 x D)). No reporting deadline;
+// responses assigned under an earlier round index arrive stale and the
+// coordinator tracks that staleness per response.
+class AsyncProtocol final : public RoundProtocol {
+ public:
+  explicit AsyncProtocol(int buffer = 0, int concurrency = 0);
+
+  [[nodiscard]] std::string name() const override { return "async"; }
+  [[nodiscard]] int selection_target(int demand) const override;
+  [[nodiscard]] int commit_threshold(int demand) const override;
+  [[nodiscard]] bool commit_while_pending() const override { return true; }
+  [[nodiscard]] bool keeps_request_open() const override { return true; }
+  [[nodiscard]] bool continuous_admission() const override { return true; }
+  [[nodiscard]] bool deadline_aborts() const override { return false; }
+
+ private:
+  int buffer_;
+  int concurrency_;
+};
+
+}  // namespace venn::protocol

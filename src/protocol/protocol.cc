@@ -1,0 +1,57 @@
+#include "protocol/protocol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "protocol/builtins.h"
+
+namespace venn::protocol {
+
+SyncProtocol::SyncProtocol(double report_fraction)
+    : report_fraction_(report_fraction) {}
+
+int SyncProtocol::selection_target(int demand) const {
+  return std::max(1, demand);
+}
+
+int SyncProtocol::commit_threshold(int demand) const {
+  return report_threshold(report_fraction_, demand);
+}
+
+OvercommitProtocol::OvercommitProtocol(double factor, double report_fraction)
+    : factor_(factor), report_fraction_(report_fraction) {
+  if (factor < 1.0) {
+    throw std::invalid_argument("protocol.overcommit must be >= 1, got " +
+                                std::to_string(factor));
+  }
+}
+
+int OvercommitProtocol::selection_target(int demand) const {
+  const int target =
+      static_cast<int>(std::ceil(factor_ * std::max(1, demand) - 1e-9));
+  return std::max(target, commit_threshold(demand));
+}
+
+int OvercommitProtocol::commit_threshold(int demand) const {
+  return report_threshold(report_fraction_, demand);
+}
+
+AsyncProtocol::AsyncProtocol(int buffer, int concurrency)
+    : buffer_(buffer), concurrency_(concurrency) {}
+
+int AsyncProtocol::selection_target(int demand) const {
+  return std::max(1, concurrency_ > 0 ? concurrency_ : demand);
+}
+
+int AsyncProtocol::commit_threshold(int demand) const {
+  if (buffer_ > 0) return buffer_;
+  return report_threshold(kReportFraction, demand);
+}
+
+const RoundProtocol& sync_protocol() {
+  static const SyncProtocol kDefault(kReportFraction);
+  return kDefault;
+}
+
+}  // namespace venn::protocol

@@ -1,0 +1,95 @@
+// RoundProtocol: the pluggable round-aggregation regime of a CL job.
+//
+// The paper evaluates exactly one protocol — synchronous rounds that
+// complete at >= 80% of the target responses (§5.1) and abort at the
+// reporting deadline — and the coordinator used to hard-code it. Production
+// CL/FL platforms run other regimes: over-selection (select K x target
+// devices, cut the round off as soon as the target reports, release the
+// stragglers) and buffered-asynchronous aggregation (FedBuff-style: devices
+// are admitted continuously and the server commits an aggregation round
+// every B responses, tracking how stale each response is).
+//
+// This interface factors the four decisions the coordinator's round
+// lifecycle consults, so a protocol is data to the simulator the same way a
+// scheduling policy or a churn model is:
+//
+//   selection target      — devices the round's resource request acquires
+//   completion predicate  — responses at which the round commits, and
+//                           whether it may commit before full allocation
+//   deadline behavior     — whether a reporting deadline aborts the round
+//   straggler disposition — whether devices still computing at commit/abort
+//                           are released back to the idle pool (budget
+//                           refunded, work wasted) or left to finish into
+//                           the void
+//
+// Implementations must be deterministic and stateless per call: the
+// coordinator queries them inside the simulation hot loop, and two runs at
+// the same seed must replay byte-identically. Per-run randomness, if a
+// protocol ever needs it, comes from the construction seed.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace venn::protocol {
+
+class RoundProtocol {
+ public:
+  virtual ~RoundProtocol() = default;
+
+  // Display name ("sync", "overcommit", "async").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // ----- selection target -------------------------------------------------
+  // Devices the round's resource request asks the manager for, given the
+  // job's per-round participant target D. Always >= 1; over-selection
+  // protocols return more than D.
+  [[nodiscard]] virtual int selection_target(int demand) const = 0;
+
+  // ----- completion predicate ---------------------------------------------
+  // Responses at which the round commits. Always >= 1 and achievable from
+  // the selection target (continuous-admission protocols may exceed it,
+  // since freed slots refill).
+  [[nodiscard]] virtual int commit_threshold(int demand) const = 0;
+
+  // May the round commit while the request is still acquiring devices
+  // (before the selection target is fully assigned)? Over-selection cuts
+  // off at the target responses even if the K x D tail was never acquired.
+  [[nodiscard]] virtual bool commit_while_pending() const { return false; }
+
+  // Does the request survive a commit? Buffered aggregation keeps one
+  // long-lived request per job: each commit advances the round counter and
+  // resets the response count, and in-flight devices keep counting toward
+  // later commits (their responses arrive stale).
+  [[nodiscard]] virtual bool keeps_request_open() const { return false; }
+
+  // ----- admission --------------------------------------------------------
+  // Does a response (or an in-flight failure) free its assignment slot for
+  // another device? Continuous admission is what makes buffered
+  // aggregation "admit devices continuously": the request's demand bounds
+  // concurrency, not total participation.
+  [[nodiscard]] virtual bool continuous_admission() const { return false; }
+
+  // ----- deadline / abort behavior ----------------------------------------
+  // Is a reporting deadline armed at full allocation, aborting the round
+  // (and resubmitting the request) when the commit threshold is not met in
+  // time? Buffered aggregation has no round deadline — progress is gated
+  // on responses alone.
+  [[nodiscard]] virtual bool deadline_aborts() const { return true; }
+
+  // ----- straggler disposition --------------------------------------------
+  // At commit or abort, are devices still computing for the round released
+  // back to the idle pool — their day-participation budget refunded, their
+  // in-flight work wasted — rather than left to finish a result nobody
+  // will read? Released devices are immediately re-offerable under the
+  // usual one-job-per-day rules.
+  [[nodiscard]] virtual bool releases_stragglers() const { return false; }
+};
+
+// The default protocol: the paper's synchronous rounds (selection target =
+// D, commit at >= ceil(report-fraction x D), deadline aborts, stragglers
+// left to finish). A process-lifetime instance used by the coordinator
+// whenever no protocol is configured, keeping legacy runs byte-identical.
+[[nodiscard]] const RoundProtocol& sync_protocol();
+
+}  // namespace venn::protocol

@@ -1,0 +1,58 @@
+#include "protocol/registry.h"
+
+#include "protocol/builtins.h"
+
+namespace venn::protocol {
+
+ProtocolRegistry& protocol_registry() {
+  // Leaked singleton (never destroyed), like the workload registries:
+  // external ProtocolRegistration objects may run at static-init time and
+  // the registry must survive until the last user.
+  static ProtocolRegistry* registry = [] {
+    auto* reg = new ProtocolRegistry("round protocol");
+    reg->register_generator(
+        "sync", {"report-fraction"},
+        [](const workload::GenParams& p, std::uint64_t) {
+          return std::make_unique<SyncProtocol>(
+              p.prob("report-fraction", kReportFraction));
+        });
+    reg->register_generator(
+        "overcommit", {"overcommit", "report-fraction"},
+        [](const workload::GenParams& p, std::uint64_t) {
+          return std::make_unique<OvercommitProtocol>(
+              p.positive("overcommit", 1.3),
+              p.prob("report-fraction", kReportFraction));
+        });
+    reg->register_generator(
+        "async", {"buffer", "concurrency"},
+        [](const workload::GenParams& p, std::uint64_t) {
+          return std::make_unique<AsyncProtocol>(p.count("buffer", 0),
+                                                 p.count("concurrency", 0));
+        });
+    return reg;
+  }();
+  return *registry;
+}
+
+std::unique_ptr<RoundProtocol> build_protocol(
+    const workload::GeneratorSpec& spec, std::uint64_t seed) {
+  const std::string& name = spec.configured() ? spec.name : "sync";
+  return protocol_registry().create(name, spec.params, seed);
+}
+
+std::string describe_protocols() {
+  std::string out =
+      "round protocols (protocol=<name>, knobs as protocol.<key>=<value>):\n";
+  for (const auto& name : protocol_registry().names()) {
+    out += "  " + name;
+    const auto& keys = protocol_registry().keys(name);
+    if (!keys.empty()) {
+      out += "  keys:";
+      for (const auto& k : keys) out += " " + k;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace venn::protocol

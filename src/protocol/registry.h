@@ -1,0 +1,61 @@
+// ProtocolRegistry: the open, string-keyed round-protocol extension point —
+// the aggregation-regime mirror of api::PolicyRegistry and the workload
+// generator registries, built on the same GeneratorRegistry machinery so
+// accepted-key validation, unknown-name errors and --list output all behave
+// identically across the three extension surfaces.
+//
+// Three protocols are pre-registered:
+//
+//   sync        keys: report-fraction
+//       The paper's §5.1 regime: request exactly D devices, commit at
+//       >= ceil(report-fraction x D) responses (default 0.8), abort at the
+//       reporting deadline, let stragglers finish into the void.
+//   overcommit  keys: overcommit, report-fraction
+//       Over-selection: request ceil(K x D) devices (K = `overcommit`,
+//       default 1.3), cut the round off as soon as ceil(report-fraction x D)
+//       responses land (even mid-allocation), and release devices still
+//       computing back to the idle pool with their day budget refunded.
+//   async       keys: buffer, concurrency
+//       FedBuff-style buffered aggregation: one long-lived request per job
+//       bounds concurrency (`concurrency`, default D), responses free their
+//       slot so devices are admitted continuously, and a round commits
+//       every `buffer` responses (default ceil(0.8 x D)) with per-response
+//       staleness tracked. No reporting deadline.
+//
+// External protocols self-register from their own translation unit:
+//
+//   const venn::protocol::ProtocolRegistration kMine{
+//       protocol::protocol_registry(), "quorum", {"quorum-frac"},
+//       [](const workload::GenParams& p, std::uint64_t) {
+//         return std::make_unique<QuorumProtocol>(p.prob("quorum-frac", 0.5));
+//       }};
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "protocol/protocol.h"
+#include "workload/generator.h"
+#include "workload/workload.h"
+
+namespace venn::protocol {
+
+using ProtocolRegistry = workload::GeneratorRegistry<RoundProtocol>;
+using ProtocolRegistration = workload::GeneratorRegistration<RoundProtocol>;
+
+// The process-wide registry, with the built-in protocols pre-registered.
+[[nodiscard]] ProtocolRegistry& protocol_registry();
+
+// Instantiates the protocol a scenario names. An unconfigured spec (empty
+// name) yields the default "sync" protocol, so legacy scenarios replay
+// byte-identically. Throws std::invalid_argument for unknown names or
+// parameter keys the protocol does not accept.
+[[nodiscard]] std::unique_ptr<RoundProtocol> build_protocol(
+    const workload::GeneratorSpec& spec, std::uint64_t seed);
+
+// Human-readable listing with accepted keys — the protocol section of
+// `venn_sim_cli --list`.
+[[nodiscard]] std::string describe_protocols();
+
+}  // namespace venn::protocol

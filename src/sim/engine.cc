@@ -6,13 +6,19 @@ namespace venn::sim {
 
 void Engine::every(SimTime period, std::function<bool()> fn) {
   if (period <= 0.0) throw std::invalid_argument("period must be > 0");
-  // Self-rescheduling closure; stops when fn returns false.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, fn = std::move(fn), tick]() {
-    if (!fn()) return;
-    queue_.schedule_after(period, *tick);
-  };
-  queue_.schedule_after(period, *tick);
+  // Shared state + member relay, like stream() below: the previous
+  // self-capturing closure (a shared_ptr<function> holding a copy of its
+  // own shared_ptr) formed a reference cycle and leaked every periodic
+  // task — found by the LeakSanitizer run of the CI sanitizer matrix.
+  every_tick(period, std::make_shared<std::function<bool()>>(std::move(fn)));
+}
+
+void Engine::every_tick(SimTime period,
+                        std::shared_ptr<std::function<bool()>> fn) {
+  queue_.schedule_after(period, [this, period, fn = std::move(fn)]() mutable {
+    if (!(*fn)()) return;
+    every_tick(period, std::move(fn));
+  });
 }
 
 void Engine::stream(std::optional<SimTime> first,

@@ -55,6 +55,7 @@ class Engine {
  private:
   void stream_tick(SimTime at,
                    std::shared_ptr<std::function<std::optional<SimTime>()>> fn);
+  void every_tick(SimTime period, std::shared_ptr<std::function<bool()>> fn);
 
   EventQueue queue_;
   Rng rng_;

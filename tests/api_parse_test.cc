@@ -124,6 +124,90 @@ TEST(KeyValueParsing, GeneratorParamValuesValidateAtBuild) {
   EXPECT_NO_THROW((void)api::build_inputs(sc));
 }
 
+TEST(KeyValueParsing, ProtocolKeysValidateEagerly) {
+  ScenarioSpec sc;
+  sc.num_devices = 10;
+  sc.num_jobs = 1;
+  // Unknown protocol names throw at set() time, listing alternatives.
+  try {
+    sc.set("protocol", "quorum");
+    FAIL() << "unknown protocol accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("overcommit"), std::string::npos)
+        << e.what();
+  }
+  // Dotted params are collected on the spec...
+  sc.set("protocol", "overcommit");
+  sc.set("protocol.overcommit", "1.5");
+  EXPECT_EQ(sc.protocol_gen.name, "overcommit");
+  EXPECT_EQ(sc.protocol_gen.params.kv.at("overcommit"), "1.5");
+  // ...and a knob the protocol does not accept fails at experiment build,
+  // naming the key.
+  sc.set("protocol.bogus-knob", "1");
+  try {
+    (void)ExperimentBuilder().scenario(sc).build();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus-knob"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(KeyValueParsing, ConflictingProtocolValuesRejected) {
+  // Overrides accumulate from several sources; two different aggregation
+  // regimes in one scenario must fail loudly, not last-writer-win.
+  ScenarioSpec sc;
+  sc.set("protocol", "sync");
+  EXPECT_NO_THROW(sc.set("protocol", "sync"));  // re-stating is idempotent
+  try {
+    sc.set("protocol", "async");
+    FAIL() << "conflicting protocol accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("protocol"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("sync"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("async"), std::string::npos) << msg;
+  }
+  EXPECT_EQ(sc.protocol_gen.name, "sync");  // first value stands
+  EXPECT_THROW(ExperimentBuilder()
+                   .set("protocol", "sync")
+                   .set("protocol", "overcommit"),
+               std::invalid_argument);
+}
+
+TEST(KeyValueParsing, OrphanedProtocolKnobRejectedAtBuild) {
+  ScenarioSpec sc;
+  sc.num_devices = 10;
+  sc.num_jobs = 1;
+  sc.set("protocol.buffer", "64");
+  try {
+    (void)api::build_inputs(sc);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("protocol.buffer"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("protocol=<name>"), std::string::npos) << msg;
+  }
+  sc.set("protocol", "async");
+  EXPECT_NO_THROW((void)ExperimentBuilder().scenario(sc).build());
+}
+
+TEST(KeyValueParsing, ProtocolKnobValuesValidateAtBuild) {
+  ScenarioSpec sc;
+  sc.num_devices = 10;
+  sc.num_jobs = 1;
+  sc.set("protocol", "overcommit");
+  sc.set("protocol.overcommit", "0.5");  // under-selection is not a thing
+  EXPECT_THROW((void)ExperimentBuilder().scenario(sc).build(),
+               std::invalid_argument);
+  sc.protocol_gen.params.kv["overcommit"] = "1.25";
+  sc.set("protocol.report-fraction", "1.5");  // probability range
+  EXPECT_THROW((void)ExperimentBuilder().scenario(sc).build(),
+               std::invalid_argument);
+  sc.protocol_gen.params.kv["report-fraction"] = "0.9";
+  EXPECT_NO_THROW((void)ExperimentBuilder().scenario(sc).build());
+}
+
 TEST(KeyValueParsing, OpenLoopAndStreamFlagsParse) {
   ScenarioSpec sc;
   sc.set("churn", "weibull");

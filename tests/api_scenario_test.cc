@@ -43,6 +43,15 @@ TEST(ScenarioSpec, KnownKeysParseAndApply) {
 
   sc.set("bias", "none");
   EXPECT_FALSE(sc.bias.has_value());
+
+  // Round-protocol keys land on the protocol spec, like the generator
+  // families land on theirs.
+  sc.set("protocol", "async");
+  sc.set("protocol.buffer", "64");
+  sc.set("protocol.concurrency", "96");
+  EXPECT_EQ(sc.protocol_gen.name, "async");
+  EXPECT_EQ(sc.protocol_gen.params.kv.at("buffer"), "64");
+  EXPECT_EQ(sc.protocol_gen.params.kv.at("concurrency"), "96");
 }
 
 TEST(ScenarioSpec, BadKeysAndValuesThrow) {

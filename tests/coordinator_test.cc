@@ -5,6 +5,7 @@
 
 #include "core/metrics.h"
 #include "core/resource_manager.h"
+#include "protocol/builtins.h"
 #include "scheduler/fifo_sched.h"
 #include "sim/engine.h"
 #include "trace/availability.h"
@@ -303,6 +304,74 @@ TEST(Coordinator, SoloJctProbeCannotDesyncIndexBits) {
   EXPECT_EQ(results[1].jobs[0].jct, results[0].jobs[0].jct);
   EXPECT_EQ(results[1].jobs[0].rounds[0].scheduling_delay,
             results[0].jobs[0].rounds[0].scheduling_delay);
+}
+
+TEST(Coordinator, ResponseLandingExactlyAtDeadlineCompletes) {
+  // Demand 1, exec time tuned to land exactly at the reporting deadline:
+  // full allocation at t=0, deadline span 60 s, deterministic exec 60 s.
+  // Both events fire at t=60; the response event was scheduled first in
+  // the same handle_outcome call, and the event queue is FIFO among
+  // same-time events, so the round completes and the deadline is a no-op.
+  // This pins the boundary semantics: "at the deadline" counts.
+  const double exec = 60.0 / Device(DeviceId(9), {1.0, 1.0}, {}).speed();
+  ASSERT_DOUBLE_EQ(exec, 60.0);
+  auto devices = always_on(1, {1.0, 1.0}, kDay);
+  const RunResult r = run(std::move(devices),
+                          {one_job(1, 1, 0.0, 60.0, /*deadline=*/exec)});
+  ASSERT_EQ(r.finished_jobs(), 1u);
+  EXPECT_EQ(r.jobs[0].total_aborts, 0);
+  EXPECT_NEAR(r.jobs[0].rounds[0].response_collection, exec, 1e-9);
+}
+
+TEST(Coordinator, AbortMidComputationStragglerDisposition) {
+  // Demand 2: a fast device responds at t=60, a weak device's exec (500 s)
+  // overruns the 300 s reporting deadline — the abort fires while it is
+  // mid-computation. The two protocols dispose of that straggler
+  // differently:
+  //   sync       — the device stays charged for the day; the retry finds
+  //                an empty pool and the job never finishes (2 lifetime
+  //                assignments).
+  //   overcommit — the abort releases it (budget refunded), the retry's
+  //                sweep re-acquires it immediately (>= 3 assignments),
+  //                and the release is visible in the wasted-work counters.
+  for (const bool overcommit : {false, true}) {
+    std::vector<Device> devices;
+    devices.emplace_back(DeviceId(0), DeviceSpec{1.0, 1.0},
+                         std::vector<Session>{{0.0, kDay}});
+    devices.emplace_back(DeviceId(1), DeviceSpec{0.0, 0.0},
+                         std::vector<Session>{{0.0, kDay}});  // exec 500 s
+    sim::Engine engine(1);
+    ResourceManager mgr(std::make_unique<FifoScheduler>());
+    const protocol::SyncProtocol sync_proto;
+    const protocol::OvercommitProtocol oc_proto(1.0);  // selection = demand
+    AssignmentLog log;
+    mgr.add_observer(&log);
+    CoordinatorConfig cfg;
+    cfg.horizon = 0.9 * kDay;  // no day-boundary budget reset
+    cfg.protocol = overcommit
+                       ? static_cast<const protocol::RoundProtocol*>(&oc_proto)
+                       : &sync_proto;
+    Coordinator coord(engine, mgr, std::move(devices),
+                      {one_job(1, 2, 0.0, 60.0, /*deadline=*/300.0)}, cfg);
+    coord.run();
+    const RunResult r = collect_results(coord, "FIFO");
+
+    EXPECT_EQ(r.finished_jobs(), 0u) << "overcommit=" << overcommit;
+    EXPECT_GE(r.jobs[0].total_aborts, 1) << "overcommit=" << overcommit;
+    if (overcommit) {
+      EXPECT_GE(r.protocol.stragglers_released, 1u);
+      EXPECT_GE(log.entries.size(), 3u);
+      // The straggler was re-acquired at the abort instant, same day.
+      bool reacquired_after_abort = false;
+      for (const auto& [dev, at] : log.entries) {
+        reacquired_after_abort |= (dev == DeviceId(1) && at > 60.0);
+      }
+      EXPECT_TRUE(reacquired_after_abort);
+    } else {
+      EXPECT_EQ(r.protocol.stragglers_released, 0u);
+      EXPECT_EQ(log.entries.size(), 2u);
+    }
+  }
 }
 
 // Property sweep: under arbitrary seeds, protocol invariants hold for a

@@ -60,6 +60,17 @@ std::map<std::string, std::string> collect_metrics(const RunResult& r,
   m["sched_delay_mean"] = format_double(sched.empty() ? 0.0 : sched.mean());
   m["resp_time_mean"] = format_double(resp.empty() ? 0.0 : resp.mean());
 
+  // Round-protocol counters: zero wasted work / staleness under sync, the
+  // overcommit/async cells pin their regime-specific trajectories.
+  m["protocol.commits"] = std::to_string(r.protocol.commits);
+  m["protocol.responses"] = std::to_string(r.protocol.responses);
+  m["protocol.wasted_responses"] = std::to_string(r.protocol.wasted_responses);
+  m["protocol.stragglers_released"] =
+      std::to_string(r.protocol.stragglers_released);
+  m["protocol.wasted_work_s"] = format_double(r.protocol.wasted_work_s);
+  m["protocol.stale_responses"] = std::to_string(r.protocol.stale_responses);
+  m["protocol.mean_staleness"] = format_double(r.protocol.mean_staleness());
+
   // Utilization: total successful assignments per device-day offered.
   std::int64_t assignments = 0;
   for (const auto& region : r.assignment_matrix) {
@@ -168,6 +179,34 @@ std::vector<GoldenCell> golden_cells() {
     c.policy.set("epsilon", "2");
     cells.push_back(std::move(c));
   }
+  // --- round-protocol cells: one fixed scenario per protocol -----------
+  {  // Explicit sync over the static_diurnal world. Its golden must stay
+     // value-identical to static_diurnal.golden forever — the sync
+     // protocol IS the pre-extraction coordinator (see also the exact
+     // in-process equality test below).
+    GoldenCell c{"protocol_sync", base_scenario(101), PolicySpec("venn")};
+    c.scenario.set("arrival", "static");
+    c.scenario.set("churn", "diurnal");
+    c.scenario.set("protocol", "sync");
+    cells.push_back(std::move(c));
+  }
+  {  // Over-selection: straggler releases and wasted work pinned.
+    GoldenCell c{"protocol_overcommit", base_scenario(104),
+                 PolicySpec("venn")};
+    c.scenario.set("arrival", "poisson");
+    c.scenario.set("churn", "diurnal");
+    c.scenario.set("protocol", "overcommit");
+    c.scenario.set("protocol.overcommit", "1.5");
+    cells.push_back(std::move(c));
+  }
+  {  // Buffered-async aggregation: commit cadence and staleness pinned.
+    GoldenCell c{"protocol_async", base_scenario(105), PolicySpec("venn")};
+    c.scenario.set("arrival", "poisson");
+    c.scenario.set("churn", "diurnal");
+    c.scenario.set("protocol", "async");
+    c.scenario.set("protocol.buffer", "4");
+    cells.push_back(std::move(c));
+  }
   return cells;
 }
 
@@ -201,6 +240,31 @@ TEST(GoldenMetrics, EndToEndScenariosMatchCheckedInGoldens) {
       EXPECT_TRUE(golden.contains(key))
           << "new metric not in golden (regenerate): " << key;
     }
+  }
+}
+
+// The sync protocol is the extracted pre-refactor round lifecycle: running
+// any legacy cell with `protocol=sync` set explicitly must produce the
+// EXACT metric map of the cell with no protocol configured (same process,
+// same arithmetic — no tolerance). This is the equality guard on the
+// src/protocol/ extraction.
+TEST(GoldenMetrics, ExplicitSyncProtocolMatchesLegacyDefaultExactly) {
+  for (const auto& cell : golden_cells()) {
+    if (cell.scenario.protocol_gen.configured()) continue;  // legacy cells
+    SCOPED_TRACE(cell.name);
+    ScenarioSpec with_sync = cell.scenario;
+    with_sync.set("protocol", "sync");
+    const RunResult a = ExperimentBuilder()
+                            .scenario(cell.scenario)
+                            .policy(cell.policy)
+                            .run();
+    const RunResult b =
+        ExperimentBuilder().scenario(with_sync).policy(cell.policy).run();
+    const auto ma = collect_metrics(a, cell.scenario.num_devices,
+                                    cell.scenario.horizon);
+    const auto mb = collect_metrics(b, cell.scenario.num_devices,
+                                    cell.scenario.horizon);
+    EXPECT_EQ(ma, mb);
   }
 }
 
