@@ -31,6 +31,18 @@
 // round protocol (sync / overcommit / async) in both index modes and fails
 // if any protocol's trajectory differs between index=1 and index=0 — the
 // sweep/index hot path must never depend on the aggregation regime.
+//
+// Sharded-sweep cells: a second, sweep-dominated workload — an insatiable
+// high-performance job keeps the wants mask non-empty forever, so every
+// job arrival sweeps the ENTIRE idle pool and skips nearly every device by
+// signature — measured at a large fleet across shards {1, 2, 4, 8}
+// (`--quick`: a smaller fleet × {1, 8}). The metric is sweep throughput
+// (pool entries visited per second of in-sweep wall time); the cells also
+// assert that every shard count replays the shards=1 trajectory and
+// canonical sweep counters byte-identically. The ratio gate covers the
+// shard-speedup ratios like the index-vs-scan ratios, and the full run
+// additionally enforces --min-shard-speedup (default 3x) on the largest
+// shard cell — the scaling evidence committed in BENCH_hotpath.json.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +67,19 @@ struct CellResult {
   double events_per_sec = 0.0;
   double per_event_us = 0.0;
   double avg_jct = 0.0;
+};
+
+struct ShardCell {
+  std::size_t devices = 0;
+  std::size_t jobs = 0;
+  std::size_t shards = 0;
+  double wall_s = 0.0;          // whole-run wall time
+  double sweep_wall_s = 0.0;    // in-sweep wall time
+  std::uint64_t sweep_visits = 0;
+  double visits_per_sec = 0.0;  // sweep throughput (visits / sweep wall)
+  double avg_jct = 0.0;
+  Coordinator::HotpathStats hstats;  // canonical counters, for identity
+  std::vector<double> jcts;          // per-job trajectory, for identity
 };
 
 ScenarioSpec cell_scenario(std::size_t devices, std::size_t jobs,
@@ -129,13 +154,18 @@ CellResult run_cell_best(std::size_t devices, std::size_t jobs,
   return best;
 }
 
+void write_shard_json(std::ofstream& out, const std::vector<ShardCell>& cells);
+
 void write_json(const std::string& path, double horizon_days,
-                const std::vector<CellResult>& cells) {
+                const std::vector<CellResult>& cells,
+                const std::vector<ShardCell>& shard_cells) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"hotpath_index\",\n";
   char buf[256];
   std::snprintf(buf, sizeof(buf), "  \"horizon_days\": %g,\n", horizon_days);
-  out << buf << "  \"cells\": [\n";
+  out << buf;
+  if (!shard_cells.empty()) write_shard_json(out, shard_cells);
+  out << "  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const CellResult& c = cells[i];
     std::snprintf(buf, sizeof(buf),
@@ -152,21 +182,135 @@ void write_json(const std::string& path, double horizon_days,
 }
 
 // Minimal lookup into a previous output file: find the cell's identifying
-// prefix, then read the events_per_sec field after it. The file format is
-// our own (write_json above), so no general JSON parsing is needed.
-bool baseline_events_per_sec(const std::string& text, const CellResult& c,
-                             double* out) {
+// prefix, then read the named throughput field after it. The file format
+// is our own (write_json above), so no general JSON parsing is needed.
+// Index/scan cells carry "events_per_sec"; shard cells carry
+// "visits_per_sec" (sweep throughput — a different metric, deliberately
+// not published under the events key).
+bool baseline_metric(const std::string& text, std::size_t devices,
+                     std::size_t jobs, const std::string& mode,
+                     const char* metric_key, double* out) {
   char needle[128];
   std::snprintf(needle, sizeof(needle),
-                "\"devices\": %zu, \"jobs\": %zu, \"mode\": \"%s\"",
-                c.devices, c.jobs, c.mode.c_str());
+                "\"devices\": %zu, \"jobs\": %zu, \"mode\": \"%s\"", devices,
+                jobs, mode.c_str());
   const auto cell_pos = text.find(needle);
   if (cell_pos == std::string::npos) return false;
-  const std::string key = "\"events_per_sec\": ";
+  const std::string key = std::string("\"") + metric_key + "\": ";
   const auto key_pos = text.find(key, cell_pos);
   if (key_pos == std::string::npos) return false;
   *out = std::strtod(text.c_str() + key_pos + key.size(), nullptr);
   return true;
+}
+
+bool baseline_events_per_sec(const std::string& text, const CellResult& c,
+                             double* out) {
+  return baseline_metric(text, c.devices, c.jobs, c.mode, "events_per_sec",
+                         out);
+}
+
+// ------------------------------------------------- sharded sweep cells --
+
+// Sweep-dominated world: an always-on low-spec fleet (eligible for General
+// only), one insatiable High-Performance job pinning the wants mask, and a
+// stream of small General jobs whose every arrival sweeps the full pool.
+ShardCell run_shard_cell(std::size_t devices, std::size_t shards,
+                         std::size_t general_jobs, std::uint64_t seed) {
+  const SimTime spacing = 300.0;
+  const SimTime horizon =
+      spacing * static_cast<double>(general_jobs + 2) + 2.0 * kHour;
+
+  // Fleet generation is independent of the shard count (one serial stream),
+  // so every shard cell replays the identical world.
+  Rng rng(Rng::derive(seed, "shard-fleet"));
+  std::vector<Device> fleet;
+  fleet.reserve(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    // Below the rich thresholds on both axes: General-only signatures.
+    const DeviceSpec spec{0.05 + 0.4 * rng.uniform(),
+                          0.05 + 0.4 * rng.uniform()};
+    fleet.emplace_back(DeviceId(static_cast<std::int64_t>(i)), spec,
+                       std::vector<Session>{{0.0, horizon}});
+  }
+
+  std::vector<trace::JobSpec> jobs;
+  {
+    trace::JobSpec hp;  // the insatiable pin: no device qualifies
+    hp.rounds = 1;
+    hp.demand = static_cast<int>(devices);
+    hp.category = ResourceCategory::kHighPerf;
+    hp.arrival = 0.0;
+    jobs.push_back(hp);
+  }
+  for (std::size_t k = 0; k < general_jobs; ++k) {
+    trace::JobSpec g;
+    g.rounds = 1;
+    g.demand = 16;
+    g.category = ResourceCategory::kGeneral;
+    g.arrival = spacing * static_cast<double>(k + 1);
+    g.nominal_task_s = 60.0;
+    g.task_cv = 0.0;
+    jobs.push_back(g);
+  }
+
+  sim::Engine engine(Rng::derive(seed, "engine"));
+  engine.set_shards(shards);
+  ResourceManager manager(PolicyRegistry::instance().create(
+      "fifo", {}, Rng::derive(seed, "scheduler")));
+  CoordinatorConfig ccfg;
+  ccfg.horizon = horizon;
+  ccfg.seed = seed;
+  Coordinator coord(engine, manager, std::move(fleet), std::move(jobs), ccfg);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  coord.run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ShardCell r;
+  r.devices = devices;
+  r.jobs = general_jobs + 1;
+  r.shards = shards;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.sweep_wall_s = coord.shard_stats().sweep_wall_s;
+  r.hstats = coord.hotpath_stats();
+  r.sweep_visits = r.hstats.sweep_visits;
+  r.visits_per_sec = r.sweep_wall_s > 0.0
+                         ? static_cast<double>(r.sweep_visits) / r.sweep_wall_s
+                         : 0.0;
+  const RunResult res = collect_results(coord, "shards");
+  r.avg_jct = res.avg_jct();
+  r.jcts.reserve(res.jobs.size());
+  for (const auto& j : res.jobs) r.jcts.push_back(j.jct);
+  return r;
+}
+
+// The canonical trajectory and sweep counters must not depend on the shard
+// count at all — this is the bench-side shard differential.
+bool shard_cells_match(const ShardCell& base, const ShardCell& cell) {
+  return base.jcts == cell.jcts && base.avg_jct == cell.avg_jct &&
+         base.hstats.sweeps == cell.hstats.sweeps &&
+         base.hstats.sweep_visits == cell.hstats.sweep_visits &&
+         base.hstats.sweep_offers == cell.hstats.sweep_offers &&
+         base.hstats.sweep_skips == cell.hstats.sweep_skips;
+}
+
+void write_shard_json(std::ofstream& out, const std::vector<ShardCell>& cells) {
+  out << "  \"shard_cells\": [\n";
+  char buf[256];
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ShardCell& c = cells[i];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"devices\": %zu, \"jobs\": %zu, \"mode\": "
+                  "\"sweep-shards-%zu\", \"wall_s\": %.6f, "
+                  "\"sweep_wall_s\": %.6f, \"sweep_visits\": %llu, "
+                  "\"visits_per_sec\": %.1f, \"avg_jct\": %.6f}%s\n",
+                  c.devices, c.jobs, c.shards, c.wall_s, c.sweep_wall_s,
+                  static_cast<unsigned long long>(c.sweep_visits),
+                  c.visits_per_sec, c.avg_jct,
+                  i + 1 < cells.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
 }
 
 // The sweep/index hot path must be protocol-agnostic: the eligibility
@@ -212,10 +356,13 @@ int main(int argc, char** argv) {
   double horizon_days = 0.25;
   std::uint64_t seed = 77;
   int repeats = 3;
+  double min_shard_speedup = -1.0;  // <0: 3.0 on full runs, off on --quick
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg.rfind("--min-shard-speedup=", 0) == 0) {
+      min_shard_speedup = std::atof(arg.c_str() + 20);
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
     } else if (arg.rfind("--baseline=", 0) == 0) {
@@ -266,11 +413,60 @@ int main(int argc, char** argv) {
     }
   }
 
-  write_json(out_path, horizon_days, cells);
+  // --- sharded sweep cells -------------------------------------------------
+  // The wants mask never empties (an insatiable High-Perf job), so every
+  // General-job arrival sweeps the whole pool and skips ~everything by
+  // signature: the regime the partition/execute/merge pipeline targets.
+  if (min_shard_speedup < 0.0) min_shard_speedup = quick ? 0.0 : 3.0;
+  const std::size_t shard_devices = quick ? 150'000 : 1'000'000;
+  const std::size_t shard_jobs = quick ? 12 : 24;
+  const std::vector<std::size_t> shard_axis =
+      quick ? std::vector<std::size_t>{1, 8}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+
+  std::printf("\nsharded sweep throughput (%zu devices, insatiable pin):\n",
+              shard_devices);
+  std::printf("%7s | %12s %12s | %9s %5s\n", "shards", "visits/s",
+              "sweep-wall s", "speedup", "match");
+  std::vector<ShardCell> shard_cells;
+  for (const std::size_t shards : shard_axis) {
+    ShardCell c = run_shard_cell(shard_devices, shards, shard_jobs, seed);
+    const ShardCell& base = shard_cells.empty() ? c : shard_cells.front();
+    const bool match = shard_cells_match(base, c);
+    all_match = all_match && match;
+    std::printf("%7zu | %12.0f %12.3f | %8.2fx %5s\n", c.shards,
+                c.visits_per_sec, c.sweep_wall_s,
+                base.visits_per_sec > 0.0
+                    ? c.visits_per_sec / base.visits_per_sec
+                    : 0.0,
+                match ? "yes" : "NO");
+    shard_cells.push_back(std::move(c));
+  }
+
+  write_json(out_path, horizon_days, cells, shard_cells);
   bench::note("wrote " + out_path);
   if (!all_match) {
-    std::fprintf(stderr, "FAIL: index and scan modes diverged\n");
+    std::fprintf(stderr,
+                 "FAIL: modes diverged (index-vs-scan or shards-vs-serial)\n");
     return 1;
+  }
+
+  if (min_shard_speedup > 0.0 && shard_cells.size() >= 2) {
+    const ShardCell& base = shard_cells.front();
+    const ShardCell& top = shard_cells.back();
+    const double speedup = base.visits_per_sec > 0.0
+                               ? top.visits_per_sec / base.visits_per_sec
+                               : 0.0;
+    if (speedup < min_shard_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: shards=%zu sweep throughput is only %.2fx of "
+                   "shards=1 (floor %.2fx)\n",
+                   top.shards, speedup, min_shard_speedup);
+      return 1;
+    }
+    bench::note("shards=" + std::to_string(top.shards) +
+                " sweep-throughput speedup " + std::to_string(speedup) +
+                "x (floor " + std::to_string(min_shard_speedup) + "x)");
   }
 
   if (!protocol_agnostic_check(seed)) {
@@ -321,6 +517,38 @@ int main(int argc, char** argv) {
                      scan.devices, scan.jobs, speedup, 100.0 * tolerance,
                      base_speedup);
         ok = false;
+      }
+    }
+    // Shard cells gate on the same machine-invariant principle: the
+    // shards=N vs shards=1 sweep-throughput ratio against the baseline's.
+    if (shard_cells.size() >= 2) {
+      const ShardCell& serial = shard_cells.front();
+      double base_serial = 0.0;
+      const bool have_serial =
+          baseline_metric(text, serial.devices, serial.jobs,
+                          "sweep-shards-" + std::to_string(serial.shards),
+                          "visits_per_sec", &base_serial) &&
+          base_serial > 0.0 && serial.visits_per_sec > 0.0;
+      for (std::size_t i = 1; have_serial && i < shard_cells.size(); ++i) {
+        const ShardCell& c = shard_cells[i];
+        double base_n = 0.0;
+        if (!baseline_metric(text, c.devices, c.jobs,
+                             "sweep-shards-" + std::to_string(c.shards),
+                             "visits_per_sec", &base_n) ||
+            base_n <= 0.0 || c.visits_per_sec <= 0.0) {
+          continue;  // new cell
+        }
+        ++matched;
+        const double base_ratio = base_n / base_serial;
+        const double ratio = c.visits_per_sec / serial.visits_per_sec;
+        if (ratio < (1.0 - tolerance) * base_ratio) {
+          std::fprintf(stderr,
+                       "FAIL: %zu devices, shards=%zu: sweep-throughput "
+                       "speedup %.2fx is >%.0f%% below baseline %.2fx\n",
+                       c.devices, c.shards, ratio, 100.0 * tolerance,
+                       base_ratio);
+          ok = false;
+        }
       }
     }
     if (matched == 0) {

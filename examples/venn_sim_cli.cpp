@@ -19,6 +19,9 @@
 //                   device sessions — O(devices) memory)
 //   protocol keys   protocol=<sync|overcommit|async> + protocol.<key>
 //                   (round-aggregation regime; see --list for knobs)
+//   execution keys  index (0|1, eligibility index vs full-scan fallback),
+//                   shards (1-64, sharded fleet execution on a bounded
+//                   worker pool; byte-identical at any value)
 //   policy keys     policy (any registered name), epsilon, tiers,
 //                   supply-window-h, tail-pct, ewma-alpha, order-total,
 //                   param.<key> (free-form, for external policies)
@@ -117,6 +120,15 @@ int main(int argc, char** argv) {
           "order-total param.<key>\n");
       std::printf("%s", workload::describe_generators().c_str());
       std::printf("%s", protocol::describe_protocols().c_str());
+      std::printf(
+          "execution (scenario keys):\n"
+          "  index=<0|1>   eligibility index (default 1) vs full-scan "
+          "fallback\n"
+          "  shards=<1-64> sharded fleet execution: partition/execute/merge "
+          "sweeps,\n"
+          "                index slices and supply scans on a bounded worker "
+          "pool;\n"
+          "                byte-identical results at any shard count\n");
       return 0;
     }
     if (arg == "--compare") { compare = true; continue; }

@@ -242,6 +242,9 @@ RunResult Experiment::run_with(std::unique_ptr<Scheduler> scheduler,
   if (label.empty()) label = scheduler->name();
 
   sim::Engine engine(stream_seed("engine"));
+  // Sharded execution: the pool must exist before the coordinator is
+  // constructed (it adopts the engine's pool and partitions the fleet).
+  engine.set_shards(scenario_.shards);
   ResourceManager manager(std::move(scheduler));
   AssignmentMatrixObserver matrix;
   manager.add_observer(&matrix);

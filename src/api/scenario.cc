@@ -97,6 +97,13 @@ bool ScenarioSpec::try_set(const std::string& key, const std::string& value) {
     streaming = parse_long(key, value) != 0;
   } else if (key == "index") {
     use_index = parse_long(key, value) != 0;
+  } else if (key == "shards") {
+    const std::size_t n = parse_size(key, value);
+    if (n < 1 || n > 64) {
+      throw std::invalid_argument("shards must be in [1, 64], got \"" + value +
+                                  "\"");
+    }
+    shards = n;
   } else {
     return false;
   }

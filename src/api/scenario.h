@@ -83,16 +83,24 @@ struct ScenarioSpec {
   // Simulation.
   SimTime horizon = 28.0 * kDay;
 
+  // shards=N: sharded fleet execution (1-64). The fleet is partitioned
+  // into N contiguous device shards and the fleet-proportional passes
+  // (idle-pool sweep filtering, eligibility-index rebuckets, index=0
+  // supply scans) run on a bounded worker pool with shard-ordered merges.
+  // Purely an execution knob: results are byte-identical for any value,
+  // and the default 1 runs the serial path with no pool at all.
+  std::size_t shards = 1;
+
   // Applies one `key=value` override. Known keys: name, seed, devices,
   // jobs, workload (even|small|large|low|high), bias
   // (none|general|compute|memory|resource), horizon-days, min-rounds,
   // max-rounds, min-demand, max-demand, interarrival-min, base-trace,
   // task-s, task-cv, arrival, arrival.<key>, mix, mix.<key>, churn,
   // churn.<key>, protocol (sync|overcommit|async), protocol.<key>,
-  // open-loop (0|1), stream (0|1), index (0|1). Returns false if the key
-  // is not a scenario key. Throws std::invalid_argument on a known key
-  // with a bad value, and on a `protocol=` value conflicting with one set
-  // earlier.
+  // open-loop (0|1), stream (0|1), index (0|1), shards (1-64). Returns
+  // false if the key is not a scenario key. Throws std::invalid_argument
+  // on a known key with a bad value, and on a `protocol=` value
+  // conflicting with one set earlier.
   bool try_set(const std::string& key, const std::string& value);
 
   // As try_set, but an unknown key throws std::invalid_argument.

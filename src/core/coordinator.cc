@@ -1,12 +1,79 @@
 #include "core/coordinator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
 #include "util/logging.h"
 
 namespace venn {
+
+namespace {
+// Sharded-sweep tuning. None of these affect observable behavior (the
+// pipeline replays the canonical serial sequence regardless); they only
+// bound dispatch overhead. Pools below the minimum run the serial pass;
+// batches start small (a sweep that satisfies every request early never
+// pays for the tail) and grow geometrically; the permutation snapshot is
+// materialized only once a sweep proves long.
+constexpr std::size_t kShardedSweepMinPool = 512;
+constexpr std::size_t kShardedBatchMin = 512;
+constexpr std::size_t kShardedBatchMax = 1 << 16;
+constexpr std::size_t kSnapshotAfter = 2048;
+// Minimum fleet for sharding the index=0 full-scan supply queries.
+constexpr std::size_t kShardedScanMinFleet = 2048;
+
+// One sweep's lazily-drawn Fisher-Yates permutation over a stable pool
+// vector. Both sweep flavors realize the SAME draw sequence through this
+// class — the serial pass visit by visit, the sharded pass batch by batch
+// — so the emitted device order cannot drift between the two loops. Short
+// sweeps keep draw-displaced positions in a side map (no pool copy);
+// materialize() switches to a flat snapshot once a sweep proves long
+// (cheaper per draw from then on, and what the parallel filter reads
+// through batch buffers). The pool vector must not change for the
+// object's lifetime — the sweeping_/in_sweep_pass_ guards ensure that.
+class SweepOrder {
+ public:
+  SweepOrder(const std::vector<std::size_t>& pool, bool flat_upfront)
+      : pool_(pool), use_flat_(flat_upfront) {
+    if (use_flat_) flat_ = pool;
+  }
+
+  [[nodiscard]] bool materialized() const { return use_flat_; }
+
+  void materialize() {
+    flat_ = pool_;
+    // Stale entries for already-emitted positions are harmless: positions
+    // before the current draw index are never re-read.
+    for (const auto& [pos, val] : displaced_) flat_[pos] = val;
+    displaced_.clear();
+    use_flat_ = true;
+  }
+
+  // Realizes the swap of positions i and j (j >= i) and returns the
+  // device emitted at position i.
+  std::size_t draw(std::size_t i, std::size_t j) {
+    if (use_flat_) {
+      std::swap(flat_[i], flat_[j]);
+      return flat_[i];
+    }
+    const auto it = displaced_.find(j);
+    const std::size_t d = it != displaced_.end() ? it->second : pool_[j];
+    if (j != i) {  // position i is never re-read; j might be
+      const auto ii = displaced_.find(i);
+      displaced_[j] = ii != displaced_.end() ? ii->second : pool_[i];
+    }
+    return d;
+  }
+
+ private:
+  const std::vector<std::size_t>& pool_;
+  std::unordered_map<std::size_t, std::size_t> displaced_;
+  std::vector<std::size_t> flat_;
+  bool use_flat_;
+};
+
+}  // namespace
 
 Coordinator::Coordinator(sim::Engine& engine, ResourceManager& manager,
                          std::vector<Device> devices,
@@ -38,9 +105,30 @@ Coordinator::Coordinator(sim::Engine& engine, ResourceManager& manager,
     mean_exec_factor_ = acc / static_cast<double>(devices_.size());
   }
   idle_pos_.assign(devices_.size(), 0);
+
+  // Sharded execution: adopt the engine's worker pool (if any) and lay the
+  // immutable contiguous device partition over the fleet. shard_of_ is
+  // materialized per device so segment accounting and ownership checks are
+  // plain loads, with no boundary arithmetic on the hot path.
+  workers_ = engine.workers();
+  const std::size_t shards = workers_ != nullptr ? workers_->shards() : 1;
+  segment_size_.assign(shards, 0);
+  sstats_.per_shard.assign(shards, {});
+  if (workers_ != nullptr) {
+    const FleetPartition partition(devices_.size(), shards);
+    shard_of_.resize(devices_.size());
+    for (std::size_t s = 0; s < shards; ++s) {
+      const std::size_t end = partition.end(s);
+      for (std::size_t d = partition.begin(s); d < end; ++d) {
+        shard_of_[d] = static_cast<std::uint32_t>(s);
+      }
+    }
+  }
+
   if (cfg_.use_index) {
     index_ = std::make_unique<EligibilityIndex>(
         std::span<const Device>(devices_));
+    if (workers_ != nullptr) index_->set_workers(workers_);
   }
   // The pending-entry cache and the eligibility index are one feature: the
   // `--no-index` fallback keeps the full job-queue walk per offer too.
@@ -51,6 +139,7 @@ void Coordinator::idle_insert(std::size_t d) {
   if (idle_pos_[d] != 0) return;
   idle_vec_.push_back(d);
   idle_pos_[d] = idle_vec_.size();
+  ++segment_size_[shard_of(d)];
 }
 
 void Coordinator::idle_erase(std::size_t d) {
@@ -61,6 +150,13 @@ void Coordinator::idle_erase(std::size_t d) {
   idle_pos_[last] = pos;
   idle_vec_.pop_back();
   idle_pos_[d] = 0;
+  --segment_size_[shard_of(d)];
+}
+
+bool Coordinator::validate_idle_segments() const {
+  std::vector<std::size_t> recount(segment_size_.size(), 0);
+  for (const std::size_t d : idle_vec_) ++recount[shard_of(d)];
+  return recount == segment_size_;
 }
 
 std::size_t Coordinator::resident_session_count() const {
@@ -93,11 +189,37 @@ double Coordinator::supply_rate(const Requirement& req) const {
     return checkins / span;
   }
 
+  // The `index=0` fallback pays a fleet scan per supply query. With a
+  // worker pool, the scan splits by device shard and merges shard-ordered;
+  // every merged quantity is exact (eligible counts are integers, session
+  // check-in sums are integer-valued doubles, the span is a max), so the
+  // sharded scan returns the very double the serial one does — a property
+  // the shard differential tests assert at every shard count.
+  const bool shard_scan =
+      workers_ != nullptr && devices_.size() >= kShardedScanMinFleet;
+
   if (cfg_.churn != nullptr) {
     // Analytic rate from the churn model — used whether or not sessions
     // are streamed, so both modes produce identical solo estimates.
     std::size_t eligible = 0;
-    for (const auto& d : devices_) eligible += req.eligible(d.spec()) ? 1 : 0;
+    if (shard_scan) {
+      ++sstats_.sharded_supply_scans;
+      const FleetPartition partition(devices_.size(), workers_->shards());
+      std::vector<std::size_t> partial(workers_->shards(), 0);
+      workers_->run_shards([&](std::size_t s) {
+        std::size_t n = 0;
+        const std::size_t end = partition.end(s);
+        for (std::size_t d = partition.begin(s); d < end; ++d) {
+          n += req.eligible(devices_[d].spec()) ? 1 : 0;
+        }
+        partial[s] = n;
+      });
+      for (const std::size_t n : partial) eligible += n;
+    } else {
+      for (const auto& d : devices_) {
+        eligible += req.eligible(d.spec()) ? 1 : 0;
+      }
+    }
     const double rate = static_cast<double>(eligible) *
                         cfg_.churn->mean_sessions_per_day() / kDay;
     return std::max(rate, 1e-9);
@@ -107,12 +229,39 @@ double Coordinator::supply_rate(const Requirement& req) const {
   // session, averaged over the span the sessions cover.
   double checkins = 0.0;
   SimTime span = 0.0;
-  for (const auto& d : devices_) {
-    if (!d.sessions().empty()) {
-      span = std::max(span, d.sessions().back().end);
+  if (shard_scan) {
+    ++sstats_.sharded_supply_scans;
+    struct Partial {
+      double checkins = 0.0;
+      SimTime span = 0.0;
+    };
+    const FleetPartition partition(devices_.size(), workers_->shards());
+    std::vector<Partial> partial(workers_->shards());
+    workers_->run_shards([&](std::size_t s) {
+      Partial p;
+      const std::size_t end = partition.end(s);
+      for (std::size_t i = partition.begin(s); i < end; ++i) {
+        const Device& d = devices_[i];
+        if (!d.sessions().empty()) {
+          p.span = std::max(p.span, d.sessions().back().end);
+        }
+        if (!req.eligible(d.spec())) continue;
+        p.checkins += static_cast<double>(d.sessions().size());
+      }
+      partial[s] = p;
+    });
+    for (const Partial& p : partial) {
+      checkins += p.checkins;
+      span = std::max(span, p.span);
     }
-    if (!req.eligible(d.spec())) continue;
-    checkins += static_cast<double>(d.sessions().size());
+  } else {
+    for (const auto& d : devices_) {
+      if (!d.sessions().empty()) {
+        span = std::max(span, d.sessions().back().end);
+      }
+      if (!req.eligible(d.spec())) continue;
+      checkins += static_cast<double>(d.sessions().size());
+    }
   }
   if (span <= 0.0 || checkins <= 0.0) return 1e-9;
   return checkins / span;
@@ -333,6 +482,19 @@ void Coordinator::offer_idle_pool(SimTime now) {
 void Coordinator::sweep_idle_pool(SimTime now) {
   if (idle_vec_.empty()) return;
   ++hstats_.sweeps;
+  // Sweep wall-time accounting for the bench's sweep-throughput metric.
+  // One clock pair per sweep pass — sweeps are per-round-event, not
+  // per-device, so this never lands on the per-visit hot path.
+  const auto t0 = std::chrono::steady_clock::now();
+  struct Timer {
+    std::chrono::steady_clock::time_point start;
+    double* acc;
+    ~Timer() {
+      *acc += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+    }
+  } timer{t0, &sstats_.sweep_wall_s};
   // Sweep order is a uniformly random permutation of the pool, generated
   // lazily (Fisher-Yates position by position) from a per-sweep stream
   // derived from the scenario seed. Randomness therefore costs one draw per
@@ -340,10 +502,14 @@ void Coordinator::sweep_idle_pool(SimTime now) {
   // other subsystem: the engine stream never sees sweep draws.
   Rng sweep_rng(
       Rng::derive(Rng::derive(cfg_.seed, "idle-sweep"), sweep_counter_++));
+  if (workers_ != nullptr && idle_vec_.size() >= kShardedSweepMinPool) {
+    sweep_idle_pool_sharded(now, sweep_rng);
+    return;
+  }
   // Both modes visit the pool in the same lazily-drawn Fisher-Yates
-  // permutation; they differ only in how the permutation is realized. The
-  // index mode keeps an *implicit* snapshot — positions displaced by
-  // earlier draws live in a small side map — so a sweep costs O(devices
+  // permutation, realized through SweepOrder (shared with the sharded
+  // pipeline, so the two sweep flavors cannot drift). The index mode keeps
+  // the implicit displaced-map snapshot — a sweep costs O(devices
   // visited), not O(pool), and the usual early break keeps "visited" tiny.
   // The fallback materializes the snapshot up front: it will visit every
   // position anyway, and a flat copy beats a hash map there. idle_vec_
@@ -353,27 +519,12 @@ void Coordinator::sweep_idle_pool(SimTime now) {
   // runs: session events are queue-deferred, and the sweeping_ guard in
   // offer_idle_pool converts any synchronous resubmission (a round
   // completing mid-sweep) into a follow-up sweep instead of a nested one.
-  std::unordered_map<std::size_t, std::size_t> displaced;
-  std::vector<std::size_t> flat;
-  if (!index_) flat = idle_vec_;
-  const auto draw = [&](std::size_t i, std::size_t j) {
-    if (!index_) {
-      std::swap(flat[i], flat[j]);
-      return flat[i];
-    }
-    const auto it = displaced.find(j);
-    const std::size_t d = it != displaced.end() ? it->second : idle_vec_[j];
-    if (j != i) {  // position i is never re-read; j might be
-      const auto ii = displaced.find(i);
-      displaced[j] = ii != displaced.end() ? ii->second : idle_vec_[i];
-    }
-    return d;
-  };
+  SweepOrder order(idle_vec_, /*flat_upfront=*/!index_);
   std::vector<std::size_t> assigned;
   const std::size_t n = idle_vec_.size();
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t j = i + sweep_rng.index(n - i);
-    const std::size_t d = draw(i, j);
+    const std::size_t d = order.draw(i, j);
     ++hstats_.sweep_visits;
     if (index_) {
       // Offers past this point are provably no-ops once nothing wants
@@ -402,6 +553,109 @@ void Coordinator::sweep_idle_pool(SimTime now) {
       assigned.push_back(d);
       handle_outcome(d, *outcome);
     }
+  }
+  for (const std::size_t d : assigned) idle_erase(d);
+}
+
+void Coordinator::sweep_idle_pool_sharded(SimTime now, Rng& sweep_rng) {
+  const std::size_t n = idle_vec_.size();
+  ++sstats_.sharded_sweeps;
+
+  // Fast path mirroring the serial pass's first iteration: when no request
+  // wants devices, the serial sweep visits exactly one device and breaks.
+  // Matching that counter here avoids snapshotting the pool for a no-op.
+  if (index_ != nullptr && manager_.wants_mask() == 0) {
+    ++hstats_.sweep_visits;
+    return;
+  }
+
+  // --- partition: realize the canonical permutation in batches ------------
+  // The draw sequence is the exact serial one (same per-sweep stream, same
+  // j = k + index(n - k) draws, same SweepOrder realization); only the
+  // batching differs. Short sweeps stay on the displaced-position map;
+  // once a sweep proves long the snapshot is materialized (the scan
+  // fallback starts flat — it visits everything anyway). idle_vec_ cannot
+  // change mid-sweep (the sweeping_/in_sweep_pass_ guards defer
+  // resubmissions and straggler releases), so both flavors emit the same
+  // devices.
+  SweepOrder order(idle_vec_, /*flat_upfront=*/!index_);
+
+  std::vector<std::size_t> batch_dev;   // devices of the current batch
+  std::vector<std::uint64_t> masked;    // per-entry signature & wants0
+  std::vector<std::size_t> assigned;
+  std::size_t batch_cap = kShardedBatchMin;
+  std::size_t i = 0;
+  while (i < n) {
+    if (!order.materialized() && i >= kSnapshotAfter) order.materialize();
+    const std::size_t end = std::min(n, i + batch_cap);
+    batch_cap = std::min(batch_cap * 2, kShardedBatchMax);
+
+    batch_dev.resize(end - i);
+    for (std::size_t k = i; k < end; ++k) {
+      const std::size_t j = k + sweep_rng.index(n - k);
+      batch_dev[k - i] = order.draw(k, j);
+    }
+
+    // --- execute: parallel filter against a wants-mask snapshot -----------
+    // Pure phase: workers read immutable batch entries and cached index
+    // signatures, and write disjoint slices of `masked`. The verdict
+    // (signature ∩ wants0) stays exact for any later live mask that is a
+    // subset of the snapshot, because registered bits never flip inside
+    // wants0's universe mid-sweep.
+    const std::uint64_t wants0 = index_ != nullptr ? manager_.wants_mask() : 0;
+    const bool filtered = index_ != nullptr && wants0 != 0 &&
+                          (wants0 & ~aligned_requirement_mask()) == 0;
+    if (filtered) {
+      ++sstats_.filter_batches;
+      masked.resize(end - i);
+      workers_->run_shards([&](std::size_t s) {
+        const std::size_t b = workers_->range_begin(end - i, s);
+        const std::size_t e = workers_->range_end(end - i, s);
+        std::uint64_t hits = 0;
+        for (std::size_t k = b; k < e; ++k) {
+          const std::uint64_t m = index_->signature(batch_dev[k]) & wants0;
+          masked[k] = m;
+          hits += m != 0 ? 1 : 0;
+        }
+        auto& sh = sstats_.per_shard[s];
+        sh.filter_entries += e - b;
+        sh.filter_hits += hits;
+      });
+    }
+
+    // --- merge: replay the canonical offer sequence serially --------------
+    // Identical observables to the serial pass: per-visit counters, the
+    // wants==0 early stop, the aligned-bits skip rule, offer order.
+    for (std::size_t k = i; k < end; ++k) {
+      const std::size_t d = batch_dev[k - i];
+      ++hstats_.sweep_visits;
+      if (index_ != nullptr) {
+        const std::uint64_t wants = manager_.wants_mask();
+        if (wants == 0) {
+          for (const std::size_t a : assigned) idle_erase(a);
+          return;
+        }
+        if ((wants & ~aligned_requirement_mask()) == 0) {
+          // A mask that gained a bit since the snapshot (a round opened
+          // mid-merge) invalidates the batch verdict for that entry; fall
+          // back to the live signature, exactly like the serial pass.
+          const bool skip = (filtered && (wants & ~wants0) == 0)
+                                ? (masked[k - i] & wants) == 0
+                                : (index_->signature(d) & wants) == 0;
+          if (skip) {
+            ++hstats_.sweep_skips;
+            continue;
+          }
+        }
+      }
+      ++hstats_.sweep_offers;
+      const auto outcome = manager_.offer(devices_[d], now);
+      if (outcome) {
+        assigned.push_back(d);
+        handle_outcome(d, *outcome);
+      }
+    }
+    i = end;
   }
   for (const std::size_t d : assigned) idle_erase(d);
 }
@@ -693,6 +947,21 @@ std::size_t Coordinator::release_stragglers(Job* job, RequestId rid,
     manager_.notify_straggler_released(dev, *job, now);
     const SimTime session_end = active_session_end(entry.dev, now);
     if (session_end >= 0.0 && !dev.participated_on_day(Device::day_of(now))) {
+      // Shard-local pool ownership: the re-park must land in the segment
+      // of the device's home shard, which idle_insert guarantees
+      // structurally (it keys segment accounting off the immutable
+      // partition). The falsifiable invariant is disjointness: a straggler
+      // was computing, so it cannot already be parked — a pool entry here
+      // means this InFlight entry (possibly deferred past a sweep pass)
+      // went stale, and the silent no-op insert would corrupt the
+      // released device's segment accounting story. Throw instead.
+      if (idle_pos_[entry.dev] != 0) {
+        throw std::logic_error(
+            "Coordinator: straggler release found the device already parked "
+            "(stale in-flight entry; re-park would be misattributed to "
+            "shard " +
+            std::to_string(shard_of(entry.dev)) + ")");
+      }
       idle_insert(entry.dev);
       if (!streaming_churn()) {
         // Mirror attempt_checkin's parking rule: the pool entry retires

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/worker_pool.h"
+
 namespace venn {
 
 EligibilityIndex::EligibilityIndex(std::span<const Device> devices) {
@@ -46,6 +48,10 @@ std::size_t EligibilityIndex::register_requirement(const Requirement& req) {
   // The one full pass this structure ever pays per distinct requirement:
   // flip the new bit on eligible devices and move them between buckets.
   const std::uint64_t mask = 1ULL << bit;
+  if (pool_ != nullptr) {
+    rebucket_sharded(req, mask);
+    return bit;
+  }
   for (std::size_t d = 0; d < signatures_.size(); ++d) {
     ++mstats_.device_rescans;
     if (!req.eligible(*specs_[d])) continue;
@@ -62,6 +68,47 @@ std::size_t EligibilityIndex::register_requirement(const Requirement& req) {
     if (from.device_count == 0) atoms_.erase(old_sig);
   }
   return bit;
+}
+
+void EligibilityIndex::rebucket_sharded(const Requirement& req,
+                                        std::uint64_t mask) {
+  // Parallel phase: each shard's slice of the signature array is private —
+  // the eligibility predicate reads immutable specs, the new-bit flip
+  // writes only slice-local entries, and bucket movements are aggregated
+  // per source signature into a shard-local delta map.
+  const std::size_t n = signatures_.size();
+  const std::size_t shards = pool_->shards();
+  const FleetPartition partition(n, shards);
+  std::vector<std::unordered_map<std::uint64_t, Atom>> deltas(shards);
+  pool_->run_shards([&](std::size_t s) {
+    auto& local = deltas[s];
+    const std::size_t end = partition.end(s);
+    for (std::size_t d = partition.begin(s); d < end; ++d) {
+      if (!req.eligible(*specs_[d])) continue;
+      const std::uint64_t old_sig = signatures_[d];
+      signatures_[d] = old_sig | mask;
+      Atom& delta = local[old_sig];
+      ++delta.device_count;
+      delta.session_checkins += session_counts_[d];
+    }
+  });
+
+  // Shard-ordered merge. Device counts are integers and session check-in
+  // totals are integer-valued doubles, so bucket contents come out exactly
+  // equal to the serial per-device walk no matter how the fleet was
+  // sliced — the serial-vs-sharded equality test asserts this.
+  mstats_.device_rescans += n;
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (const auto& [old_sig, delta] : deltas[s]) {
+      Atom& from = atoms_.at(old_sig);
+      from.device_count -= delta.device_count;
+      from.session_checkins -= delta.session_checkins;
+      Atom& to = atoms_[old_sig | mask];
+      to.device_count += delta.device_count;
+      to.session_checkins += delta.session_checkins;
+      if (from.device_count == 0) atoms_.erase(old_sig);
+    }
+  }
 }
 
 std::size_t EligibilityIndex::eligible_count(std::size_t group) const {

@@ -39,6 +39,11 @@
 
 #include "device/device.h"
 #include "device/eligibility.h"
+#include "device/fleet_partition.h"
+
+namespace venn::sim {
+class WorkerPool;
+}  // namespace venn::sim
 
 namespace venn {
 
@@ -69,6 +74,17 @@ class EligibilityIndex {
   // requirement, O(#requirements) afterwards — instead of every supply
   // query paying a fleet scan.
   std::size_t register_requirement(const Requirement& req);
+
+  // Shard the per-registration rebucket across `pool`: each shard owns a
+  // contiguous slice of the signature array (the per-shard index slice of
+  // sharded fleet execution), computes its slice's new-bit flips and
+  // per-source-signature movement aggregates, and the caller folds the
+  // aggregates in shard order. Every merged quantity is exact (device
+  // counts, and session check-in totals that are integer-valued doubles),
+  // so the sharded rebucket is byte-identical to the serial one at any
+  // shard count — tests assert this. Null (the default) keeps the serial
+  // path. The pool must outlive the index.
+  void set_workers(sim::WorkerPool* pool) { pool_ = pool; }
 
   [[nodiscard]] std::size_t num_requirements() const { return reqs_.size(); }
   [[nodiscard]] const Requirement& requirement(std::size_t idx) const {
@@ -113,6 +129,9 @@ class EligibilityIndex {
   }
 
  private:
+  // The sharded flavor of register_requirement's rebucket pass.
+  void rebucket_sharded(const Requirement& req, std::uint64_t mask);
+
   std::vector<Requirement> reqs_;
   std::vector<std::uint64_t> signatures_;       // per device
   std::vector<const DeviceSpec*> specs_;        // per device (not owned)
@@ -122,6 +141,8 @@ class EligibilityIndex {
   SimTime session_span_ = 0.0;
   double session_time_ = 0.0;
   double session_count_ = 0.0;
+
+  sim::WorkerPool* pool_ = nullptr;  // not owned; null = serial rebuckets
 
   MaintenanceStats mstats_;
 };

@@ -1,0 +1,46 @@
+// FleetPartition: the immutable device→shard map of sharded execution.
+//
+// Sharded fleet execution partitions the device population into
+// `shards` contiguous index ranges — shard s owns
+// [num_devices·s/shards, num_devices·(s+1)/shards). Contiguity is what
+// makes the per-shard structures slices rather than scatter sets: a
+// shard's cut of the eligibility-index signature array is a subrange, its
+// idle-pool segment is countable with one load, and range loops stay
+// prefetch-friendly.
+//
+// The partition is a pure function of (num_devices, shards) — no state,
+// no registration order — so every subsystem that mentions a home shard
+// (coordinator segment accounting, straggler-release ownership checks,
+// index rebuckets) agrees by construction, and a given shard count always
+// decomposes the fleet the same way.
+#pragma once
+
+#include <cstddef>
+
+namespace venn {
+
+struct FleetPartition {
+  std::size_t num_devices = 0;
+  std::size_t shards = 1;
+
+  FleetPartition() = default;
+  FleetPartition(std::size_t devices, std::size_t shard_count)
+      : num_devices(devices), shards(shard_count) {}
+
+  // Device-index range owned by shard s: [begin(s), end(s)).
+  [[nodiscard]] std::size_t begin(std::size_t s) const {
+    return num_devices * s / shards;
+  }
+  [[nodiscard]] std::size_t end(std::size_t s) const {
+    return num_devices * (s + 1) / shards;
+  }
+
+  // Home shard of device d — the inverse of begin/end: shard_of(d) == s
+  // exactly when begin(s) <= d < end(s) (tests/shard_pool_test.cc checks
+  // the two agree over degenerate and non-dividing sizes).
+  [[nodiscard]] std::size_t shard_of(std::size_t d) const {
+    return ((d + 1) * shards - 1) / num_devices;
+  }
+};
+
+}  // namespace venn

@@ -1,0 +1,87 @@
+#include "sim/worker_pool.h"
+
+#include <stdexcept>
+
+namespace venn::sim {
+
+WorkerPool::WorkerPool(std::size_t shards) : shards_(shards) {
+  if (shards == 0) {
+    throw std::invalid_argument("WorkerPool: shards must be >= 1");
+  }
+  errors_.resize(shards_);
+  threads_.reserve(shards_ - 1);
+  for (std::size_t s = 1; s < shards_; ++s) {
+    threads_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::run_shards(const std::function<void(std::size_t)>& fn) {
+  if (shards_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    if (running_) {
+      throw std::logic_error("WorkerPool: run_shards is not reentrant");
+    }
+    running_ = true;
+    job_ = &fn;
+    outstanding_ = threads_.size();
+    ++generation_;
+    for (auto& e : errors_) e = nullptr;
+  }
+  cv_work_.notify_all();
+
+  // The caller is shard 0; workers 1..S-1 run concurrently.
+  try {
+    fn(0);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+
+  std::unique_lock lock(mu_);
+  cv_done_.wait(lock, [this] { return outstanding_ == 0; });
+  job_ = nullptr;
+  running_ = false;
+  for (const auto& e : errors_) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+void WorkerPool::worker_loop(std::size_t shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_work_.wait(lock,
+                    [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(shard);
+    } catch (...) {
+      // Slot write is unsynchronized but race-free: each shard owns its
+      // slot, and the barrier below orders it before the caller's reads.
+      errors_[shard] = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mu_);
+      if (--outstanding_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace venn::sim

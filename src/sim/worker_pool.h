@@ -1,0 +1,85 @@
+// Bounded worker pool with a deterministic barrier — the execution substrate
+// of sharded fleet runs.
+//
+// Sharding in this simulator is an *execution* knob, never a semantic one:
+// `shards=N` must replay byte-identically to `shards=1`, which in turn is
+// today's serial path. The pool therefore enforces a strict discipline on
+// its callers (Coordinator sweeps, EligibilityIndex rebuckets, supply
+// scans):
+//
+//   1. the calling thread prepares all shared inputs (snapshots of mutable
+//      state such as the manager's wants mask) *before* dispatch;
+//   2. `run_shards(S, fn)` runs fn(0..S-1), each shard writing only
+//      shard-private output slots — no shard reads another's writes;
+//   3. the call returns only when every shard finished (the barrier), and
+//      the caller merges the slots *in shard order* on its own thread.
+//
+// Because every parallel phase is pure and every merge is shard-ordered,
+// the result is independent of thread interleaving — and of how many OS
+// threads actually back the pool. The pool spawns `shards - 1` persistent
+// workers (the caller executes shard 0), so `WorkerPool(1)` is free and
+// fully inline: the shards=1 path never synchronizes at all.
+//
+// Exceptions thrown inside a shard are captured and rethrown on the calling
+// thread after the barrier (first shard in shard order wins), so a throwing
+// parallel phase behaves like its serial equivalent.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace venn::sim {
+
+class WorkerPool {
+ public:
+  // A pool executing `shards` shards per run_shards call: `shards - 1`
+  // persistent worker threads plus the calling thread. shards must be >= 1.
+  explicit WorkerPool(std::size_t shards);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+
+  // Executes fn(s) for every shard s in [0, shards()) and returns when all
+  // have completed. fn must only write state private to its shard. Not
+  // reentrant: a shard must not call run_shards (checked, throws
+  // std::logic_error).
+  void run_shards(const std::function<void(std::size_t)>& fn);
+
+  // Splits [0, n) into shards() contiguous ranges; shard s owns
+  // [begin(s), end(s)). The split depends only on (n, shards()), so a
+  // given shard count always decomposes work the same way.
+  [[nodiscard]] std::size_t range_begin(std::size_t n, std::size_t s) const {
+    return n * s / shards_;
+  }
+  [[nodiscard]] std::size_t range_end(std::size_t n, std::size_t s) const {
+    return n * (s + 1) / shards_;
+  }
+
+ private:
+  void worker_loop(std::size_t shard);
+
+  const std::size_t shards_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t outstanding_ = 0;
+  bool stopping_ = false;
+  bool running_ = false;  // reentrancy guard
+  // One slot per shard so "first shard in shard order wins" is
+  // deterministic regardless of which worker faulted first in wall time.
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace venn::sim

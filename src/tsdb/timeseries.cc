@@ -58,6 +58,13 @@ SimTime Series::last_timestamp() const {
   return points_.back().t;
 }
 
+std::vector<std::pair<SimTime, double>> Series::snapshot() const {
+  std::vector<std::pair<SimTime, double>> out;
+  out.reserve(points_.size());
+  for (const Point& p : points_) out.emplace_back(p.t, p.value);
+  return out;
+}
+
 void TimeSeriesStore::record(std::uint64_t key, SimTime t, double value) {
   series_[key].append(t, value);
 }

@@ -14,6 +14,7 @@
 #include <deque>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/ids.h"
@@ -47,6 +48,11 @@ class Series {
 
   [[nodiscard]] SimTime first_timestamp() const;
   [[nodiscard]] SimTime last_timestamp() const;
+
+  // Materialized copy of the raw points, in append order. Byte-identity
+  // tests (shard/index differential walls) compare recorded streams
+  // point-for-point through this.
+  [[nodiscard]] std::vector<std::pair<SimTime, double>> snapshot() const;
 
  private:
   struct Point {

@@ -1,0 +1,281 @@
+// Shard-vs-serial differential wall.
+//
+// `shards=N` is an execution knob: the fleet partition, the worker pool,
+// the batched sweep pipeline, the sharded index rebuckets and the sharded
+// supply scans must all be invisible in the results. This wall runs the
+// gallery axes — policies × round protocols × both index modes ×
+// churn/streaming/open-loop — at shard counts {1, 2, 4, 8} and requires
+// byte-equivalence of the full RunResult (per-job JCTs and round stats,
+// protocol counters, assignment matrix) AND of the recorded TSDB streams,
+// point for point. A property test additionally pins the sharded
+// supply-rate / solo-JCT estimates to the serial values exactly.
+//
+// The fleets are sized so the sharded machinery actually engages (pool
+// above the batching threshold, fleet above the scan threshold); several
+// tests assert via ShardStats that the pipeline ran, so a regression that
+// silently stopped sharding cannot turn this wall vacuous.
+#include <gtest/gtest.h>
+
+#include "venn/venn.h"
+
+namespace venn {
+namespace {
+
+void expect_identical(const RunResult& a, const RunResult& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.jobs.size(), b.jobs.size()) << label;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].jct, b.jobs[i].jct) << label << " job " << i;
+    EXPECT_EQ(a.jobs[i].completed_rounds, b.jobs[i].completed_rounds)
+        << label << " job " << i;
+    EXPECT_EQ(a.jobs[i].total_aborts, b.jobs[i].total_aborts)
+        << label << " job " << i;
+    EXPECT_EQ(a.jobs[i].solo_jct_estimate, b.jobs[i].solo_jct_estimate)
+        << label << " job " << i;
+    ASSERT_EQ(a.jobs[i].rounds.size(), b.jobs[i].rounds.size())
+        << label << " job " << i;
+    for (std::size_t r = 0; r < a.jobs[i].rounds.size(); ++r) {
+      EXPECT_EQ(a.jobs[i].rounds[r].scheduling_delay,
+                b.jobs[i].rounds[r].scheduling_delay)
+          << label << " job " << i << " round " << r;
+      EXPECT_EQ(a.jobs[i].rounds[r].response_collection,
+                b.jobs[i].rounds[r].response_collection)
+          << label << " job " << i << " round " << r;
+    }
+  }
+  EXPECT_EQ(a.protocol, b.protocol) << label;
+  EXPECT_EQ(a.assignment_matrix, b.assignment_matrix) << label;
+}
+
+void expect_identical_streams(const TimeSeriesRecorder& a,
+                              const TimeSeriesRecorder& b,
+                              const std::string& label) {
+  const auto keys_a = a.store().keys();
+  const auto keys_b = b.store().keys();
+  ASSERT_EQ(keys_a.size(), keys_b.size()) << label;
+  for (const std::uint64_t key : keys_a) {
+    const tsdb::Series* sa = a.store().find(key);
+    const tsdb::Series* sb = b.store().find(key);
+    ASSERT_NE(sa, nullptr) << label << " stream " << key;
+    ASSERT_NE(sb, nullptr) << label << " stream " << key;
+    const auto pa = sa->snapshot();
+    const auto pb = sb->snapshot();
+    ASSERT_EQ(pa.size(), pb.size()) << label << " stream " << key;
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      EXPECT_EQ(pa[i].first, pb[i].first)
+          << label << " stream " << key << " point " << i;
+      EXPECT_EQ(pa[i].second, pb[i].second)
+          << label << " stream " << key << " point " << i;
+    }
+  }
+}
+
+// Policies × shard counts, TSDB streams included. Fleet large enough that
+// idle pools exceed the sweep-batching threshold.
+TEST(ShardDifferential, PoliciesByteIdenticalAcrossShardCounts) {
+  ScenarioSpec base;
+  base.seed = 41;
+  base.num_devices = 6'000;
+  base.num_jobs = 10;
+  base.horizon = 4.0 * kDay;
+  base.job_trace.min_demand = 3;
+  base.job_trace.max_demand = 12;
+  base.set("churn", "weibull");
+
+  for (const char* policy : {"venn", "fifo", "srsf", "random"}) {
+    TimeSeriesRecorder serial_recorder;
+    ScenarioSpec serial = base;
+    const RunResult r1 = [&] {
+      ExperimentBuilder b;
+      b.scenario(serial).policy(policy).observe(serial_recorder);
+      return b.run();
+    }();
+    for (const std::size_t shards : {2UL, 4UL, 8UL}) {
+      TimeSeriesRecorder recorder;
+      ScenarioSpec sharded = base;
+      sharded.shards = shards;
+      const RunResult rn = [&] {
+        ExperimentBuilder b;
+        b.scenario(sharded).policy(policy).observe(recorder);
+        return b.run();
+      }();
+      const std::string label =
+          std::string(policy) + " shards=" + std::to_string(shards);
+      expect_identical(r1, rn, label);
+      expect_identical_streams(serial_recorder, recorder, label);
+    }
+  }
+}
+
+// Round protocols × index modes at shards=4 vs serial. index=0 exercises
+// the sharded full-scan supply queries and the scan-mode sweep pipeline.
+TEST(ShardDifferential, ProtocolsAndIndexModesByteIdentical) {
+  for (const char* proto : {"sync", "overcommit", "async"}) {
+    for (const bool use_index : {true, false}) {
+      ScenarioSpec base;
+      base.seed = 53;
+      base.num_devices = 4'000;
+      base.num_jobs = 8;
+      base.horizon = 3.0 * kDay;
+      base.set("churn", "weibull");
+      base.set("protocol", proto);
+      base.use_index = use_index;
+
+      ScenarioSpec sharded = base;
+      sharded.shards = 4;
+      const RunResult r1 = ExperimentBuilder().scenario(base).run();
+      const RunResult r4 = ExperimentBuilder().scenario(sharded).run();
+      expect_identical(r1, r4,
+                       std::string(proto) + (use_index ? "/index" : "/scan") +
+                           " shards=4");
+    }
+  }
+}
+
+// Streaming churn and open-loop admission under sharding.
+TEST(ShardDifferential, StreamingAndOpenLoopByteIdentical) {
+  ScenarioSpec streaming;
+  streaming.seed = 67;
+  streaming.num_devices = 5'000;
+  streaming.num_jobs = 8;
+  streaming.horizon = 3.0 * kDay;
+  streaming.set("churn", "weibull");
+  streaming.set("stream", "1");
+  const RunResult s1 = ExperimentBuilder().scenario(streaming).run();
+  for (const std::size_t shards : {2UL, 8UL}) {
+    ScenarioSpec sharded = streaming;
+    sharded.shards = shards;
+    const RunResult sn = ExperimentBuilder().scenario(sharded).run();
+    expect_identical(s1, sn, "streaming shards=" + std::to_string(shards));
+  }
+
+  ScenarioSpec open;
+  open.seed = 71;
+  open.num_devices = 4'000;
+  open.num_jobs = 8;
+  open.horizon = 3.0 * kDay;
+  open.set("arrival", "poisson");
+  open.set("arrival.interarrival-min", "180");
+  open.set("mix", "even");
+  open.set("open-loop", "1");
+  const RunResult o1 = ExperimentBuilder().scenario(open).run();
+  ScenarioSpec open8 = open;
+  open8.shards = 8;
+  const RunResult o8 = ExperimentBuilder().scenario(open8).run();
+  expect_identical(o1, o8, "open-loop shards=8");
+}
+
+// ---------------------------------------------------------------- property --
+
+// Builds a coordinator by hand so supply/solo estimates and ShardStats are
+// directly observable.
+struct HandRun {
+  sim::Engine engine;
+  ResourceManager manager;
+  std::shared_ptr<const workload::GeneratorSet> gens;
+  std::unique_ptr<Coordinator> coord;
+
+  HandRun(std::size_t shards, bool use_index, std::size_t devices)
+      : engine(Rng::derive(91, "engine")),
+        manager(PolicyRegistry::instance().create(
+            "venn", {}, Rng::derive(91, "scheduler"))) {
+    ScenarioSpec sc;
+    sc.seed = 91;
+    sc.num_devices = devices;
+    sc.num_jobs = 6;
+    sc.horizon = 2.0 * kDay;
+    sc.set("churn", "weibull");
+    sc.use_index = use_index;
+    const auto inputs = api::build_inputs(sc);
+    gens = std::make_shared<const workload::GeneratorSet>(
+        workload::build_generators(sc.arrival_gen, sc.mix_gen, sc.churn_gen,
+                                   sc.seed));
+    engine.set_shards(shards);
+    CoordinatorConfig ccfg;
+    ccfg.horizon = sc.horizon;
+    ccfg.seed = sc.seed;
+    ccfg.churn = gens->churn.get();
+    ccfg.use_index = use_index;
+    coord = std::make_unique<Coordinator>(engine, manager, inputs.devices,
+                                          inputs.jobs, ccfg);
+  }
+};
+
+// Sharded supply-rate / solo-JCT estimates must equal the serial values
+// exactly (not approximately): the merged quantities are integer counts,
+// integer-valued double sums and maxima.
+TEST(ShardDifferential, SupplyAndSoloEstimatesExactAtAnyShardCount) {
+  for (const bool use_index : {true, false}) {
+    HandRun serial(1, use_index, 4'000);
+    std::vector<trace::JobSpec> probes;
+    for (const ResourceCategory c : all_categories()) {
+      trace::JobSpec spec;
+      spec.category = c;
+      spec.demand = 24;
+      spec.rounds = 6;
+      spec.nominal_task_s = 120.0;
+      spec.task_cv = 0.3;
+      probes.push_back(spec);
+    }
+    for (const std::size_t shards : {2UL, 3UL, 4UL, 8UL}) {
+      HandRun sharded(shards, use_index, 4'000);
+      for (const auto& spec : probes) {
+        EXPECT_EQ(serial.coord->solo_jct_estimate(spec),
+                  sharded.coord->solo_jct_estimate(spec))
+            << "index=" << use_index << " shards=" << shards << " category "
+            << category_name(spec.category);
+      }
+      if (!use_index) {
+        // The estimates above must have gone through the sharded scan, or
+        // this property test is vacuous.
+        EXPECT_GT(sharded.coord->shard_stats().sharded_supply_scans, 0u)
+            << "shards=" << shards;
+      }
+    }
+  }
+}
+
+// The wall must actually exercise the sweep pipeline: at 6k devices the
+// idle pool crosses the batching threshold and the filter runs.
+TEST(ShardDifferential, ShardedSweepPipelineEngages) {
+  for (const bool use_index : {true, false}) {
+    ScenarioSpec sc;
+    sc.seed = 41;
+    sc.num_devices = 6'000;
+    sc.num_jobs = 10;
+    sc.horizon = 2.0 * kDay;
+    sc.job_trace.min_demand = 3;
+    sc.job_trace.max_demand = 12;
+    sc.set("churn", "weibull");
+    sc.use_index = use_index;
+
+    const auto inputs = api::build_inputs(sc);
+    const auto gens = workload::build_generators(sc.arrival_gen, sc.mix_gen,
+                                                 sc.churn_gen, sc.seed);
+    sim::Engine engine(Rng::derive(sc.seed, "engine"));
+    engine.set_shards(4);
+    ResourceManager manager(PolicyRegistry::instance().create(
+        "venn", {}, Rng::derive(sc.seed, "scheduler")));
+    CoordinatorConfig ccfg;
+    ccfg.horizon = sc.horizon;
+    ccfg.seed = sc.seed;
+    ccfg.churn = gens.churn.get();
+    ccfg.use_index = use_index;
+    Coordinator coord(engine, manager, inputs.devices, inputs.jobs, ccfg);
+    coord.run();
+
+    const auto& ss = coord.shard_stats();
+    EXPECT_GT(ss.sharded_sweeps, 0u) << "use_index=" << use_index;
+    ASSERT_EQ(ss.per_shard.size(), 4u);
+    if (use_index) {
+      EXPECT_GT(ss.filter_batches, 0u);
+      std::uint64_t filtered = 0;
+      for (const auto& sh : ss.per_shard) filtered += sh.filter_entries;
+      EXPECT_GT(filtered, 0u);
+    }
+    EXPECT_TRUE(coord.validate_idle_segments());
+  }
+}
+
+}  // namespace
+}  // namespace venn
