@@ -22,6 +22,11 @@
 //   execution keys  index (0|1, eligibility index vs full-scan fallback),
 //                   shards (1-64, sharded fleet execution on a bounded
 //                   worker pool; byte-identical at any value)
+//   durability keys journal (0|1, append-only event journal of the run),
+//                   journal.dir (where journal files land, default .),
+//                   snapshot_every (snapshot coordinator state every N
+//                   commits), journal.halt-after (testing: inject a crash
+//                   after N flushed commits)
 //   policy keys     policy (any registered name), epsilon, tiers,
 //                   supply-window-h, tail-pct, ewma-alpha, order-total,
 //                   param.<key> (free-form, for external policies)
@@ -31,6 +36,16 @@
 //   --list          print registered policies and workload generators
 //                   (with their accepted keys) and exit
 //   --list-policies print the policy registry contents and exit
+//
+// Replay subcommand — byte-identical re-execution of a journaled run:
+//
+//   venn_sim_cli replay <file.vjl> [--resume] [--tolerate-torn-tail]
+//                [--no-snapshot-verify]
+//
+//   Rebuilds the experiment from the journal header, re-runs it and
+//   verifies every event byte-for-byte against the journal. --resume lets
+//   a crashed journal end early and continues the run live past its end;
+//   --tolerate-torn-tail additionally accepts a torn/corrupt final record.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -92,9 +107,53 @@ void print_timeline(const TimeSeriesRecorder& recorder, SimTime horizon) {
   }
 }
 
+int run_replay(int argc, char** argv) {
+  std::string path;
+  ReplayOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--resume") { opts.resume = true; continue; }
+    if (arg == "--tolerate-torn-tail") { opts.tolerate_torn_tail = true; continue; }
+    if (arg == "--no-snapshot-verify") { opts.verify_snapshot = false; continue; }
+    if (arg.rfind("--", 0) == 0 || !path.empty()) {
+      std::fprintf(stderr, "replay: unrecognized argument: %s\n", arg.c_str());
+      return 2;
+    }
+    path = arg;
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: venn_sim_cli replay <file.vjl> [--resume] "
+                 "[--tolerate-torn-tail] [--no-snapshot-verify]\n");
+    return 2;
+  }
+  try {
+    const ReplayReport report = Experiment::replay(path, opts);
+    std::printf("replay of %s verified: %llu events byte-identical\n",
+                path.c_str(),
+                static_cast<unsigned long long>(report.events_verified));
+    if (report.snapshot_verified) {
+      std::printf("  snapshot at commit %llu compared clean\n",
+                  static_cast<unsigned long long>(report.snapshot_commits));
+    }
+    if (report.resumed_past_journal) {
+      std::printf("  journal ended mid-run; continued live to completion\n");
+    }
+    print_run(report.result);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "replay error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "replay") == 0) {
+    return run_replay(argc, argv);
+  }
+
   ExperimentBuilder builder;
   bool compare = false, breakdown = false, timeline = false;
 
@@ -129,6 +188,14 @@ int main(int argc, char** argv) {
           "                index slices and supply scans on a bounded worker "
           "pool;\n"
           "                byte-identical results at any shard count\n");
+      std::printf(
+          "durability (scenario keys):\n"
+          "  journal=<0|1>        append-only event journal (default 0)\n"
+          "  journal.dir=<path>   journal file directory (default .)\n"
+          "  snapshot_every=<N>   snapshot coordinator state every N "
+          "commits\n"
+          "  journal.halt-after=<N> inject a crash after N flushed commits\n"
+          "  (replay a journal: venn_sim_cli replay <file.vjl>)\n");
       return 0;
     }
     if (arg == "--compare") { compare = true; continue; }

@@ -27,6 +27,12 @@
 //       `overcommit` (over-selection with straggler release) and `async`
 //       (FedBuff-style buffered aggregation), wired through the
 //       `protocol=` scenario key plus `protocol.<knob>` overrides.
+//   Durable coordinator journal           — `journal=1` records every
+//       coordinator event to an append-only CRC-framed file
+//       (src/journal/), `snapshot_every=N` snapshots coordinator state
+//       every N commits, and Experiment::replay() re-executes a journaled
+//       run byte-identically — including resuming a crashed run past a
+//       torn tail (ReplayOptions{.tolerate_torn_tail, .resume}).
 //
 // Quickstart:
 //
@@ -50,6 +56,10 @@
 #include "core/experiment.h"
 #include "core/metrics.h"
 #include "core/observer.h"
+#include "journal/reader.h"
+#include "journal/snapshot.h"
+#include "journal/verifier.h"
+#include "journal/writer.h"
 #include "protocol/registry.h"
 #include "util/stats.h"
 #include "workload/workload.h"
@@ -63,6 +73,8 @@ using api::PolicyParams;
 using api::PolicyRegistration;
 using api::PolicyRegistry;
 using api::PolicySpec;
+using api::ReplayOptions;
+using api::ReplayReport;
 using api::ScenarioSpec;
 using api::SweepCell;
 using api::SweepRunner;
@@ -73,5 +85,12 @@ using api::TimeSeriesRecorder;
 using protocol::ProtocolRegistration;
 using protocol::ProtocolRegistry;
 using protocol::RoundProtocol;
+
+// The durability surface (src/journal/).
+using journal::JournalReader;
+using journal::JournalVerifier;
+using journal::JournalWriter;
+using journal::SimulationHalted;
+using journal::StateSnapshot;
 
 }  // namespace venn

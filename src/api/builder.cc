@@ -1,9 +1,12 @@
 #include "api/builder.h"
 
 #include <algorithm>
+#include <cstring>
+#include <filesystem>
 #include <stdexcept>
 #include <utility>
 
+#include "journal/writer.h"
 #include "sim/engine.h"
 #include "util/logging.h"
 
@@ -69,6 +72,18 @@ void validate_modes(const ScenarioSpec& s) {
   if (s.streaming && !s.churn_gen.configured()) {
     throw std::invalid_argument("stream=1 requires churn=<name>");
   }
+  // Mirror the dotted-knob-without-family rule for the journal knobs: a
+  // configured journal.dir / journal.halt-after with journaling off would
+  // otherwise be dropped silently.
+  if (!s.journal_enabled) {
+    if (!s.journal_dir.empty()) {
+      throw std::invalid_argument("journal.dir is set but journal=1 is not");
+    }
+    if (s.journal_halt_after != 0) {
+      throw std::invalid_argument(
+          "journal.halt-after is set but journal=1 is not");
+    }
+  }
 }
 
 // Injects `key=value` into the spec unless the user set it explicitly, and
@@ -115,6 +130,47 @@ workload::GeneratorSet build_scenario_generators(const ScenarioSpec& s) {
 
 ExperimentInputs build_inputs(const ScenarioSpec& s) {
   return build_inputs(s, build_scenario_generators(s));
+}
+
+std::uint64_t inputs_digest(const ExperimentInputs& in) {
+  std::uint64_t h = journal::kFnvOffset;
+  const auto mix_u64 = [&h](std::uint64_t v) {
+    h = journal::fnv1a64(h, &v, sizeof v);
+  };
+  const auto mix_f64 = [&mix_u64](double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof bits);  // raw IEEE-754 — exact
+    mix_u64(bits);
+  };
+  mix_u64(static_cast<std::uint64_t>(in.devices.size()));
+  for (const Device& d : in.devices) {
+    mix_u64(static_cast<std::uint64_t>(d.id().value()));
+    mix_f64(d.spec().cpu_score);
+    mix_f64(d.spec().mem_score);
+    mix_u64(static_cast<std::uint64_t>(d.sessions().size()));
+    for (const Session& s : d.sessions()) {
+      mix_f64(s.start);
+      mix_f64(s.end);
+    }
+  }
+  mix_u64(static_cast<std::uint64_t>(in.jobs.size()));
+  for (const trace::JobSpec& j : in.jobs) {
+    mix_u64(static_cast<std::uint64_t>(j.rounds));
+    mix_u64(static_cast<std::uint64_t>(j.demand));
+    mix_u64(static_cast<std::uint64_t>(j.category));
+    mix_f64(j.arrival);
+    mix_f64(j.nominal_task_s);
+    mix_f64(j.task_cv);
+    mix_f64(j.deadline_s);
+  }
+  return h;
+}
+
+std::string journal_file_path(const ScenarioSpec& scenario,
+                              const std::string& label) {
+  const std::string dir =
+      scenario.journal_dir.empty() ? "." : scenario.journal_dir;
+  return dir + "/" + scenario.name + "-" + label + ".vjl";
 }
 
 ExperimentInputs build_inputs(const ScenarioSpec& s,
@@ -230,12 +286,44 @@ std::uint64_t Experiment::stream_seed(std::string_view tag) const {
 }
 
 RunResult Experiment::run(const PolicySpec& policy) const {
-  return run_with(PolicyRegistry::instance().create(
-      policy.name, policy.params, stream_seed("scheduler")));
+  auto scheduler = PolicyRegistry::instance().create(policy.name, policy.params,
+                                                     stream_seed("scheduler"));
+  if (!scenario_.journal_enabled) {
+    return run_with_sink(std::move(scheduler), {}, nullptr);
+  }
+  const std::string label = scheduler->name();
+  journal::JournalHeader header;
+  header.seed = scenario_.seed;
+  header.scenario_kv = scenario_.to_kv();
+  header.policy_kv = policy.to_kv();
+  header.label = label;
+  header.inputs_digest = inputs_digest(inputs_);
+  if (!scenario_.journal_dir.empty()) {
+    std::filesystem::create_directories(scenario_.journal_dir);
+  }
+  journal::JournalWriter writer(journal_file_path(scenario_, label), header);
+  if (scenario_.journal_halt_after != 0) {
+    writer.set_halt_after_commits(scenario_.journal_halt_after);
+  }
+  return run_with_sink(std::move(scheduler), label, &writer);
 }
 
 RunResult Experiment::run_with(std::unique_ptr<Scheduler> scheduler,
                                std::string label) const {
+  if (scenario_.journal_enabled) {
+    // The journal header records the policy's canonical key=value form so
+    // replay can re-instantiate it; an externally constructed scheduler
+    // has none. Journaled runs must name a registered policy.
+    throw std::invalid_argument(
+        "journal=1 requires a registered policy (Experiment::run); "
+        "run_with cannot journal an externally constructed scheduler");
+  }
+  return run_with_sink(std::move(scheduler), std::move(label), nullptr);
+}
+
+RunResult Experiment::run_with_sink(std::unique_ptr<Scheduler> scheduler,
+                                    std::string label,
+                                    journal::JournalSink* sink) const {
   if (!scheduler) {
     throw std::invalid_argument("run_with: scheduler must not be null");
   }
@@ -269,8 +357,11 @@ RunResult Experiment::run_with(std::unique_ptr<Scheduler> scheduler,
     ccfg.mix = generators_->mix.get();
     ccfg.max_jobs = scenario_.num_jobs;
   }
+  ccfg.journal = sink;
+  ccfg.snapshot_every = scenario_.snapshot_every;
   Coordinator coord(engine, manager, inputs_.devices, inputs_.jobs, ccfg);
   coord.run();
+  if (sink != nullptr) sink->on_run_end(engine.now());
 
   RunResult result = collect_results(coord, label);
   result.assignment_matrix = matrix.matrix();

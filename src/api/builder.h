@@ -24,6 +24,7 @@
 #include "core/experiment.h"
 #include "core/metrics.h"
 #include "core/observer.h"
+#include "journal/sink.h"
 #include "protocol/registry.h"
 
 namespace venn::api {
@@ -41,6 +42,48 @@ namespace venn::api {
 // ExperimentBuilder does).
 [[nodiscard]] ExperimentInputs build_inputs(
     const ScenarioSpec& scenario, const workload::GeneratorSet& generators);
+
+// FNV-1a fingerprint of generated inputs (device ids/specs/sessions, full
+// job specs — doubles as raw bits). Stored in the journal header: replay
+// regenerates the inputs from the header's scenario kv and refuses to
+// verify against a world it could not reproduce — which catches scenario
+// state NOT expressible as key=value overrides (programmatic
+// availability/hardware configs, use_devices/use_jobs).
+[[nodiscard]] std::uint64_t inputs_digest(const ExperimentInputs& inputs);
+
+// Canonical journal file path of a run: <journal.dir>/<scenario>-<label>
+// .vjl (journal.dir defaults to "."). Snapshots land next to it as
+// <path>.snap-NNNNNN.
+[[nodiscard]] std::string journal_file_path(const ScenarioSpec& scenario,
+                                            const std::string& label);
+
+// Options for Experiment::replay.
+struct ReplayOptions {
+  // Accept a journal whose final stretch is torn or corrupt: the reader
+  // recovers everything before the tear instead of throwing. Implies the
+  // journal may end mid-run, so pair with `resume` to finish the run.
+  bool tolerate_torn_tail = false;
+  // Continue the run live past the journal's end (crash recovery). Off =
+  // strict mode: the journal must cover the whole run and close with the
+  // kRunEnd footer.
+  bool resume = false;
+  // When the journal marks snapshots, load the newest stored snapshot file
+  // and compare the re-executed coordinator's state against it field for
+  // field at the marked commit — the zero-drift restore check.
+  bool verify_snapshot = true;
+};
+
+// What a replay proved, alongside the re-executed run's results.
+struct ReplayReport {
+  RunResult result;
+  std::string label;  // scheduler label recorded in the journal header
+  std::uint64_t events_verified = 0;  // events matched byte-for-byte
+  // True when the journal ended mid-run and the re-execution continued
+  // live past it (resume mode: verified prefix + live tail).
+  bool resumed_past_journal = false;
+  bool snapshot_verified = false;     // stored snapshot compared clean
+  std::uint64_t snapshot_commits = 0; // commit count of that snapshot (0=none)
+};
 
 class Experiment {
  public:
@@ -67,14 +110,37 @@ class Experiment {
     return *protocol_;
   }
 
-  // Runs a registered policy against the shared inputs.
+  // Runs a registered policy against the shared inputs. With `journal=1`
+  // this is the journaled entry point: a JournalWriter is installed for
+  // the run (the header records the policy's canonical key=value form —
+  // which is why run_with() rejects journaled scenarios) and every event
+  // is persisted to journal_file_path(scenario, label).
   [[nodiscard]] RunResult run(const PolicySpec& policy) const;
 
   // Runs an externally constructed scheduler (e.g. to keep a handle on it
   // for introspection, or a policy variant no factory exposes). `label`
-  // defaults to the scheduler's name().
+  // defaults to the scheduler's name(). Throws std::invalid_argument when
+  // the scenario has journal=1: an external scheduler has no key=value
+  // form for the journal header, so journaled runs must go through run().
   [[nodiscard]] RunResult run_with(std::unique_ptr<Scheduler> scheduler,
                                    std::string label = {}) const;
+
+  // Runs with a journal sink observing every event (null = none). The
+  // writer and the replay verifier both enter through here, so a recorded
+  // and a re-executed run are driven by the identical code path.
+  [[nodiscard]] RunResult run_with_sink(std::unique_ptr<Scheduler> scheduler,
+                                        std::string label,
+                                        journal::JournalSink* sink) const;
+
+  // Byte-identical replay of a journaled run (api/replay.cc): rebuilds the
+  // experiment from the journal header (scenario + policy key=value, seed),
+  // verifies the regenerated inputs against the header's digest, and
+  // re-executes the run with a JournalVerifier installed — every event the
+  // re-execution emits is compared byte-for-byte against the journal.
+  // Throws std::runtime_error on any divergence, corruption (see
+  // ReplayOptions::tolerate_torn_tail) or an inputs-digest mismatch.
+  [[nodiscard]] static ReplayReport replay(const std::string& journal_path,
+                                           const ReplayOptions& opts = {});
 
  private:
   ScenarioSpec scenario_;

@@ -1,0 +1,120 @@
+// Experiment::replay — deterministic re-execution of a journaled run.
+//
+// Replay does not interpret journal records as commands; it rebuilds the
+// experiment the journal's header describes (canonical scenario/policy
+// key=value, seed) and RUNS IT AGAIN, with a JournalVerifier installed as
+// the journal sink. Determinism does the heavy lifting: the re-executed
+// run emits the same events at the same times in the same order, and the
+// verifier checks every one byte-for-byte against the journal. A complete
+// journal replays strict (must end with the kRunEnd footer); a crashed or
+// torn journal replays in resume mode — the verified prefix anchors the
+// recovery, the stored snapshot is compared field-for-field at its marked
+// commit, and the run then continues live to completion.
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "api/builder.h"
+#include "journal/reader.h"
+#include "journal/snapshot.h"
+#include "journal/verifier.h"
+
+namespace venn::api {
+
+namespace {
+
+// Applies a canonical `key=value\n` block line by line.
+template <typename Setter>
+void apply_kv(const std::string& kv, const char* what, Setter&& set) {
+  std::size_t pos = 0;
+  while (pos < kv.size()) {
+    std::size_t nl = kv.find('\n', pos);
+    if (nl == std::string::npos) nl = kv.size();
+    const std::string line = kv.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::runtime_error("journal header: malformed " +
+                               std::string(what) + " line \"" + line + "\"");
+    }
+    set(line.substr(0, eq), line.substr(eq + 1));
+  }
+}
+
+}  // namespace
+
+ReplayReport Experiment::replay(const std::string& journal_path,
+                                const ReplayOptions& opts) {
+  journal::JournalReader reader(journal_path, opts.tolerate_torn_tail);
+  const journal::JournalHeader& header = reader.header();
+
+  // Rebuild the world description through the normal override surface, so
+  // a header knob the build does not know is a loud unknown-key error.
+  ScenarioSpec scenario;
+  apply_kv(header.scenario_kv, "scenario",
+           [&scenario](const std::string& k, const std::string& v) {
+             scenario.set(k, v);
+           });
+  PolicySpec policy;
+  apply_kv(header.policy_kv, "policy",
+           [&policy](const std::string& k, const std::string& v) {
+             policy.set(k, v);
+           });
+  if (scenario.seed != header.seed) {
+    throw std::runtime_error(
+        "journal header: seed field (" + std::to_string(header.seed) +
+        ") disagrees with the scenario kv (" + std::to_string(scenario.seed) +
+        ")");
+  }
+  // The replayed run verifies instead of journaling; the plumbing knobs
+  // are not part of the header kv, but clear them defensively.
+  scenario.journal_enabled = false;
+  scenario.journal_dir.clear();
+  scenario.journal_halt_after = 0;
+
+  ExperimentInputs inputs = build_inputs(scenario);
+  const std::uint64_t digest = inputs_digest(inputs);
+  if (digest != header.inputs_digest) {
+    throw std::runtime_error(
+        "journal replay: regenerated inputs do not match the journaled run "
+        "(digest " + std::to_string(digest) + " vs recorded " +
+        std::to_string(header.inputs_digest) +
+        "). The journaled experiment used inputs that are not expressible "
+        "as scenario overrides (use_devices/use_jobs or programmatic "
+        "availability/hardware configs); such runs cannot be replayed from "
+        "the journal alone.");
+  }
+  Experiment ex(scenario, std::move(inputs));
+
+  // The newest stored snapshot, when asked for and when one was marked:
+  // the zero-drift anchor of a crash recovery.
+  std::optional<journal::StateSnapshot> snapshot;
+  if (opts.verify_snapshot) {
+    if (const auto commits = reader.last_snapshot_commits()) {
+      snapshot = journal::read_snapshot_file(
+          journal::snapshot_path(journal_path, *commits));
+    }
+  }
+
+  journal::JournalVerifier verifier(
+      reader,
+      opts.resume ? journal::JournalVerifier::Mode::kResume
+                  : journal::JournalVerifier::Mode::kStrict,
+      snapshot ? &*snapshot : nullptr);
+  auto scheduler = PolicyRegistry::instance().create(
+      policy.name, policy.params, ex.stream_seed("scheduler"));
+
+  ReplayReport report;
+  report.result = ex.run_with_sink(std::move(scheduler), header.label,
+                                   &verifier);
+  report.label = header.label;
+  report.events_verified = verifier.events_verified();
+  report.resumed_past_journal = verifier.passthrough();
+  report.snapshot_verified = verifier.snapshot_verified();
+  report.snapshot_commits = snapshot ? snapshot->commits : 0;
+  return report;
+}
+
+}  // namespace venn::api

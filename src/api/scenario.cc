@@ -1,5 +1,6 @@
 #include "api/scenario.h"
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "api/parse.h"
@@ -47,6 +48,10 @@ bool ScenarioSpec::try_set(const std::string& key, const std::string& value) {
     bias = parse_bias(value);
   } else if (key == "horizon-days") {
     horizon = parse_double(key, value) * kDay;
+  } else if (key == "horizon-s") {
+    // Exact spelling (raw seconds, no unit conversion): the one to_kv
+    // emits, so a serialized horizon round-trips bit-for-bit.
+    horizon = parse_double(key, value);
   } else if (key == "min-rounds") {
     job_trace.min_rounds = parse_int(key, value);
   } else if (key == "max-rounds") {
@@ -57,6 +62,8 @@ bool ScenarioSpec::try_set(const std::string& key, const std::string& value) {
     job_trace.max_demand = parse_int(key, value);
   } else if (key == "interarrival-min") {
     job_trace.mean_interarrival = parse_double(key, value) * kMinute;
+  } else if (key == "interarrival-s") {
+    job_trace.mean_interarrival = parse_double(key, value);  // exact
   } else if (key == "base-trace") {
     job_trace.base_trace_size = parse_size(key, value);
   } else if (key == "task-s") {
@@ -104,6 +111,14 @@ bool ScenarioSpec::try_set(const std::string& key, const std::string& value) {
                                   "\"");
     }
     shards = n;
+  } else if (key == "journal") {
+    journal_enabled = parse_long(key, value) != 0;
+  } else if (key == "journal.dir") {
+    journal_dir = value;
+  } else if (key == "snapshot_every" || key == "snapshot-every") {
+    snapshot_every = parse_size(key, value);
+  } else if (key == "journal.halt-after") {
+    journal_halt_after = parse_size(key, value);
   } else {
     return false;
   }
@@ -116,6 +131,76 @@ void ScenarioSpec::set(const std::string& key, const std::string& value) {
   }
 }
 
+namespace {
+
+// %.17g prints the shortest-or-17-significant-digit decimal that strtod
+// maps back to the identical IEEE-754 double — the exactness the journal
+// header depends on. (parse.h rejects hexfloat, so %a is not an option.)
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string bias_cli_name(const std::optional<trace::BiasedWorkload>& b) {
+  if (!b) return "none";
+  switch (*b) {
+    case trace::BiasedWorkload::kGeneral: return "general";
+    case trace::BiasedWorkload::kComputeHeavy: return "compute";
+    case trace::BiasedWorkload::kMemoryHeavy: return "memory";
+    case trace::BiasedWorkload::kResourceHeavy: return "resource";
+  }
+  throw std::logic_error("bias_cli_name: unhandled BiasedWorkload");
+}
+
+void emit_generator(std::string& out, const std::string& family,
+                    const workload::GeneratorSpec& gen) {
+  if (!gen.configured()) return;
+  out += family + "=" + gen.name + "\n";
+  // GenParams.kv is a std::map: sorted, so the serialization is canonical.
+  for (const auto& [k, v] : gen.params.kv) {
+    out += family + "." + k + "=" + v + "\n";
+  }
+}
+
+}  // namespace
+
+std::string ScenarioSpec::to_kv() const {
+  if (name.find('\n') != std::string::npos) {
+    throw std::invalid_argument(
+        "ScenarioSpec::to_kv: scenario name contains a newline");
+  }
+  std::string out;
+  out += "name=" + name + "\n";
+  out += "seed=" + std::to_string(seed) + "\n";
+  out += "devices=" + std::to_string(num_devices) + "\n";
+  out += "jobs=" + std::to_string(num_jobs) + "\n";
+  out += "workload=" + trace::workload_cli_name(workload) + "\n";
+  out += "bias=" + bias_cli_name(bias) + "\n";
+  out += "horizon-s=" + fmt_double(horizon) + "\n";
+  out += "min-rounds=" + std::to_string(job_trace.min_rounds) + "\n";
+  out += "max-rounds=" + std::to_string(job_trace.max_rounds) + "\n";
+  out += "min-demand=" + std::to_string(job_trace.min_demand) + "\n";
+  out += "max-demand=" + std::to_string(job_trace.max_demand) + "\n";
+  out += "interarrival-s=" + fmt_double(job_trace.mean_interarrival) + "\n";
+  out += "base-trace=" + std::to_string(job_trace.base_trace_size) + "\n";
+  out += "task-s=" + fmt_double(job_trace.nominal_task_s) + "\n";
+  out += "task-cv=" + fmt_double(job_trace.task_cv) + "\n";
+  emit_generator(out, "arrival", arrival_gen);
+  emit_generator(out, "mix", mix_gen);
+  emit_generator(out, "churn", churn_gen);
+  emit_generator(out, "protocol", protocol_gen);
+  out += "open-loop=" + std::string(open_loop ? "1" : "0") + "\n";
+  out += "stream=" + std::string(streaming ? "1" : "0") + "\n";
+  out += "index=" + std::string(use_index ? "1" : "0") + "\n";
+  out += "shards=" + std::to_string(shards) + "\n";
+  // Part of the world: a replayed run must snapshot at the same cadence.
+  // The journal plumbing knobs (journal / journal.dir / journal.halt-after)
+  // are NOT — replay decides its own sinks.
+  out += "snapshot_every=" + std::to_string(snapshot_every) + "\n";
+  return out;
+}
+
 bool PolicySpec::try_set(const std::string& key, const std::string& value) {
   if (key == "policy") {
     name = value;
@@ -125,6 +210,8 @@ bool PolicySpec::try_set(const std::string& key, const std::string& value) {
     params.venn.num_tiers = parse_size(key, value);
   } else if (key == "supply-window-h") {
     params.venn.supply_window = parse_double(key, value) * kHour;
+  } else if (key == "supply-window-s") {
+    params.venn.supply_window = parse_double(key, value);  // exact spelling
   } else if (key == "tail-pct") {
     params.venn.tail_percentile = parse_double(key, value);
   } else if (key == "ewma-alpha") {
@@ -143,6 +230,23 @@ void PolicySpec::set(const std::string& key, const std::string& value) {
   if (!try_set(key, value)) {
     throw std::invalid_argument("unknown policy key \"" + key + "\"");
   }
+}
+
+std::string PolicySpec::to_kv() const {
+  std::string out;
+  out += "policy=" + name + "\n";
+  out += "epsilon=" + fmt_double(params.venn.epsilon) + "\n";
+  out += "tiers=" + std::to_string(params.venn.num_tiers) + "\n";
+  out += "supply-window-s=" + fmt_double(params.venn.supply_window) + "\n";
+  out += "tail-pct=" + fmt_double(params.venn.tail_percentile) + "\n";
+  out += "ewma-alpha=" + fmt_double(params.venn.ewma_alpha) + "\n";
+  out += "order-total=" +
+         std::string(params.venn.order_by_total_remaining ? "1" : "0") + "\n";
+  // params.extra is a std::map: sorted, canonical.
+  for (const auto& [k, v] : params.extra) {
+    out += "param." + k + "=" + v + "\n";
+  }
+  return out;
 }
 
 }  // namespace venn::api

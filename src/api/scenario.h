@@ -91,20 +91,49 @@ struct ScenarioSpec {
   // and the default 1 runs the serial path with no pool at all.
   std::size_t shards = 1;
 
+  // Durability (src/journal/). journal=1 mirrors every external event of
+  // the run into an append-only journal file (off by default — journaling
+  // is purely observational and a journaled run is byte-identical to an
+  // unjournaled one). journal.dir= names the directory the journal and its
+  // snapshots land in (default "."). snapshot_every=N (alias
+  // snapshot-every=N) captures a coordinator state snapshot every N round
+  // commits (0 = off). journal.halt-after=N is the crash-injection hook
+  // behind the recovery tests: the run halts (SimulationHalted) right
+  // after the Nth commit record is flushed, leaving a torn-tail journal
+  // plus whatever snapshots were captured (0 = off).
+  bool journal_enabled = false;
+  std::string journal_dir;
+  std::size_t snapshot_every = 0;
+  std::size_t journal_halt_after = 0;
+
   // Applies one `key=value` override. Known keys: name, seed, devices,
   // jobs, workload (even|small|large|low|high), bias
-  // (none|general|compute|memory|resource), horizon-days, min-rounds,
-  // max-rounds, min-demand, max-demand, interarrival-min, base-trace,
-  // task-s, task-cv, arrival, arrival.<key>, mix, mix.<key>, churn,
-  // churn.<key>, protocol (sync|overcommit|async), protocol.<key>,
-  // open-loop (0|1), stream (0|1), index (0|1), shards (1-64). Returns
-  // false if the key is not a scenario key. Throws std::invalid_argument
-  // on a known key with a bad value, and on a `protocol=` value
-  // conflicting with one set earlier.
+  // (none|general|compute|memory|resource), horizon-days, horizon-s,
+  // min-rounds, max-rounds, min-demand, max-demand, interarrival-min,
+  // interarrival-s, base-trace, task-s, task-cv, arrival, arrival.<key>,
+  // mix, mix.<key>, churn, churn.<key>, protocol (sync|overcommit|async),
+  // protocol.<key>, open-loop (0|1), stream (0|1), index (0|1), shards
+  // (1-64), journal (0|1), journal.dir, snapshot_every / snapshot-every,
+  // journal.halt-after. Returns false if the key is not a scenario key.
+  // Throws std::invalid_argument on a known key with a bad value, and on a
+  // `protocol=` value conflicting with one set earlier.
   bool try_set(const std::string& key, const std::string& value);
 
   // As try_set, but an unknown key throws std::invalid_argument.
   void set(const std::string& key, const std::string& value);
+
+  // Canonical `key=value\n` serialization: every field that shapes the
+  // simulated world, spelled so that parsing the lines back through
+  // try_set reconstructs an equivalent spec — including exact doubles
+  // (horizon-s / interarrival-s carry raw seconds at %.17g, which strtod
+  // round-trips bit-for-bit; the lossy -days / -min spellings remain
+  // accepted on input). This is what the journal header stores, so replay
+  // can rebuild the experiment from the journal alone. Journal plumbing
+  // knobs (journal, journal.dir, journal.halt-after) are deliberately NOT
+  // part of the world and are excluded; snapshot_every IS included (the
+  // replayed run must capture at the original cadence). Throws
+  // std::invalid_argument if `name` contains a newline.
+  [[nodiscard]] std::string to_kv() const;
 
   // True when any workload generator family is configured (the scenario
   // leaves the legacy single-model world).
@@ -126,11 +155,19 @@ struct PolicySpec {
       : name(std::move(policy_name)), params(std::move(p)) {}
 
   // Applies one `key=value` override. Known keys: policy, epsilon, tiers,
-  // supply-window-h, tail-pct, ewma-alpha, order-total (0|1), plus
-  // `param.<key>` which lands in params.extra for external policies.
-  // Returns false if the key is not a policy key; throws on bad values.
+  // supply-window-h, supply-window-s, tail-pct, ewma-alpha, order-total
+  // (0|1), plus `param.<key>` which lands in params.extra for external
+  // policies. Returns false if the key is not a policy key; throws on bad
+  // values.
   bool try_set(const std::string& key, const std::string& value);
   void set(const std::string& key, const std::string& value);
+
+  // Canonical `key=value\n` serialization (journal header, replay).
+  // Doubles at %.17g; supply-window-s carries raw seconds (exact), the
+  // lossy supply-window-h spelling remains accepted on input. The
+  // scheduling/matching enables are not knobs — the policy *name* implies
+  // them through its factory, so name + knobs round-trip the policy.
+  [[nodiscard]] std::string to_kv() const;
 };
 
 // Workload / bias spellings shared by CLI flags and key=value overrides.

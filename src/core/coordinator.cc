@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/logging.h"
@@ -133,6 +134,9 @@ Coordinator::Coordinator(sim::Engine& engine, ResourceManager& manager,
   // The pending-entry cache and the eligibility index are one feature: the
   // `--no-index` fallback keeps the full job-queue walk per offer too.
   manager_.set_use_pending_cache(cfg_.use_index);
+  // Durability: the manager emits the submit records (it owns request-id
+  // assignment); everything else journals from here.
+  manager_.set_journal(cfg_.journal);
 }
 
 void Coordinator::idle_insert(std::size_t d) {
@@ -151,6 +155,14 @@ void Coordinator::idle_erase(std::size_t d) {
   idle_vec_.pop_back();
   idle_pos_[d] = 0;
   --segment_size_[shard_of(d)];
+}
+
+void Coordinator::retire_idle(std::size_t d) {
+  if (idle_pos_[d] == 0) return;
+  if (cfg_.journal != nullptr) {
+    cfg_.journal->on_checkout(engine_.now(), d);
+  }
+  idle_erase(d);
 }
 
 bool Coordinator::validate_idle_segments() const {
@@ -381,6 +393,9 @@ void Coordinator::admit_job() {
   by_id_[job->id()] = job;
   ++unfinished_jobs_;
   ++admitted_;
+  if (cfg_.journal != nullptr) {
+    cfg_.journal->on_admission(engine_.now(), job->id(), spec);
+  }
   manager_.register_job(job, solo_jct_estimate(spec));
   submit_request(job);
 }
@@ -403,7 +418,7 @@ void Coordinator::advance_device(std::size_t dev_idx) {
     // One event retires the session AND pulls the next one — the stream
     // stays one session ahead, never materialized.
     engine_.at(std::min(s->end, cfg_.horizon), [this, dev_idx] {
-      idle_erase(dev_idx);
+      retire_idle(dev_idx);
       advance_device(dev_idx);
     });
     return;
@@ -693,6 +708,9 @@ void Coordinator::attempt_checkin(std::size_t dev_idx) {
   // rule is a budget, not a mutex.
 
   const auto outcome = manager_.device_checkin(dev, now);
+  if (cfg_.journal != nullptr) {
+    cfg_.journal->on_checkin(now, dev_idx, outcome.has_value());
+  }
   if (outcome) {
     // The device may already be parked in the idle pool: a straggler
     // release re-parks a device that still has this day-boundary re-arm
@@ -707,7 +725,7 @@ void Coordinator::attempt_checkin(std::size_t dev_idx) {
   idle_insert(dev_idx);
   if (!streaming_churn()) {
     engine_.at(std::min(session_end, cfg_.horizon),
-               [this, dev_idx] { idle_erase(dev_idx); });
+               [this, dev_idx] { retire_idle(dev_idx); });
   }
 }
 
@@ -716,6 +734,10 @@ void Coordinator::handle_outcome(std::size_t dev_idx,
   Device& dev = devices_[dev_idx];
   const SimTime now = engine_.now();
   dev.mark_participation(Device::day_of(now));
+  if (cfg_.journal != nullptr) {
+    cfg_.journal->on_assignment(now, dev_idx, outcome.job, outcome.request,
+                                outcome.round);
+  }
 
   // A device whose session outlasts today regains its participation budget
   // at the next day boundary.
@@ -818,6 +840,9 @@ void Coordinator::on_response(JobId jid, RequestId rid, std::size_t dev_idx,
   const int staleness = std::max(0, req.round - assigned_round);
   pstats_.staleness_sum += static_cast<std::uint64_t>(staleness);
   if (staleness > 0) ++pstats_.stale_responses;
+  if (cfg_.journal != nullptr) {
+    cfg_.journal->on_response(engine_.now(), jid, rid, dev_idx, staleness);
+  }
   manager_.notify_response(jid, devices_[dev_idx].spec().capacity(),
                            response_time, engine_.now(), staleness);
   if (protocol_->continuous_admission()) {
@@ -847,6 +872,15 @@ void Coordinator::maybe_complete(Job* job) {
   const JobId jid = job->id();
   const RequestId rid = req.id;
   ++pstats_.commits;
+  if (cfg_.journal != nullptr) {
+    cfg_.journal->on_commit(now, jid, rid, req.round, req.responses);
+    // Snapshot cadence rides the commit count — commits are the journal's
+    // flush boundaries, so a snapshot always lands on durable ground.
+    if (cfg_.snapshot_every != 0 &&
+        pstats_.commits % cfg_.snapshot_every == 0) {
+      cfg_.journal->on_snapshot(capture_snapshot());
+    }
+  }
 
   if (protocol_->keeps_request_open()) {
     // Buffered-aggregation commit: the request survives; in-flight devices
@@ -904,6 +938,9 @@ void Coordinator::on_deadline(JobId jid, RequestId rid) {
 
   VENN_DEBUG << "job " << jid << " round " << req.round << " aborted ("
              << req.responses << "/" << req.needed_responses() << ")";
+  if (cfg_.journal != nullptr) {
+    cfg_.journal->on_abort(engine_.now(), jid, rid, req.round, req.responses);
+  }
   job->abort_request();
   manager_.close_request(jid, engine_.now());
   if (protocol_->releases_stragglers()) {
@@ -939,6 +976,9 @@ std::size_t Coordinator::release_stragglers(Job* job, RequestId rid,
     ++released;
     ++pstats_.stragglers_released;
     pstats_.wasted_work_s += now - entry.started;
+    if (cfg_.journal != nullptr) {
+      cfg_.journal->on_straggler_release(now, entry.dev, job->id());
+    }
     Device& dev = devices_[entry.dev];
     // Refund the day budget charged at assignment; the already-scheduled
     // response/failure event for the cut-off computation fires into a
@@ -968,7 +1008,7 @@ std::size_t Coordinator::release_stragglers(Job* job, RequestId rid,
         // with the session. (Streaming mode's advance event does this.)
         const std::size_t d = entry.dev;
         engine_.at(std::min(session_end, cfg_.horizon),
-                   [this, d] { idle_erase(d); });
+                   [this, d] { retire_idle(d); });
       }
     }
   }
@@ -995,12 +1035,163 @@ bool Coordinator::inflight_remove(JobId jid, RequestId rid, std::size_t dev) {
 
 void Coordinator::finish_job(Job* job) {
   job->set_completion_time(engine_.now());
+  if (cfg_.journal != nullptr) {
+    cfg_.journal->on_job_finish(engine_.now(), job->id(),
+                                engine_.now() - job->spec().arrival);
+  }
   manager_.deregister_job(job->id());
   // inflight_ entries for the finished job stay: each drains when its
   // response/failure event fires, and keeping them classifies the final
   // round's stragglers as wasted responses (they were never released).
   by_id_.erase(job->id());
   if (unfinished_jobs_ > 0) --unfinished_jobs_;
+}
+
+journal::StateSnapshot Coordinator::capture_snapshot() {
+  journal::StateSnapshot snap;
+  snap.commits = pstats_.commits;
+  snap.clock = engine_.now();
+  auto add = [&snap](const char* name, journal::Encoder& e) {
+    snap.sections.emplace_back(name, e.take());
+  };
+
+  {
+    journal::Encoder e;
+    e.f64(engine_.now());
+    e.u64(engine_.events_executed());
+    add("clock", e);
+  }
+  {
+    // The Mersenne Twister's canonical text serialization — byte-exact and
+    // portable, which is all the drift check needs.
+    std::ostringstream os;
+    os << engine_.rng().engine();
+    journal::Encoder e;
+    e.str(os.str());
+    add("engine-rng", e);
+  }
+  {
+    journal::Encoder e;
+    e.u64(sweep_counter_);
+    e.u64(static_cast<std::uint64_t>(admitted_));
+    e.u64(sessions_streamed_);
+    e.u64(static_cast<std::uint64_t>(unfinished_jobs_));
+    e.u64(static_cast<std::uint64_t>(aligned_bits_));
+    add("coordinator", e);
+  }
+  {
+    journal::Encoder e;
+    e.u64(pstats_.commits);
+    e.u64(pstats_.responses);
+    e.u64(pstats_.wasted_responses);
+    e.u64(pstats_.stragglers_released);
+    e.f64(pstats_.wasted_work_s);
+    e.u64(pstats_.staleness_sum);
+    e.u64(pstats_.stale_responses);
+    add("protocol", e);
+  }
+  {
+    journal::Encoder e;
+    e.u64(hstats_.sweeps);
+    e.u64(hstats_.sweep_visits);
+    e.u64(hstats_.sweep_offers);
+    e.u64(hstats_.sweep_skips);
+    e.u64(hstats_.supply_queries);
+    e.u64(hstats_.resweeps);
+    const auto& mh = manager_.hotpath_stats();
+    e.u64(mh.offers);
+    e.u64(mh.candidates_scanned);
+    e.u64(mh.view_builds);
+    add("hotpath", e);
+  }
+  {
+    journal::Encoder e;
+    e.u64(static_cast<std::uint64_t>(idle_vec_.size()));
+    for (const std::size_t d : idle_vec_) e.u64(static_cast<std::uint64_t>(d));
+    e.u64(static_cast<std::uint64_t>(segment_size_.size()));
+    for (const std::size_t s : segment_size_) {
+      e.u64(static_cast<std::uint64_t>(s));
+    }
+    add("idle-pool", e);
+  }
+  {
+    journal::Encoder e;
+    e.u64(static_cast<std::uint64_t>(devices_.size()));
+    for (const auto& d : devices_) e.i32(d.last_participation_day());
+    add("devices", e);
+  }
+  {
+    journal::Encoder e;
+    e.u64(static_cast<std::uint64_t>(jobs_.size()));
+    for (const auto& jp : jobs_) {
+      const Job& j = *jp;
+      e.i64(j.id().value());
+      e.i32(j.completed_rounds());
+      e.i32(j.pending_aborts());
+      e.i32(j.total_aborts());
+      e.f64(j.completion_time());
+      e.f64(j.buffer_epoch());
+      const auto& req = j.request();
+      e.u8(req.has_value() ? 1 : 0);
+      if (req) {
+        e.i64(req->id.value());
+        e.i32(req->round);
+        e.i32(req->demand);
+        e.i32(req->target_responses);
+        e.i32(req->assigned);
+        e.i32(req->responses);
+        e.i32(req->failures);
+        e.f64(req->submitted);
+        e.f64(req->fully_allocated);
+        e.f64(req->completed);
+        e.f64(req->deadline);
+        e.u8(req->deadline_armed ? 1 : 0);
+        e.i32(static_cast<std::int32_t>(req->state));
+      }
+    }
+    add("jobs", e);
+  }
+  {
+    // In-flight computations, iterated in job-creation order (inflight_ is
+    // an unordered_map; hashing order must not leak into the bytes).
+    journal::Encoder e;
+    for (const auto& jp : jobs_) {
+      const auto it = inflight_.find(jp->id());
+      if (it == inflight_.end() || it->second.empty()) continue;
+      e.i64(jp->id().value());
+      e.u64(static_cast<std::uint64_t>(it->second.size()));
+      for (const InFlight& f : it->second) {
+        e.i64(f.rid.value());
+        e.u64(static_cast<std::uint64_t>(f.dev));
+        e.f64(f.started);
+      }
+    }
+    add("inflight", e);
+  }
+  {
+    journal::Encoder e;
+    e.i64(manager_.next_request_id());
+    add("manager", e);
+  }
+  if (streaming_churn()) {
+    journal::Encoder e;
+    e.u64(static_cast<std::uint64_t>(streams_.size()));
+    for (const auto& st : streams_) {
+      e.u8(st.stream != nullptr ? 1 : 0);
+      e.u8(st.has_session ? 1 : 0);
+      e.f64(st.current.start);
+      e.f64(st.current.end);
+    }
+    add("streams", e);
+  }
+  if (cfg_.arrival != nullptr) {
+    std::ostringstream os;
+    os << mix_rng_.engine();
+    journal::Encoder e;
+    e.str(os.str());
+    add("mix-rng", e);
+  }
+  return snap;
 }
 
 }  // namespace venn

@@ -75,6 +75,8 @@
 #include "core/elig_index.h"
 #include "core/resource_manager.h"
 #include "device/fleet_partition.h"
+#include "journal/sink.h"
+#include "journal/snapshot.h"
 #include "protocol/protocol.h"
 #include "sim/engine.h"
 #include "trace/job_trace.h"
@@ -121,6 +123,17 @@ struct CoordinatorConfig {
   // comes from a per-sweep derived stream in both modes); index and scan
   // produce byte-identical simulations, which tests assert.
   bool use_index = true;
+
+  // Durability hook (src/journal/): every external event — check-ins,
+  // check-outs, submissions, admissions, assignments, responses,
+  // commits/aborts, straggler releases, finishes — is mirrored into this
+  // sink. Purely observational (no state mutation, no randomness), so a
+  // null sink (the default) and a live one produce byte-identical runs.
+  // Caller retains ownership for the duration of the run.
+  journal::JournalSink* journal = nullptr;
+  // Capture a state snapshot into the sink every N protocol commits
+  // (0 = off). Only meaningful with a journal sink installed.
+  std::size_t snapshot_every = 0;
 };
 
 class Coordinator {
@@ -216,6 +229,16 @@ class Coordinator {
     return *protocol_;
   }
 
+  // --- durability -------------------------------------------------------
+  // Serializes the coordinator's full mutable state — engine clock + RNG,
+  // idle pool and segment accounting, per-device participation budgets,
+  // per-job round/request state, protocol and hot-path counters, open-loop
+  // and streaming progress — into named snapshot sections. Called at the
+  // `snapshot_every` cadence during journaled runs; public so tests can
+  // compare live and re-executed coordinators directly. Deterministic:
+  // two coordinators in identical states produce identical bytes.
+  [[nodiscard]] journal::StateSnapshot capture_snapshot();
+
   // --- protocol accounting ----------------------------------------------
   // Aggregate round-protocol counters: commits, response staleness
   // (buffered aggregation) and wasted work (over-selection straggler
@@ -309,6 +332,10 @@ class Coordinator {
   std::vector<std::size_t> idle_pos_;   // device -> position+1; 0 = absent
   void idle_insert(std::size_t d);
   void idle_erase(std::size_t d);
+  // Session-end retirement of a pool entry — the journal's check-out
+  // event. Assignment-side erases are NOT check-outs (they are recorded
+  // as assignments), so the three session-end sites call this instead.
+  void retire_idle(std::size_t d);
 
   // --- sharded execution state ------------------------------------------
   // Engine worker pool (null = serial) and the fleet partition it implies.

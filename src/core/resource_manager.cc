@@ -118,6 +118,9 @@ RoundRequest& ResourceManager::open_request(JobId id, SimTime now,
   JobEntry& e = it->second;
   RoundRequest& req = e.job->open_request(RequestId(next_request_id_++), now,
                                           selection_target, commit_threshold);
+  if (journal_ != nullptr) {
+    journal_->on_submit(now, id, req.round, req.demand, req.target_responses);
+  }
   e.random_priority = random_priority;
   wants_dirty_ = true;
   notify_queue_change(now);

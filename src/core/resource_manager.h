@@ -21,6 +21,7 @@
 #include "device/device.h"
 #include "device/eligibility.h"
 #include "job/job.h"
+#include "journal/sink.h"
 #include "scheduler/scheduler.h"
 
 namespace venn {
@@ -124,6 +125,19 @@ class ResourceManager {
   // the wants_devices() filter of the full walk, in the same id order).
   void set_use_pending_cache(bool on) { use_pending_cache_ = on; }
 
+  // ----- durability -------------------------------------------------------
+  // Journal sink for round submissions (the manager owns request-id
+  // assignment, so it emits the kSubmit records). Null = journaling off.
+  // The coordinator wires this from its own config; caller retains
+  // ownership for the duration of the run.
+  void set_journal(journal::JournalSink* sink) { journal_ = sink; }
+
+  // Next request id to be assigned — part of the durability snapshot (a
+  // restored run must continue the id sequence, not restart it).
+  [[nodiscard]] std::int64_t next_request_id() const {
+    return next_request_id_;
+  }
+
   // Per-event work counters backing the perf-regression harness: the stress
   // tests assert that index-backed runs bound these independently of fleet
   // size while `--no-index` runs scale with it.
@@ -154,6 +168,7 @@ class ResourceManager {
   // of the whole pending view with a pre-sorted walk.
   std::vector<JobEntry*> job_order_;
   std::vector<RunObserver*> observers_;
+  journal::JournalSink* journal_ = nullptr;
   std::int64_t next_request_id_ = 0;
 
   bool use_pending_cache_ = true;

@@ -58,6 +58,10 @@ class Device {
   [[nodiscard]] bool participated_on_day(int day) const {
     return last_participation_day_ == day;
   }
+  // Raw budget state, for coordinator state snapshots (-1 = never/refunded).
+  [[nodiscard]] int last_participation_day() const {
+    return last_participation_day_;
+  }
   void mark_participation(int day) { last_participation_day_ = day; }
 
   // Straggler release (over-selection protocols): a device cut off

@@ -81,6 +81,8 @@ class Job {
     return stats_;
   }
   [[nodiscard]] int total_aborts() const { return total_aborts_; }
+  // Aborts of the round currently in flight (state-snapshot surface).
+  [[nodiscard]] int pending_aborts() const { return pending_aborts_; }
 
   [[nodiscard]] SimTime completion_time() const { return completion_time_; }
   void set_completion_time(SimTime t) { completion_time_ = t; }

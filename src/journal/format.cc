@@ -1,0 +1,297 @@
+#include "journal/format.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace venn::journal {
+
+namespace {
+
+// Slicing-by-8 tables: table[0] is the classic byte-at-a-time CRC-32
+// (IEEE, reflected 0xEDB88320) table; table[k][b] advances the CRC of
+// byte b through k further zero bytes, letting the hot loop fold eight
+// input bytes per iteration. CRC lands on every journaled event, so its
+// throughput shows up directly in the journaling-overhead bench gate.
+std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    tables[0][i] = c;
+  }
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables[k - 1][i];
+      tables[k][i] = tables[0][prev & 0xFFU] ^ (prev >> 8);
+    }
+  }
+  return tables;
+}
+
+std::string offset_msg(const std::string& what, std::size_t offset) {
+  return "journal: " + what + " at offset " + std::to_string(offset);
+}
+
+}  // namespace
+
+std::string_view record_type_name(RecordType t) {
+  switch (t) {
+    case RecordType::kCheckin: return "checkin";
+    case RecordType::kCheckout: return "checkout";
+    case RecordType::kSubmit: return "submit";
+    case RecordType::kAdmission: return "admission";
+    case RecordType::kAssignment: return "assignment";
+    case RecordType::kResponse: return "response";
+    case RecordType::kCommit: return "commit";
+    case RecordType::kAbort: return "abort";
+    case RecordType::kStragglerRelease: return "straggler-release";
+    case RecordType::kJobFinish: return "job-finish";
+    case RecordType::kSnapshotMark: return "snapshot-mark";
+    case RecordType::kRunEnd: return "run-end";
+  }
+  return "unknown";
+}
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  static const std::array<std::array<std::uint32_t, 256>, 8> tables =
+      make_crc_tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFU;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len >= 8) {
+      std::uint32_t lo = 0;
+      std::uint32_t hi = 0;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      lo ^= c;
+      c = tables[7][lo & 0xFFU] ^ tables[6][(lo >> 8) & 0xFFU] ^
+          tables[5][(lo >> 16) & 0xFFU] ^ tables[4][lo >> 24] ^
+          tables[3][hi & 0xFFU] ^ tables[2][(hi >> 8) & 0xFFU] ^
+          tables[1][(hi >> 16) & 0xFFU] ^ tables[0][hi >> 24];
+      p += 8;
+      len -= 8;
+    }
+  }
+  for (std::size_t i = 0; i < len; ++i) {
+    c = tables[0][(c ^ p[i]) & 0xFFU] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+// Fields are staged in a small stack buffer and appended in one call: one
+// capacity check per field instead of one per byte (this is the per-event
+// hot path behind the journaling-overhead bench gate).
+void Encoder::u16(std::uint16_t v) {
+  char b[2];
+  b[0] = static_cast<char>(v & 0xFF);
+  b[1] = static_cast<char>((v >> 8) & 0xFF);
+  buf_.append(b, 2);
+}
+
+void Encoder::u32(std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) {
+    b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  buf_.append(b, 4);
+}
+
+void Encoder::u64(std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  buf_.append(b, 8);
+}
+
+void Encoder::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Encoder::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void Encoder::frame_begin(RecordType type) {
+  u32(0);  // payload_len, patched by frame_finish
+  u32(0);  // payload_crc, patched by frame_finish
+  u16(static_cast<std::uint16_t>(type));
+}
+
+std::string_view Encoder::frame_finish() {
+  // Patches the length only; the CRC stays zero. Computing a CRC here
+  // would read back bytes the fields just stored and stall on
+  // store-to-load forwarding — the single largest per-event cost when it
+  // was measured. JournalWriter patches CRCs in batch at flush time, when
+  // the stores have long retired; consumers that need a finished frame
+  // immediately (tests, cold paths) use frame_record.
+  const auto body_len =
+      static_cast<std::uint32_t>(buf_.size() - kFrameBodyOffset);
+  for (int i = 0; i < 4; ++i) {
+    buf_[i] = static_cast<char>((body_len >> (8 * i)) & 0xFF);
+  }
+  return buf_;
+}
+
+void patch_frame_crcs(char* data, std::size_t size) {
+  std::size_t pos = 0;
+  while (pos + kFrameBodyOffset <= size) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(data[pos + i]))
+             << (8 * i);
+    }
+    if (size - pos - kFrameBodyOffset < len) break;  // torn tail: leave as-is
+    const std::uint32_t crc = crc32(data + pos + kFrameBodyOffset, len);
+    for (int i = 0; i < 4; ++i) {
+      data[pos + 4 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+    }
+    pos += kFrameBodyOffset + len;
+  }
+}
+
+void Decoder::need(std::size_t n) const {
+  if (bytes_.size() - pos_ < n) {
+    throw std::runtime_error(
+        offset_msg("truncated field (need " + std::to_string(n) + " bytes, " +
+                       std::to_string(bytes_.size() - pos_) + " left)",
+                   offset()));
+  }
+}
+
+std::uint8_t Decoder::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+std::uint16_t Decoder::u16() {
+  need(2);
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<std::uint16_t>(
+        static_cast<unsigned char>(bytes_[pos_ + i]) << (8 * i));
+  }
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Decoder::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Decoder::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double Decoder::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Decoder::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string s(bytes_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+std::string frame_record(RecordType type, std::string_view payload) {
+  Encoder body;
+  body.u16(static_cast<std::uint16_t>(type));
+  std::string b = body.take();
+  b.append(payload.data(), payload.size());
+
+  Encoder framed;
+  framed.u32(static_cast<std::uint32_t>(b.size()));
+  framed.u32(crc32(b.data(), b.size()));
+  std::string out = framed.take();
+  out += b;
+  return out;
+}
+
+std::string encode_header(const JournalHeader& h) {
+  Encoder payload;
+  payload.u64(h.seed);
+  payload.u64(h.inputs_digest);
+  payload.str(h.scenario_kv);
+  payload.str(h.policy_kv);
+  payload.str(h.label);
+  const std::string p = payload.take();
+
+  std::string out(kMagic, sizeof(kMagic));
+  Encoder pre;
+  pre.u32(kFormatVersion);
+  pre.u32(static_cast<std::uint32_t>(p.size()));
+  pre.u32(crc32(p.data(), p.size()));
+  out += pre.take();
+  out += p;
+  return out;
+}
+
+JournalHeader decode_header(std::string_view file, std::size_t* payload_end) {
+  if (file.size() < sizeof(kMagic) + 12) {
+    throw std::runtime_error(
+        offset_msg("file too short for header", file.size()));
+  }
+  if (file.compare(0, sizeof(kMagic),
+                   std::string_view(kMagic, sizeof(kMagic))) != 0) {
+    throw std::runtime_error(offset_msg("bad magic", 0));
+  }
+  Decoder pre(file.substr(sizeof(kMagic), 12), sizeof(kMagic));
+  const std::uint32_t version = pre.u32();
+  if (version != kFormatVersion) {
+    throw std::runtime_error(
+        offset_msg("unsupported format version " + std::to_string(version) +
+                       " (expected " + std::to_string(kFormatVersion) + ")",
+                   sizeof(kMagic)));
+  }
+  const std::uint32_t len = pre.u32();
+  const std::uint32_t crc = pre.u32();
+  const std::size_t start = sizeof(kMagic) + 12;
+  if (file.size() - start < len) {
+    throw std::runtime_error(offset_msg("truncated header", file.size()));
+  }
+  const std::string_view payload = file.substr(start, len);
+  if (crc32(payload.data(), payload.size()) != crc) {
+    throw std::runtime_error(offset_msg("header CRC mismatch", start));
+  }
+  Decoder d(payload, start);
+  JournalHeader h;
+  h.seed = d.u64();
+  h.inputs_digest = d.u64();
+  h.scenario_kv = d.str();
+  h.policy_kv = d.str();
+  h.label = d.str();
+  if (payload_end != nullptr) *payload_end = start + len;
+  return h;
+}
+
+}  // namespace venn::journal

@@ -1,0 +1,180 @@
+// Journal wire format: versioned, length-prefixed, CRC-framed records.
+//
+// The durability subsystem (src/journal/) persists every external event of
+// a run — device check-ins/check-outs, job submissions, open-loop
+// admissions, protocol commits/aborts, straggler releases — as an
+// append-only sequence of framed binary records:
+//
+//   file   := magic(8) version(u32) header_len(u32) header_crc(u32)
+//             header_payload record*
+//   record := payload_len(u32) payload_crc(u32) body
+//   body   := type(u16) fields...
+//
+// payload_len counts the body bytes; payload_crc is CRC-32 (IEEE
+// polynomial, implemented here — no external dependency) over the body.
+// All integers are little-endian; doubles travel as their raw IEEE-754
+// bit patterns (byte-identity is the whole point — a decimal round-trip
+// would be a different number). The header carries the scenario seed, the
+// canonical `key=value` serialization of the ScenarioSpec/PolicySpec that
+// produced the run, and a fingerprint of the generated inputs, so a
+// journal is self-describing: `Experiment::replay` rebuilds the experiment
+// from the header alone and verifies it regenerated the same world.
+//
+// Corruption is loud by design: a bad magic, unsupported version, CRC
+// mismatch or mid-record truncation surfaces as std::runtime_error naming
+// the byte offset (tests/journal_test.cc pins the failure modes), and the
+// reader's tolerate-torn-tail mode recovers every record before the tear.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace venn::journal {
+
+inline constexpr char kMagic[8] = {'V', 'E', 'N', 'N', 'J', 'N', 'L', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+// Snapshot files share the framing discipline under their own magic.
+inline constexpr char kSnapshotMagic[8] = {'V', 'E', 'N', 'N',
+                                           'S', 'N', 'P', '1'};
+
+// Event record types. Values are part of the on-disk format: append only,
+// never renumber.
+enum class RecordType : std::uint16_t {
+  kCheckin = 1,           // device session check-in reached the manager
+  kCheckout = 2,          // device left the idle pool at session end
+  kSubmit = 3,            // a round request opened (ResourceManager)
+  kAdmission = 4,         // open-loop job admission (full sampled spec)
+  kAssignment = 5,        // device assigned to a job's round request
+  kResponse = 6,          // response counted toward an open round
+  kCommit = 7,            // round committed            (flush boundary)
+  kAbort = 8,             // round aborted at deadline  (flush boundary)
+  kStragglerRelease = 9,  // device cut off mid-compute and released
+  kJobFinish = 10,        // job completed its last round
+  kSnapshotMark = 11,     // a state snapshot was captured here
+  kRunEnd = 12,           // clean end-of-run footer
+};
+
+[[nodiscard]] std::string_view record_type_name(RecordType t);
+
+// CRC-32 (IEEE 802.3 polynomial, reflected, table-driven).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len);
+
+// FNV-1a 64-bit — the running hash behind the inputs fingerprint.
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+[[nodiscard]] inline std::uint64_t fnv1a64(std::uint64_t h, const void* data,
+                                           std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Little-endian append-only byte builder for record payloads.
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);  // raw IEEE-754 bits
+  void str(std::string_view s);  // u32 length prefix + bytes
+
+  [[nodiscard]] const std::string& bytes() const { return buf_; }
+  [[nodiscard]] std::string take() { return std::move(buf_); }
+  // Reuse without releasing capacity — the per-event encoding path clears
+  // and repacks one buffer instead of heap-allocating per event.
+  void clear() { buf_.clear(); }
+
+  // In-place record framing for the per-event hot path: frame_begin lays
+  // down the 10-byte frame prelude (length + CRC placeholders + type),
+  // fields are encoded directly after it, and frame_finish patches the
+  // length in place — the buffer then IS the on-disk frame except for the
+  // CRC, which stays zero until patch_frame_crcs runs over the flush
+  // buffer (see frame_finish for why). Must be paired; the buffer must be
+  // clear()ed before frame_begin.
+  void frame_begin(RecordType type);
+  [[nodiscard]] std::string_view frame_finish();
+
+ private:
+  std::string buf_;
+};
+
+// Byte offset of the record body (type + fields) within a framed record:
+// payload_len(u32) + payload_crc(u32).
+inline constexpr std::size_t kFrameBodyOffset = 8;
+// Byte offset of the payload (fields after the u16 type).
+inline constexpr std::size_t kFramePayloadOffset = 10;
+
+// Bounds-checked little-endian reader over a byte span. Underflow throws
+// std::runtime_error naming the absolute file offset (`base_offset` + the
+// local cursor), so corruption reports point at the byte that failed.
+class Decoder {
+ public:
+  Decoder(std::string_view bytes, std::size_t base_offset)
+      : bytes_(bytes), base_(base_offset) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] std::size_t remaining() const {
+    return bytes_.size() - pos_;
+  }
+  [[nodiscard]] std::size_t offset() const { return base_ + pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::string_view bytes_;
+  std::size_t base_;
+  std::size_t pos_ = 0;
+};
+
+// Frames one record body (type + payload) with its length/CRC prefix.
+[[nodiscard]] std::string frame_record(RecordType type,
+                                       std::string_view payload);
+
+// Computes and patches the CRC of every complete frame in a buffer of
+// concatenated frames (idempotent; a trailing partial frame is left
+// untouched). The writer's flush runs this once over its whole buffer —
+// batching the CRCs away from the stores that produced the bytes.
+void patch_frame_crcs(char* data, std::size_t size);
+
+// Journal header: everything replay needs to rebuild the experiment.
+struct JournalHeader {
+  std::uint64_t seed = 0;
+  // Canonical `key=value\n` serializations (ScenarioSpec::to_kv /
+  // PolicySpec::to_kv). Parsed back through the normal try_set surface.
+  std::string scenario_kv;
+  std::string policy_kv;
+  std::string label;  // scheduler label of the journaled run
+  // FNV-1a fingerprint of the generated inputs (devices, sessions, jobs).
+  // Catches scenario state that is NOT expressible as key=value overrides
+  // (programmatic availability/hardware configs, use_devices/use_jobs):
+  // replay refuses to verify against a world it could not regenerate.
+  std::uint64_t inputs_digest = 0;
+};
+
+// Serialized file prologue: magic + version + framed header.
+[[nodiscard]] std::string encode_header(const JournalHeader& h);
+
+// Parses the prologue; returns the header and sets `payload_end` to the
+// offset of the first record. Throws std::runtime_error (offset-naming) on
+// bad magic, unsupported version, short file, or header CRC mismatch.
+[[nodiscard]] JournalHeader decode_header(std::string_view file,
+                                          std::size_t* payload_end);
+
+}  // namespace venn::journal

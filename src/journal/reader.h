@@ -1,0 +1,63 @@
+// JournalReader: sequential, validating reader over a journal file.
+//
+// Loads the file, validates the prologue (magic, version, header CRC) and
+// iterates the framed records, checking each frame's length and CRC before
+// handing it out. Corruption fails with std::runtime_error naming the
+// byte offset of the violation; with tolerate_torn_tail=true a torn or
+// corrupt FINAL stretch instead ends iteration cleanly — everything before
+// the tear is recovered, and torn()/torn_offset() report what was dropped
+// (the `--tolerate-torn-tail` replay mode).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "journal/format.h"
+
+namespace venn::journal {
+
+struct Record {
+  RecordType type{};
+  std::string payload;      // body bytes after the type field
+  std::size_t offset = 0;   // file offset of the frame start
+  std::uint64_t index = 0;  // 0-based record ordinal
+};
+
+class JournalReader {
+ public:
+  explicit JournalReader(const std::string& path,
+                         bool tolerate_torn_tail = false);
+
+  [[nodiscard]] const JournalHeader& header() const { return header_; }
+
+  // Next record, or nullopt at end of journal (or at a tolerated tear).
+  [[nodiscard]] std::optional<Record> next();
+
+  // True once iteration stopped at a tolerated torn/corrupt tail.
+  [[nodiscard]] bool torn() const { return torn_; }
+  [[nodiscard]] std::size_t torn_offset() const { return torn_offset_; }
+
+  [[nodiscard]] std::uint64_t records_read() const { return index_; }
+
+  // Scans the whole journal (without disturbing this reader) for the last
+  // kSnapshotMark and returns its commit count; nullopt when none. Honors
+  // the reader's torn-tail tolerance.
+  [[nodiscard]] std::optional<std::uint64_t> last_snapshot_commits() const;
+
+ private:
+  [[nodiscard]] std::optional<Record> parse_at(std::size_t* pos,
+                                               std::uint64_t index,
+                                               bool* torn,
+                                               std::size_t* torn_at) const;
+
+  std::string bytes_;
+  JournalHeader header_;
+  std::size_t pos_ = 0;      // cursor into bytes_
+  std::uint64_t index_ = 0;  // records handed out
+  bool tolerate_torn_tail_;
+  bool torn_ = false;
+  std::size_t torn_offset_ = 0;
+};
+
+}  // namespace venn::journal

@@ -1,0 +1,207 @@
+// JournalSink: the observer hook the durability subsystem hangs off.
+//
+// The Coordinator and ResourceManager call into a JournalSink at every
+// external event of a run. The hook is purely observational — a sink must
+// not mutate simulation state or draw randomness — so a journaled run is
+// byte-identical to an unjournaled one (the replay differential wall
+// asserts exactly that), and legacy goldens carry zero changes with
+// journaling off (the default null sink).
+//
+// Two sinks exist: JournalWriter appends each event as a framed record
+// (src/journal/writer.h) and JournalVerifier compares each event against
+// the next record of an existing journal (src/journal/verifier.h) — replay
+// is re-execution under verification. Both serialize events through the
+// shared encode_* helpers below, so the writer and the verifier cannot
+// disagree about a payload layout.
+//
+// EventEncoderSink is the common base: it packs each event into its
+// canonical (RecordType, payload) form and funnels it through one
+// handle(type, payload) virtual.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "journal/format.h"
+#include "journal/snapshot.h"
+#include "trace/job_trace.h"
+#include "util/ids.h"
+
+namespace venn::journal {
+
+class JournalSink {
+ public:
+  virtual ~JournalSink() = default;
+
+  // Device flow.
+  virtual void on_checkin(SimTime now, std::size_t dev, bool assigned) = 0;
+  virtual void on_checkout(SimTime now, std::size_t dev) = 0;
+
+  // Job / round lifecycle.
+  virtual void on_submit(SimTime now, JobId job, int round, int target,
+                         int threshold) = 0;
+  virtual void on_admission(SimTime now, JobId job,
+                            const trace::JobSpec& spec) = 0;
+  virtual void on_assignment(SimTime now, std::size_t dev, JobId job,
+                             RequestId request, int round) = 0;
+  virtual void on_response(SimTime now, JobId job, RequestId request,
+                           std::size_t dev, int staleness) = 0;
+  virtual void on_commit(SimTime now, JobId job, RequestId request, int round,
+                         int responses) = 0;
+  virtual void on_abort(SimTime now, JobId job, RequestId request, int round,
+                        int responses) = 0;
+  virtual void on_straggler_release(SimTime now, std::size_t dev,
+                                    JobId job) = 0;
+  virtual void on_job_finish(SimTime now, JobId job, SimTime jct) = 0;
+
+  // Durability: the coordinator captured a state snapshot (cadence hit).
+  // The writer persists it + marks the journal; the verifier checks the
+  // mark and, when restoring, compares the re-executed state against the
+  // stored snapshot.
+  virtual void on_snapshot(const StateSnapshot& snapshot) = 0;
+
+  // Clean end of run (the engine drained or hit the horizon). Default
+  // no-op; the writer appends the kRunEnd footer, the verifier consumes
+  // and checks it.
+  virtual void on_run_end(SimTime now) { (void)now; }
+};
+
+// Packs every event into its canonical FRAMED record — length/CRC prelude,
+// type, payload — and forwards the complete frame to handle(). The payload
+// layouts below ARE the on-disk format (doubles as raw bits); extend only
+// by appending fields behind a version bump. Handing subclasses the full
+// frame keeps the hot path to one buffer append in the writer; slice from
+// kFramePayloadOffset to recover the bare payload (the verifier does).
+class EventEncoderSink : public JournalSink {
+ public:
+  void on_checkin(SimTime now, std::size_t dev, bool assigned) final {
+    enc_.clear();
+    enc_.frame_begin(RecordType::kCheckin);
+    enc_.f64(now);
+    enc_.u64(static_cast<std::uint64_t>(dev));
+    enc_.u8(assigned ? 1 : 0);
+    handle(RecordType::kCheckin, enc_.frame_finish());
+  }
+  void on_checkout(SimTime now, std::size_t dev) final {
+    enc_.clear();
+    enc_.frame_begin(RecordType::kCheckout);
+    enc_.f64(now);
+    enc_.u64(static_cast<std::uint64_t>(dev));
+    handle(RecordType::kCheckout, enc_.frame_finish());
+  }
+  void on_submit(SimTime now, JobId job, int round, int target,
+                 int threshold) final {
+    enc_.clear();
+    enc_.frame_begin(RecordType::kSubmit);
+    enc_.f64(now);
+    enc_.i64(job.value());
+    enc_.i32(round);
+    enc_.i32(target);
+    enc_.i32(threshold);
+    handle(RecordType::kSubmit, enc_.frame_finish());
+  }
+  void on_admission(SimTime now, JobId job, const trace::JobSpec& spec) final {
+    enc_.clear();
+    enc_.frame_begin(RecordType::kAdmission);
+    enc_.f64(now);
+    enc_.i64(job.value());
+    enc_.i32(spec.rounds);
+    enc_.i32(spec.demand);
+    enc_.i32(static_cast<std::int32_t>(spec.category));
+    enc_.f64(spec.arrival);
+    enc_.f64(spec.nominal_task_s);
+    enc_.f64(spec.task_cv);
+    enc_.f64(spec.deadline_s);
+    handle(RecordType::kAdmission, enc_.frame_finish());
+  }
+  void on_assignment(SimTime now, std::size_t dev, JobId job,
+                     RequestId request, int round) final {
+    enc_.clear();
+    enc_.frame_begin(RecordType::kAssignment);
+    enc_.f64(now);
+    enc_.u64(static_cast<std::uint64_t>(dev));
+    enc_.i64(job.value());
+    enc_.i64(request.value());
+    enc_.i32(round);
+    handle(RecordType::kAssignment, enc_.frame_finish());
+  }
+  void on_response(SimTime now, JobId job, RequestId request, std::size_t dev,
+                   int staleness) final {
+    enc_.clear();
+    enc_.frame_begin(RecordType::kResponse);
+    enc_.f64(now);
+    enc_.i64(job.value());
+    enc_.i64(request.value());
+    enc_.u64(static_cast<std::uint64_t>(dev));
+    enc_.i32(staleness);
+    handle(RecordType::kResponse, enc_.frame_finish());
+  }
+  void on_commit(SimTime now, JobId job, RequestId request, int round,
+                 int responses) final {
+    enc_.clear();
+    enc_.frame_begin(RecordType::kCommit);
+    enc_.f64(now);
+    enc_.i64(job.value());
+    enc_.i64(request.value());
+    enc_.i32(round);
+    enc_.i32(responses);
+    handle(RecordType::kCommit, enc_.frame_finish());
+  }
+  void on_abort(SimTime now, JobId job, RequestId request, int round,
+                int responses) final {
+    enc_.clear();
+    enc_.frame_begin(RecordType::kAbort);
+    enc_.f64(now);
+    enc_.i64(job.value());
+    enc_.i64(request.value());
+    enc_.i32(round);
+    enc_.i32(responses);
+    handle(RecordType::kAbort, enc_.frame_finish());
+  }
+  void on_straggler_release(SimTime now, std::size_t dev, JobId job) final {
+    enc_.clear();
+    enc_.frame_begin(RecordType::kStragglerRelease);
+    enc_.f64(now);
+    enc_.u64(static_cast<std::uint64_t>(dev));
+    enc_.i64(job.value());
+    handle(RecordType::kStragglerRelease, enc_.frame_finish());
+  }
+  void on_job_finish(SimTime now, JobId job, SimTime jct) final {
+    enc_.clear();
+    enc_.frame_begin(RecordType::kJobFinish);
+    enc_.f64(now);
+    enc_.i64(job.value());
+    enc_.f64(jct);
+    handle(RecordType::kJobFinish, enc_.frame_finish());
+  }
+
+ protected:
+  // `frame` is the complete framed record (prelude + type + payload),
+  // valid only for the duration of the call.
+  virtual void handle(RecordType type, std::string_view frame) = 0;
+
+ private:
+  // Reused across events: on_* clears and repacks, so steady-state event
+  // encoding performs no heap allocation. Sinks are single-threaded.
+  Encoder enc_;
+};
+
+// Canonical body of a kSnapshotMark record (shared by writer/verifier).
+[[nodiscard]] inline std::string encode_snapshot_mark(
+    const StateSnapshot& snapshot) {
+  Encoder e;
+  e.u64(snapshot.commits);
+  e.f64(snapshot.clock);
+  return e.take();
+}
+
+// Canonical body of the kRunEnd footer.
+[[nodiscard]] inline std::string encode_run_end(double clock,
+                                                std::uint64_t records) {
+  Encoder e;
+  e.f64(clock);
+  e.u64(records);
+  return e.take();
+}
+
+}  // namespace venn::journal

@@ -1,0 +1,148 @@
+#include "journal/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "journal/format.h"
+
+namespace venn::journal {
+
+const std::string* StateSnapshot::find(const std::string& name) const {
+  for (const auto& [n, bytes] : sections) {
+    if (n == name) return &bytes;
+  }
+  return nullptr;
+}
+
+std::string encode_snapshot(const StateSnapshot& s) {
+  Encoder body;
+  body.u32(kFormatVersion);
+  body.u64(s.commits);
+  body.f64(s.clock);
+  body.u32(static_cast<std::uint32_t>(s.sections.size()));
+  for (const auto& [name, bytes] : s.sections) {
+    body.str(name);
+    body.str(bytes);
+  }
+  const std::string b = body.take();
+
+  std::string out(kSnapshotMagic, sizeof(kSnapshotMagic));
+  Encoder pre;
+  pre.u32(static_cast<std::uint32_t>(b.size()));
+  pre.u32(crc32(b.data(), b.size()));
+  out += pre.take();
+  out += b;
+  return out;
+}
+
+StateSnapshot decode_snapshot(std::string_view bytes) {
+  if (bytes.size() < sizeof(kSnapshotMagic) + 8) {
+    throw std::runtime_error("snapshot: file too short at offset " +
+                             std::to_string(bytes.size()));
+  }
+  if (bytes.compare(0, sizeof(kSnapshotMagic),
+                    std::string_view(kSnapshotMagic,
+                                     sizeof(kSnapshotMagic))) != 0) {
+    throw std::runtime_error("snapshot: bad magic at offset 0");
+  }
+  Decoder pre(bytes.substr(sizeof(kSnapshotMagic), 8), sizeof(kSnapshotMagic));
+  const std::uint32_t len = pre.u32();
+  const std::uint32_t crc = pre.u32();
+  const std::size_t start = sizeof(kSnapshotMagic) + 8;
+  if (bytes.size() - start < len) {
+    throw std::runtime_error("snapshot: truncated body at offset " +
+                             std::to_string(bytes.size()));
+  }
+  const std::string_view body = bytes.substr(start, len);
+  if (crc32(body.data(), body.size()) != crc) {
+    throw std::runtime_error("snapshot: body CRC mismatch at offset " +
+                             std::to_string(start));
+  }
+  Decoder d(body, start);
+  const std::uint32_t version = d.u32();
+  if (version != kFormatVersion) {
+    throw std::runtime_error("snapshot: unsupported format version " +
+                             std::to_string(version) + " at offset " +
+                             std::to_string(start));
+  }
+  StateSnapshot s;
+  s.commits = d.u64();
+  s.clock = d.f64();
+  const std::uint32_t n = d.u32();
+  s.sections.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name = d.str();
+    std::string payload = d.str();
+    s.sections.emplace_back(std::move(name), std::move(payload));
+  }
+  return s;
+}
+
+void write_snapshot_file(const std::string& path, const StateSnapshot& s) {
+  const std::string bytes = encode_snapshot(s);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("snapshot: cannot open \"" + path +
+                             "\" for writing");
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const int closed = std::fclose(f);
+  if (written != bytes.size() || closed != 0) {
+    throw std::runtime_error("snapshot: short write to \"" + path + "\"");
+  }
+}
+
+StateSnapshot read_snapshot_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("snapshot: cannot open \"" + path + "\"");
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, n);
+  }
+  std::fclose(f);
+  return decode_snapshot(bytes);
+}
+
+std::string snapshot_path(const std::string& journal_path,
+                          std::uint64_t commits) {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), ".snap-%06llu",
+                static_cast<unsigned long long>(commits));
+  return journal_path + suffix;
+}
+
+std::optional<std::string> describe_mismatch(const StateSnapshot& expected,
+                                             const StateSnapshot& actual) {
+  if (expected.commits != actual.commits) {
+    return "commit count: expected " + std::to_string(expected.commits) +
+           ", got " + std::to_string(actual.commits);
+  }
+  if (expected.clock != actual.clock) {
+    return "engine clock differs at commit " + std::to_string(expected.commits);
+  }
+  for (const auto& [name, bytes] : expected.sections) {
+    const std::string* other = actual.find(name);
+    if (other == nullptr) {
+      return "section \"" + name + "\" missing from restored state";
+    }
+    if (*other != bytes) {
+      std::size_t i = 0;
+      const std::size_t limit = std::min(bytes.size(), other->size());
+      while (i < limit && bytes[i] == (*other)[i]) ++i;
+      return "section \"" + name + "\" diverges at byte " + std::to_string(i) +
+             " (sizes " + std::to_string(bytes.size()) + " vs " +
+             std::to_string(other->size()) + ")";
+    }
+  }
+  if (actual.sections.size() != expected.sections.size()) {
+    return "restored state has extra sections";
+  }
+  return std::nullopt;
+}
+
+}  // namespace venn::journal

@@ -1,0 +1,84 @@
+// JournalVerifier: byte-exact replay verification sink.
+//
+// Replay in this codebase is deterministic re-execution: the replay driver
+// rebuilds the experiment from the journal header and runs it again with
+// this sink installed. Each event the re-executed coordinator emits is
+// encoded through the same EventEncoderSink layouts the writer used and
+// compared byte for byte against the next journal record — the journal is
+// a full transcript wall around the re-executed run, so "the replay
+// matched" means every check-in, assignment, response, commit, abort,
+// straggler release and finish happened at the same time, in the same
+// order, with the same payload. Any divergence throws with the record
+// ordinal, file offset and both record types named.
+//
+// Modes:
+//   kStrict — the journal must be a complete clean run: after the run the
+//     next record must be the kRunEnd footer, with nothing after it.
+//   kResume — the journal may end early (a crashed run, or a tolerated
+//     torn tail): when records run out mid-run the verifier flips to
+//     passthrough and the re-execution simply CONTINUES the run live past
+//     the journal's end. Verified prefix + live tail = crash recovery.
+//
+// Snapshot anchoring: on_snapshot receives the state the re-executed
+// coordinator captured at a snapshot cadence point. The verifier checks
+// the journal's kSnapshotMark and, when given a stored snapshot to verify
+// against, compares the two states section by section — the zero-drift
+// guarantee that a restored coordinator stands exactly where the original
+// did.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "journal/reader.h"
+#include "journal/sink.h"
+
+namespace venn::journal {
+
+class JournalVerifier final : public EventEncoderSink {
+ public:
+  enum class Mode {
+    kStrict,  // journal must cover the whole run and end with kRunEnd
+    kResume,  // journal may end early; continue live past its end
+  };
+
+  // `expect_snapshot` (optional, caller-owned, must outlive the verifier):
+  // the stored snapshot to compare against when re-execution reaches its
+  // commit count.
+  JournalVerifier(JournalReader& reader, Mode mode,
+                  const StateSnapshot* expect_snapshot = nullptr)
+      : reader_(reader), mode_(mode), expect_snapshot_(expect_snapshot) {}
+
+  void on_snapshot(const StateSnapshot& snapshot) override;
+  void on_run_end(SimTime now) override {
+    (void)now;
+    finish();
+  }
+
+  // Post-run check. Strict mode: consumes the kRunEnd footer and requires
+  // exhaustion; throws otherwise. Resume mode: no-op.
+  void finish();
+
+  // True once the journal ran out in resume mode (the live tail began).
+  [[nodiscard]] bool passthrough() const { return passthrough_; }
+  // Events matched against journal records (excludes the live tail).
+  [[nodiscard]] std::uint64_t events_verified() const { return verified_; }
+  // True once the stored snapshot was reached and compared clean.
+  [[nodiscard]] bool snapshot_verified() const { return snapshot_verified_; }
+
+ protected:
+  void handle(RecordType type, std::string_view frame) override;
+
+ private:
+  // Fetches the next record, or flips to passthrough / throws per mode.
+  [[nodiscard]] bool expect(RecordType type, std::string_view payload);
+
+  JournalReader& reader_;
+  Mode mode_;
+  const StateSnapshot* expect_snapshot_;
+  bool passthrough_ = false;
+  bool snapshot_verified_ = false;
+  std::uint64_t verified_ = 0;
+};
+
+}  // namespace venn::journal

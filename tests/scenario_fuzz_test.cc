@@ -32,14 +32,17 @@ const std::vector<std::string>& known_keys() {
       "max-rounds",  "min-demand",   "max-demand",    "interarrival-min",
       "base-trace",  "task-s",       "task-cv",       "arrival",
       "mix",         "churn",        "protocol",      "open-loop",
-      "stream",      "index",        "shards",
+      "stream",      "index",        "shards",        "horizon-s",
+      "interarrival-s",              "journal",       "journal.dir",
+      "snapshot_every",              "snapshot-every",
+      "journal.halt-after",
   };
   return keys;
 }
 
 const std::vector<std::string>& dotted_prefixes() {
-  static const std::vector<std::string> prefixes = {"arrival.", "mix.",
-                                                    "churn.", "protocol."};
+  static const std::vector<std::string> prefixes = {
+      "arrival.", "mix.", "churn.", "protocol.", "journal."};
   return prefixes;
 }
 
@@ -125,6 +128,11 @@ void expect_specs_equal(const api::ScenarioSpec& a, const api::ScenarioSpec& b,
   EXPECT_EQ(a.streaming, b.streaming) << "corpus seed " << seed;
   EXPECT_EQ(a.use_index, b.use_index) << "corpus seed " << seed;
   EXPECT_EQ(a.shards, b.shards) << "corpus seed " << seed;
+  EXPECT_EQ(a.journal_enabled, b.journal_enabled) << "corpus seed " << seed;
+  EXPECT_EQ(a.journal_dir, b.journal_dir) << "corpus seed " << seed;
+  EXPECT_EQ(a.snapshot_every, b.snapshot_every) << "corpus seed " << seed;
+  EXPECT_EQ(a.journal_halt_after, b.journal_halt_after)
+      << "corpus seed " << seed;
 }
 
 TEST(ScenarioFuzz, NoCrashAndRoundTripOverSeededCorpus) {
@@ -183,6 +191,67 @@ TEST(ScenarioFuzz, EveryKnownKeyAgainstEveryPoolValue) {
       }
     }
   }
+}
+
+// The durability knobs: parse-validated, aliases agree, raw paths kept.
+TEST(ScenarioFuzz, JournalKnobParsing) {
+  api::ScenarioSpec spec;
+  EXPECT_FALSE(spec.journal_enabled);
+  EXPECT_EQ(spec.snapshot_every, 0u);
+  spec.set("journal", "1");
+  EXPECT_TRUE(spec.journal_enabled);
+  spec.set("journal", "0");
+  EXPECT_FALSE(spec.journal_enabled);
+  EXPECT_THROW(spec.set("journal", "yes"), std::invalid_argument);
+
+  // journal.dir takes the value verbatim (it is a filesystem path).
+  spec.set("journal.dir", "runs/j nl.d");
+  EXPECT_EQ(spec.journal_dir, "runs/j nl.d");
+
+  // snapshot_every accepts both spellings and they set the same field.
+  spec.set("snapshot_every", "12");
+  EXPECT_EQ(spec.snapshot_every, 12u);
+  spec.set("snapshot-every", "7");
+  EXPECT_EQ(spec.snapshot_every, 7u);
+  EXPECT_THROW(spec.set("snapshot_every", "-2"), std::invalid_argument);
+  EXPECT_THROW(spec.set("snapshot-every", "two"), std::invalid_argument);
+  EXPECT_EQ(spec.snapshot_every, 7u);  // failed sets leave it untouched
+
+  spec.set("journal.halt-after", "9");
+  EXPECT_EQ(spec.journal_halt_after, 9u);
+  EXPECT_THROW(spec.set("journal.halt-after", "x"), std::invalid_argument);
+}
+
+// Canonical kv round-trip: to_kv() replayed through set() reproduces the
+// spec exactly — including exact-double keys (horizon-s, interarrival-s),
+// which is what journal replay leans on.
+TEST(ScenarioFuzz, CanonicalKvRoundTripsExactly) {
+  api::ScenarioSpec spec;
+  spec.set("seed", "97");
+  spec.set("devices", "1234");
+  spec.set("jobs", "17");
+  spec.set("horizon-days", "2.7");  // lossy spelling in, exact -s out
+  spec.set("interarrival-min", "95.3");
+  spec.set("churn", "weibull");
+  spec.set("stream", "1");
+  spec.set("shards", "4");
+  spec.set("snapshot_every", "5");
+
+  api::ScenarioSpec back;
+  const std::string kv = spec.to_kv();
+  std::size_t pos = 0;
+  while (pos < kv.size()) {
+    std::size_t nl = kv.find('\n', pos);
+    if (nl == std::string::npos) nl = kv.size();
+    const std::string line = kv.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    ASSERT_NE(eq, std::string::npos) << line;
+    back.set(line.substr(0, eq), line.substr(eq + 1));
+  }
+  expect_specs_equal(spec, back, 0);
+  EXPECT_EQ(back.to_kv(), kv);  // fixed point
 }
 
 // The shards knob specifically: range-validated, exact bounds.
