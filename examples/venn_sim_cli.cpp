@@ -37,6 +37,17 @@
 //                   (with their accepted keys) and exit
 //   --list-policies print the policy registry contents and exit
 //
+// Inspect subcommand — time-travel over a journaled run:
+//
+//   venn_sim_cli inspect <file.vjl> [--seek-commit N]
+//
+//   Replays the journal to commit N (default: the last commit) and prints
+//   a read-only state dump: sim clock, idle-pool segments, per-job
+//   progress and open requests, protocol counters, eligibility-index
+//   summary. When a snapshot is stored at commit N the replayed state is
+//   compared against it byte for byte. Seeking past the last commit
+//   refuses cleanly. `--version` prints the build identification line.
+//
 // Replay subcommand — byte-identical re-execution of a journaled run:
 //
 //   venn_sim_cli replay <file.vjl> [--resume] [--tolerate-torn-tail]
@@ -53,6 +64,8 @@
 #include <string>
 #include <vector>
 
+#include "service/inspect.h"
+#include "util/build_info.h"
 #include "venn/venn.h"
 
 using namespace venn;
@@ -147,11 +160,53 @@ int run_replay(int argc, char** argv) {
   return 0;
 }
 
+int run_inspect(int argc, char** argv) {
+  std::string path;
+  service::InspectOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seek-commit" && i + 1 < argc) {
+      opts.seek_commit = std::strtoull(argv[++i], nullptr, 10);
+      continue;
+    }
+    if (arg.rfind("--seek-commit=", 0) == 0) {
+      opts.seek_commit = std::strtoull(arg.c_str() + 14, nullptr, 10);
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0 || !path.empty()) {
+      std::fprintf(stderr, "inspect: unrecognized argument: %s\n",
+                   arg.c_str());
+      return 2;
+    }
+    path = arg;
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: venn_sim_cli inspect <file.vjl> [--seek-commit N]\n");
+    return 2;
+  }
+  try {
+    const service::InspectReport report = service::inspect_journal(path, opts);
+    std::fputs(report.text.c_str(), stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "inspect error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", build_info_line().c_str());
+    return 0;
+  }
   if (argc > 1 && std::strcmp(argv[1], "replay") == 0) {
     return run_replay(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "inspect") == 0) {
+    return run_inspect(argc, argv);
   }
 
   ExperimentBuilder builder;

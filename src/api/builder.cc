@@ -1,5 +1,7 @@
 #include "api/builder.h"
 
+#include "api/live.h"
+
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
@@ -327,45 +329,13 @@ RunResult Experiment::run_with_sink(std::unique_ptr<Scheduler> scheduler,
   if (!scheduler) {
     throw std::invalid_argument("run_with: scheduler must not be null");
   }
-  if (label.empty()) label = scheduler->name();
-
-  sim::Engine engine(stream_seed("engine"));
-  // Sharded execution: the pool must exist before the coordinator is
-  // constructed (it adopts the engine's pool and partitions the fleet).
-  engine.set_shards(scenario_.shards);
-  ResourceManager manager(std::move(scheduler));
-  AssignmentMatrixObserver matrix;
-  manager.add_observer(&matrix);
-  for (RunObserver* obs : observers_) {
-    obs->on_run_start();
-    manager.add_observer(obs);
-  }
-
-  CoordinatorConfig ccfg;
-  ccfg.horizon = scenario_.horizon;
-  ccfg.seed = scenario_.seed;
-  ccfg.use_index = scenario_.use_index;
-  ccfg.protocol = protocol_.get();
-  if (generators_->churn) {
-    // The model feeds the analytic supply estimates in both modes;
-    // stream_sessions additionally defers session generation to run time.
-    ccfg.churn = generators_->churn.get();
-    ccfg.stream_sessions = scenario_.streaming;
-  }
-  if (scenario_.open_loop) {
-    ccfg.arrival = generators_->arrival.get();
-    ccfg.mix = generators_->mix.get();
-    ccfg.max_jobs = scenario_.num_jobs;
-  }
-  ccfg.journal = sink;
-  ccfg.snapshot_every = scenario_.snapshot_every;
-  Coordinator coord(engine, manager, inputs_.devices, inputs_.jobs, ccfg);
-  coord.run();
-  if (sink != nullptr) sink->on_run_end(engine.now());
-
-  RunResult result = collect_results(coord, label);
-  result.assignment_matrix = matrix.matrix();
-  return result;
+  // A batch run is a live session advanced to the horizon in one breath:
+  // start() schedules the trace, finish() runs it and collects. The live
+  // daemon and the replay driver pace the same stack step by step, so the
+  // recorded and the re-executed run share one construction path.
+  LiveSession session(*this, std::move(scheduler), std::move(label), sink);
+  session.start();
+  return session.finish();
 }
 
 ExperimentBuilder& ExperimentBuilder::scenario(ScenarioSpec s) {

@@ -99,6 +99,14 @@ class Experiment {
 
   [[nodiscard]] const ScenarioSpec& scenario() const { return scenario_; }
   [[nodiscard]] const ExperimentInputs& inputs() const { return inputs_; }
+  // The instantiated workload generators (never null after construction)
+  // and the subscribed observers — the LiveSession construction surface.
+  [[nodiscard]] const workload::GeneratorSet& generators() const {
+    return *generators_;
+  }
+  [[nodiscard]] const std::vector<RunObserver*>& observers() const {
+    return observers_;
+  }
 
   // The named seed stream for this experiment (engine, scheduler, ...).
   [[nodiscard]] std::uint64_t stream_seed(std::string_view tag) const;

@@ -1,0 +1,44 @@
+// Rebuilding a runnable Experiment from a journal header.
+//
+// A journal header carries the canonical scenario/policy key=value blocks,
+// the seed and the generated-inputs digest — everything needed to
+// reconstruct the world the journaled run executed in. Three consumers
+// share this path: Experiment::replay (re-execute + verify), the service
+// daemon's --resume (restore, then go live) and the time-travel inspector
+// (replay to commit N, then dump). Factoring it here keeps all three
+// reading the header the same way, so a header a replay accepts is a
+// header the daemon can resume from.
+#pragma once
+
+#include <memory>
+
+#include "api/builder.h"
+#include "journal/format.h"
+
+namespace venn::api {
+
+// The world a journal header describes, rebuilt and digest-checked.
+struct RebuiltRun {
+  ScenarioSpec scenario;
+  PolicySpec policy;
+  Experiment experiment;
+};
+
+// Parses the header's kv blocks through the normal override surface (so an
+// unknown knob is a loud error), regenerates the inputs and checks them
+// against the header's digest. Throws std::runtime_error on malformed kv,
+// a seed disagreement or a digest mismatch. Journal plumbing knobs
+// (journal_enabled/dir/halt_after) are cleared on the rebuilt scenario —
+// the caller decides whether the rebuilt run records, verifies or both.
+// `observers` are subscribed to the rebuilt experiment's runs (the daemon
+// attaches its TimeSeriesRecorder through this; callers keep ownership).
+[[nodiscard]] RebuiltRun rebuild_from_header(
+    const journal::JournalHeader& header,
+    std::vector<RunObserver*> observers = {});
+
+// The header-recorded policy, instantiated against the rebuilt
+// experiment's scheduler seed stream.
+[[nodiscard]] std::unique_ptr<Scheduler> rebuilt_scheduler(
+    const RebuiltRun& run);
+
+}  // namespace venn::api

@@ -10,15 +10,25 @@
 // torn journal replays in resume mode — the verified prefix anchors the
 // recovery, the stored snapshot is compared field-for-field at its marked
 // commit, and the run then continues live to completion.
+//
+// Journals recorded by the live daemon additionally carry kExternal
+// records (service traffic commands). Those replay through a LiveSession:
+// the driver advances the sim clock to each command's recorded cursor,
+// consumes the kExternal record from the tape, and re-applies the command
+// — the drain-before-journal rule on the recording side guarantees the
+// interleaving with ordinary trace events matches event for event.
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "api/builder.h"
+#include "api/live.h"
+#include "api/rebuild.h"
 #include "journal/reader.h"
 #include "journal/snapshot.h"
 #include "journal/verifier.h"
+#include "util/logging.h"
 
 namespace venn::api {
 
@@ -45,11 +55,8 @@ void apply_kv(const std::string& kv, const char* what, Setter&& set) {
 
 }  // namespace
 
-ReplayReport Experiment::replay(const std::string& journal_path,
-                                const ReplayOptions& opts) {
-  journal::JournalReader reader(journal_path, opts.tolerate_torn_tail);
-  const journal::JournalHeader& header = reader.header();
-
+RebuiltRun rebuild_from_header(const journal::JournalHeader& header,
+                               std::vector<RunObserver*> observers) {
   // Rebuild the world description through the normal override surface, so
   // a header knob the build does not know is a loud unknown-key error.
   ScenarioSpec scenario;
@@ -68,8 +75,9 @@ ReplayReport Experiment::replay(const std::string& journal_path,
         ") disagrees with the scenario kv (" + std::to_string(scenario.seed) +
         ")");
   }
-  // The replayed run verifies instead of journaling; the plumbing knobs
-  // are not part of the header kv, but clear them defensively.
+  // The rebuilt run verifies (or re-records through a fresh writer); the
+  // plumbing knobs are not part of the header kv, but clear them
+  // defensively.
   scenario.journal_enabled = false;
   scenario.journal_dir.clear();
   scenario.journal_halt_after = 0;
@@ -86,7 +94,32 @@ ReplayReport Experiment::replay(const std::string& journal_path,
         "availability/hardware configs); such runs cannot be replayed from "
         "the journal alone.");
   }
-  Experiment ex(scenario, std::move(inputs));
+  Experiment ex(scenario, std::move(inputs), std::move(observers));
+  return RebuiltRun{std::move(scenario), std::move(policy), std::move(ex)};
+}
+
+std::unique_ptr<Scheduler> rebuilt_scheduler(const RebuiltRun& run) {
+  return PolicyRegistry::instance().create(
+      run.policy.name, run.policy.params,
+      run.experiment.stream_seed("scheduler"));
+}
+
+ReplayReport Experiment::replay(const std::string& journal_path,
+                                const ReplayOptions& opts) {
+  // Resume means the journal may end mid-run — a torn final stretch is the
+  // documented normal case (the writer was killed mid-append), so resume
+  // implies tolerance; strict mode stays strict.
+  const bool tolerant = opts.tolerate_torn_tail || opts.resume;
+  journal::JournalReader reader(journal_path, tolerant);
+  const journal::JournalScan scan = reader.scan();
+  if (scan.torn) {
+    VENN_INFO << "journal " << journal_path << ": torn tail at byte "
+              << scan.torn_offset << "; recovered " << scan.prefix_end
+              << "-byte prefix (" << scan.records << " records, "
+              << scan.commits << " commits)";
+  }
+  const journal::JournalHeader& header = reader.header();
+  RebuiltRun run = rebuild_from_header(header);
 
   // The newest stored snapshot, when asked for and when one was marked:
   // the zero-drift anchor of a crash recovery.
@@ -103,12 +136,27 @@ ReplayReport Experiment::replay(const std::string& journal_path,
       opts.resume ? journal::JournalVerifier::Mode::kResume
                   : journal::JournalVerifier::Mode::kStrict,
       snapshot ? &*snapshot : nullptr);
-  auto scheduler = PolicyRegistry::instance().create(
-      policy.name, policy.params, ex.stream_seed("scheduler"));
+  auto scheduler = rebuilt_scheduler(run);
 
   ReplayReport report;
-  report.result = ex.run_with_sink(std::move(scheduler), header.label,
-                                   &verifier);
+  if (scan.externals.empty()) {
+    report.result = run.experiment.run_with_sink(std::move(scheduler),
+                                                 header.label, &verifier);
+  } else {
+    // Service-journal replay: pace the run through the recorded external
+    // commands. advance_to drains every trace event the daemon drained
+    // before journaling the command, take_external consumes the kExternal
+    // record itself, apply re-runs the command's cascade.
+    LiveSession live(run.experiment, std::move(scheduler), header.label,
+                     &verifier);
+    live.start();
+    for (const journal::ExternalEvent& ext : scan.externals) {
+      live.advance_to(ext.time);
+      verifier.take_external(ext);
+      live.apply(TrafficCommand::parse(ext.command));
+    }
+    report.result = live.finish();
+  }
   report.label = header.label;
   report.events_verified = verifier.events_verified();
   report.resumed_past_journal = verifier.passthrough();

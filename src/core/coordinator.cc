@@ -316,6 +316,11 @@ double Coordinator::solo_jct_estimate(const trace::JobSpec& spec) const {
 }
 
 void Coordinator::run() {
+  setup();
+  engine_.run_until(cfg_.horizon);
+}
+
+void Coordinator::setup() {
   // Job arrivals from the pre-built spec list (closed loop).
   jobs_.reserve(specs_.size());
   for (std::size_t i = 0; i < specs_.size(); ++i) {
@@ -380,8 +385,83 @@ void Coordinator::run() {
       }
     }
   }
+}
 
-  engine_.run_until(cfg_.horizon);
+bool Coordinator::external_checkin(std::size_t dev, double duration) {
+  const SimTime now = engine_.now();
+  if (dev >= devices_.size() || duration <= 0.0) return false;
+  if (ext_session_end_.empty()) ext_session_end_.resize(devices_.size(), -1.0);
+  if (active_session_end(dev, now) >= 0.0) return false;  // already online
+  ext_session_end_[dev] = now + duration;
+  attempt_checkin(dev);
+  // The grant expires on its own clock: clear the slot and retire any pool
+  // entry. attempt_checkin's non-streaming retire covers the pool, but the
+  // slot itself (and streaming mode) needs this event.
+  engine_.at(std::min(now + duration, cfg_.horizon), [this, dev] {
+    if (ext_session_end_[dev] >= 0.0 && ext_session_end_[dev] <= engine_.now()) {
+      ext_session_end_[dev] = -1.0;
+      retire_idle(dev);
+    }
+  });
+  return true;
+}
+
+bool Coordinator::external_checkout(std::size_t dev) {
+  if (dev >= devices_.size()) return false;
+  bool any = false;
+  if (ext_sessions_live() && ext_session_end_[dev] > engine_.now()) {
+    // End the grant now; the pending expiry event finds the slot cleared.
+    ext_session_end_[dev] = -1.0;
+    any = true;
+  }
+  if (idle_pos_[dev] != 0) {
+    retire_idle(dev);  // journals the check-out
+    any = true;
+  }
+  return any;
+}
+
+JobId Coordinator::external_submit(trace::JobSpec spec) {
+  spec.arrival = engine_.now();
+  const auto idx = static_cast<std::int64_t>(jobs_.size());
+  jobs_.push_back(std::make_unique<Job>(JobId(idx), spec));
+  Job* job = jobs_.back().get();
+  by_id_[job->id()] = job;
+  ++unfinished_jobs_;
+  ++ext_submitted_;
+  if (cfg_.journal != nullptr) {
+    cfg_.journal->on_admission(engine_.now(), job->id(), spec);
+  }
+  manager_.register_job(job, solo_jct_estimate(spec));
+  submit_request(job);
+  return job->id();
+}
+
+bool Coordinator::external_admit() {
+  // Needs the open-loop mix stream (and its deterministically seeded RNG,
+  // initialized in setup alongside the arrival stream).
+  if (cfg_.mix == nullptr || cfg_.arrival == nullptr) return false;
+  admit_job();
+  return true;
+}
+
+bool Coordinator::external_response(std::size_t dev) {
+  if (dev >= devices_.size()) return false;
+  // Find the device's in-flight computation in job-creation order (the
+  // inflight_ map's hashing order must not decide anything observable).
+  for (const auto& jp : jobs_) {
+    const auto it = inflight_.find(jp->id());
+    if (it == inflight_.end()) continue;
+    for (const InFlight& f : it->second) {
+      if (f.dev != dev) continue;
+      // Deliver now. on_response removes the in-flight entry; the
+      // originally scheduled response/failure event then finds the
+      // computation untracked and returns without double-counting.
+      on_response(jp->id(), f.rid, dev, f.round, engine_.now() - f.started);
+      return true;
+    }
+  }
+  return false;
 }
 
 void Coordinator::admit_job() {
@@ -427,6 +507,11 @@ void Coordinator::advance_device(std::size_t dev_idx) {
 
 SimTime Coordinator::active_session_end(std::size_t dev_idx,
                                         SimTime now) const {
+  // External grants (live service mode) take precedence over the trace.
+  // Empty unless external_checkin ever ran, so batch runs skip this.
+  if (!ext_session_end_.empty() && ext_session_end_[dev_idx] > now) {
+    return ext_session_end_[dev_idx];
+  }
   if (streaming_churn()) {
     const auto& st = streams_[dev_idx];
     if (st.has_session && st.current.contains(now)) return st.current.end;
@@ -757,14 +842,16 @@ void Coordinator::handle_outcome(std::size_t dev_idx,
   const RequestId rid = outcome.request;
   const JobId jid = outcome.job;
   const int assigned_round = outcome.round;
-  inflight_[jid].push_back({rid, dev_idx, now});
+  inflight_[jid].push_back({rid, dev_idx, now, assigned_round});
   if (now + exec <= session_end) {
     engine_.after(exec, [this, jid, rid, dev_idx, assigned_round, exec] {
       on_response(jid, rid, dev_idx, assigned_round, exec);
     });
   } else {
     engine_.at(session_end, [this, jid, rid, dev_idx] {
-      inflight_remove(jid, rid, dev_idx);
+      // Untracked = the computation already resolved (straggler release or
+      // an early external response); this timer is then a phantom.
+      if (!inflight_remove(jid, rid, dev_idx)) return;
       Job* j = by_id_.count(jid) ? by_id_.at(jid) : nullptr;
       if (j == nullptr || !j->request() || j->request()->id != rid) return;
       RoundRequest& req = j->mutable_request();
@@ -829,6 +916,14 @@ void Coordinator::on_response(JobId jid, RequestId rid, std::size_t dev_idx,
       ++pstats_.wasted_responses;
       pstats_.wasted_work_s += response_time;
     }
+    return;
+  }
+  if (!tracked) {
+    // The round is still live but this computation was already delivered
+    // (an early external response): the original timer event is a phantom
+    // and must not count the response twice. Unreachable in batch runs —
+    // a live round's in-flight entry is only ever removed by its own
+    // response/failure event or by external_response.
     return;
   }
   RoundRequest& req = job->mutable_request();
@@ -1164,6 +1259,7 @@ journal::StateSnapshot Coordinator::capture_snapshot() {
         e.i64(f.rid.value());
         e.u64(static_cast<std::uint64_t>(f.dev));
         e.f64(f.started);
+        e.i32(f.round);
       }
     }
     add("inflight", e);
@@ -1190,6 +1286,17 @@ journal::StateSnapshot Coordinator::capture_snapshot() {
     journal::Encoder e;
     e.str(os.str());
     add("mix-rng", e);
+  }
+  if (ext_sessions_live()) {
+    // Only present once the live service granted a session, so batch
+    // snapshots (and pre-service journals) are byte-unchanged. A replayed
+    // command stream goes live at the same record, so the section appears
+    // in both captures or neither.
+    journal::Encoder e;
+    e.u64(ext_submitted_);
+    e.u64(static_cast<std::uint64_t>(ext_session_end_.size()));
+    for (const SimTime t : ext_session_end_) e.f64(t);
+    add("ext-sessions", e);
   }
   return snap;
 }

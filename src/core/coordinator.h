@@ -145,8 +145,41 @@ class Coordinator {
               CoordinatorConfig cfg = {});
 
   // Schedules all trace events and runs the engine until every job finishes
-  // or the horizon is reached.
+  // or the horizon is reached. Equivalent to setup() + run_until(horizon).
   void run();
+
+  // --- live service hooks (src/service/) --------------------------------
+  // Schedules all trace events WITHOUT running the engine: the live daemon
+  // (and the replay driver for journals carrying external commands) paces
+  // the run itself through Engine::run_until, interleaving the external
+  // events below at its sim-clock cursor. Batch runs never call these, so
+  // their trajectories are untouched.
+  void setup();
+
+  // Grants `dev` an out-of-trace session [now, now+duration) and attempts
+  // a check-in. Deterministic no-op (returns false) when the device is
+  // already online — live refusals must replay identically.
+  bool external_checkin(std::size_t dev, double duration);
+  // Ends the device's external session now and retires any idle-pool entry
+  // (also works for a device parked on a trace session). Returns false
+  // when there was nothing to end.
+  bool external_checkout(std::size_t dev);
+  // Registers and submits a fully specified job now (arrival is forced to
+  // the current sim time). Returns the assigned id.
+  JobId external_submit(trace::JobSpec spec);
+  // One open-loop admission drawn from the configured mix (requires an
+  // open-loop scenario; returns false otherwise).
+  bool external_admit();
+  // Delivers the in-flight computation of `dev` early, as if the device
+  // responded now. Deterministic no-op when the device is not computing.
+  bool external_response(std::size_t dev);
+
+  // Status accessors for the daemon's admin surface and the inspector.
+  [[nodiscard]] std::size_t idle_pool_size() const { return idle_vec_.size(); }
+  [[nodiscard]] std::size_t unfinished_jobs() const { return unfinished_jobs_; }
+  [[nodiscard]] std::uint64_t external_submitted() const {
+    return ext_submitted_;
+  }
 
   [[nodiscard]] const std::vector<std::unique_ptr<Job>>& jobs() const {
     return jobs_;
@@ -389,6 +422,7 @@ class Coordinator {
     RequestId rid;
     std::size_t dev = 0;
     SimTime started = 0.0;
+    int round = 0;  // round the device was assigned to (staleness basis)
   };
   // Entries removed by a straggler release stop being tracked; the
   // cut-off computation's still-scheduled response/failure event then
@@ -414,6 +448,15 @@ class Coordinator {
   // Open-loop state: job specs sampled as arrivals fire.
   Rng mix_rng_{0};
   std::size_t admitted_ = 0;
+
+  // External-session state (live service mode). Lazily sized on the first
+  // external_checkin so batch runs carry no trace of it — including in
+  // snapshots, whose ext-sessions section only exists once this is live.
+  std::vector<SimTime> ext_session_end_;
+  std::uint64_t ext_submitted_ = 0;
+  [[nodiscard]] bool ext_sessions_live() const {
+    return !ext_session_end_.empty();
+  }
 };
 
 }  // namespace venn

@@ -52,6 +52,7 @@ std::string_view record_type_name(RecordType t) {
     case RecordType::kJobFinish: return "job-finish";
     case RecordType::kSnapshotMark: return "snapshot-mark";
     case RecordType::kRunEnd: return "run-end";
+    case RecordType::kExternal: return "external";
   }
   return "unknown";
 }

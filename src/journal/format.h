@@ -55,6 +55,7 @@ enum class RecordType : std::uint16_t {
   kJobFinish = 10,        // job completed its last round
   kSnapshotMark = 11,     // a state snapshot was captured here
   kRunEnd = 12,           // clean end-of-run footer
+  kExternal = 13,         // live service command (daemon ingest, PR 7)
 };
 
 [[nodiscard]] std::string_view record_type_name(RecordType t);

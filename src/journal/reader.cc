@@ -62,7 +62,7 @@ std::optional<Record> JournalReader::parse_at(std::size_t* pos,
   Decoder d(body, body_start);
   const std::uint16_t raw_type = d.u16();
   if (raw_type < static_cast<std::uint16_t>(RecordType::kCheckin) ||
-      raw_type > static_cast<std::uint16_t>(RecordType::kRunEnd)) {
+      raw_type > static_cast<std::uint16_t>(RecordType::kExternal)) {
     return fail("unknown record type " + std::to_string(raw_type),
                 frame_start);
   }
@@ -80,6 +80,62 @@ std::optional<Record> JournalReader::next() {
   auto r = parse_at(&pos_, index_, &torn_, &torn_offset_);
   if (r) ++index_;
   return r;
+}
+
+ExternalEvent decode_external(const Record& r) {
+  if (r.type != RecordType::kExternal) {
+    throw std::runtime_error("journal: record " + std::to_string(r.index) +
+                             " is not an external record");
+  }
+  Decoder d(r.payload, r.offset + kFramePayloadOffset);
+  ExternalEvent e;
+  e.index = r.index;
+  e.time = d.f64();
+  e.seq = d.u64();
+  e.command = d.str();
+  return e;
+}
+
+JournalScan JournalReader::scan() const {
+  JournalScan s;
+  std::size_t pos = 0;
+  (void)decode_header(bytes_, &pos);
+  s.prefix_end = pos;
+  std::uint64_t index = 0;
+  bool torn = false;
+  std::size_t torn_at = 0;
+  while (true) {
+    const auto r = parse_at(&pos, index, &torn, &torn_at);
+    if (!r) break;
+    ++index;
+    ++s.records;
+    s.prefix_end = pos;
+    switch (r->type) {
+      case RecordType::kCommit:
+        ++s.commits;
+        break;
+      case RecordType::kRunEnd:
+        s.has_run_end = true;
+        break;
+      case RecordType::kSnapshotMark: {
+        Decoder d(r->payload, r->offset + kFramePayloadOffset);
+        s.last_snapshot_commits = d.u64();
+        ++s.snapshots;
+        break;
+      }
+      case RecordType::kExternal: {
+        auto e = decode_external(*r);
+        s.last_external_seq = e.seq;
+        s.externals.push_back(std::move(e));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  s.torn = torn;
+  s.torn_offset = torn_at;
+  return s;
 }
 
 std::optional<std::uint64_t> JournalReader::last_snapshot_commits() const {

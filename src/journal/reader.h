@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "journal/format.h"
 
@@ -22,6 +23,35 @@ struct Record {
   std::string payload;      // body bytes after the type field
   std::size_t offset = 0;   // file offset of the frame start
   std::uint64_t index = 0;  // 0-based record ordinal
+};
+
+// Decoded kExternal record: a live service command accepted by the daemon
+// (src/service/). `time` is the daemon's sim-clock cursor at acceptance;
+// `seq` the daemon-assigned acceptance ordinal; `command` the canonical
+// traffic-command line (api::TrafficCommand::canonical).
+struct ExternalEvent {
+  std::uint64_t index = 0;  // record ordinal within the journal
+  std::uint64_t seq = 0;
+  double time = 0.0;
+  std::string command;
+};
+
+[[nodiscard]] ExternalEvent decode_external(const Record& r);
+
+// One-pass summary of a whole journal, honoring the reader's torn-tail
+// tolerance. `prefix_end` is the byte offset just past the last valid
+// record — the truncation point for resume-in-place appending.
+struct JournalScan {
+  std::uint64_t records = 0;
+  std::uint64_t commits = 0;
+  bool has_run_end = false;
+  bool torn = false;
+  std::size_t torn_offset = 0;
+  std::size_t prefix_end = 0;
+  std::optional<std::uint64_t> last_snapshot_commits;
+  std::uint64_t snapshots = 0;
+  std::uint64_t last_external_seq = 0;
+  std::vector<ExternalEvent> externals;
 };
 
 class JournalReader {
@@ -44,6 +74,11 @@ class JournalReader {
   // kSnapshotMark and returns its commit count; nullopt when none. Honors
   // the reader's torn-tail tolerance.
   [[nodiscard]] std::optional<std::uint64_t> last_snapshot_commits() const;
+
+  // Full-journal summary (record/commit counts, torn prefix end, decoded
+  // external commands) without disturbing this reader's cursor. Honors the
+  // reader's torn-tail tolerance.
+  [[nodiscard]] JournalScan scan() const;
 
  private:
   [[nodiscard]] std::optional<Record> parse_at(std::size_t* pos,

@@ -195,6 +195,19 @@ class EventEncoderSink : public JournalSink {
   return e.take();
 }
 
+// Canonical body of a kExternal record: a live service command accepted by
+// the daemon at sim-clock cursor `time` with acceptance ordinal `seq`.
+// `command` is the canonical traffic-command line (api::TrafficCommand).
+[[nodiscard]] inline std::string encode_external(double time,
+                                                 std::uint64_t seq,
+                                                 std::string_view command) {
+  Encoder e;
+  e.f64(time);
+  e.u64(seq);
+  e.str(command);
+  return e.take();
+}
+
 // Canonical body of the kRunEnd footer.
 [[nodiscard]] inline std::string encode_run_end(double clock,
                                                 std::uint64_t records) {

@@ -56,6 +56,14 @@ bool JournalVerifier::expect(RecordType type, std::string_view payload) {
         hex_preview(payload));
   }
   ++verified_;
+  if (type == RecordType::kCommit) {
+    ++commits_matched_;
+    if (seek_commits_ != 0 && commits_matched_ == seek_commits_) {
+      // The Nth commit just matched — the exact point where the cadence
+      // snapshot would be captured. Unwind to the seek driver.
+      throw SeekReached{commits_matched_};
+    }
+  }
   return true;
 }
 
@@ -63,12 +71,36 @@ void JournalVerifier::handle(RecordType type, std::string_view frame) {
   (void)expect(type, frame.substr(kFramePayloadOffset));
 }
 
+void JournalVerifier::take_external(const ExternalEvent& expected) {
+  const auto rec = reader_.next();
+  if (!rec) {
+    throw std::runtime_error(
+        "journal replay: journal ended before external record seq " +
+        std::to_string(expected.seq));
+  }
+  if (rec->type != RecordType::kExternal ||
+      rec->payload !=
+          encode_external(expected.time, expected.seq, expected.command)) {
+    throw std::runtime_error(
+        "journal replay diverged at record " + std::to_string(rec->index) +
+        " (offset " + std::to_string(rec->offset) + "): expected external "
+        "command seq " + std::to_string(expected.seq) + " \"" +
+        expected.command + "\", journal has " +
+        std::string(record_type_name(rec->type)));
+  }
+  ++verified_;
+}
+
 void JournalVerifier::on_snapshot(const StateSnapshot& snapshot) {
   if (!expect(RecordType::kSnapshotMark, encode_snapshot_mark(snapshot))) {
     return;
   }
+  // The clock check disambiguates operator-initiated snapshot-now marks:
+  // several snapshots can share one commit count between rounds, and the
+  // stored file at that commit was written by the last of them.
   if (expect_snapshot_ != nullptr &&
-      snapshot.commits == expect_snapshot_->commits) {
+      snapshot.commits == expect_snapshot_->commits &&
+      snapshot.clock == expect_snapshot_->clock) {
     const auto mismatch = describe_mismatch(*expect_snapshot_, snapshot);
     if (mismatch) {
       throw std::runtime_error(

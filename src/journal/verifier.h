@@ -35,6 +35,17 @@
 
 namespace venn::journal {
 
+// Thrown by the verifier when a seek target set via set_seek_commits is
+// reached: the Nth kCommit record just matched, which is the exact program
+// point where the coordinator captures its cadence snapshots — so a driver
+// that catches this and calls Coordinator::capture_snapshot() reads the
+// same state the stored snapshot at commit N recorded (the time-travel
+// inspector, src/service/inspect.cc). Deliberately not a std::exception:
+// nothing but the seek driver should ever catch it.
+struct SeekReached {
+  std::uint64_t commits = 0;
+};
+
 class JournalVerifier final : public EventEncoderSink {
  public:
   enum class Mode {
@@ -66,6 +77,18 @@ class JournalVerifier final : public EventEncoderSink {
   // True once the stored snapshot was reached and compared clean.
   [[nodiscard]] bool snapshot_verified() const { return snapshot_verified_; }
 
+  // Consumes the next journal record, which must be the given kExternal
+  // record (the replay driver pre-scans externals and interleaves them with
+  // re-execution; see Experiment::replay). Counts toward events_verified.
+  void take_external(const ExternalEvent& expected);
+
+  // Arms time-travel seek: after the Nth kCommit record matches, throw
+  // SeekReached instead of continuing. 0 (default) disarms.
+  void set_seek_commits(std::uint64_t n) { seek_commits_ = n; }
+  [[nodiscard]] std::uint64_t commits_matched() const {
+    return commits_matched_;
+  }
+
  protected:
   void handle(RecordType type, std::string_view frame) override;
 
@@ -79,6 +102,8 @@ class JournalVerifier final : public EventEncoderSink {
   bool passthrough_ = false;
   bool snapshot_verified_ = false;
   std::uint64_t verified_ = 0;
+  std::uint64_t commits_matched_ = 0;
+  std::uint64_t seek_commits_ = 0;
 };
 
 }  // namespace venn::journal

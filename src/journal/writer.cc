@@ -20,6 +20,18 @@ JournalWriter::JournalWriter(std::string path, const JournalHeader& header)
   }
 }
 
+JournalWriter::JournalWriter(std::string path, AppendExisting resume_at)
+    : path_(std::move(path)),
+      records_(resume_at.records),
+      commits_(resume_at.commits),
+      snapshots_(resume_at.snapshots) {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("journal: cannot open \"" + path_ +
+                             "\" for appending");
+  }
+}
+
 JournalWriter::~JournalWriter() {
   // Unflushed records are discarded on purpose: the durability contract is
   // "everything up to the last round boundary", and the destructor runs on
@@ -76,6 +88,12 @@ void JournalWriter::on_snapshot(const StateSnapshot& snapshot) {
   append(RecordType::kSnapshotMark, encode_snapshot_mark(snapshot));
   flush();
   ++snapshots_;
+}
+
+void JournalWriter::append_external(double time, std::uint64_t seq,
+                                    std::string_view command) {
+  append(RecordType::kExternal, encode_external(time, seq, command));
+  flush();  // ack-after-durable
 }
 
 void JournalWriter::finalize(double clock) {

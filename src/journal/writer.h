@@ -41,6 +41,19 @@ class JournalWriter final : public EventEncoderSink {
   // Opens `path` for writing and persists the header immediately (a
   // journal is identifiable even if the run dies before its first flush).
   JournalWriter(std::string path, const JournalHeader& header);
+
+  // Resume-in-place: reopen an existing journal for appending. The caller
+  // (the daemon's --resume path) has already truncated the file to its
+  // recovered valid prefix and seeds the counters from a JournalScan of
+  // that prefix, so commit cadence and the run-end record count continue
+  // exactly where the crashed process stopped.
+  struct AppendExisting {
+    std::uint64_t records = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t snapshots = 0;
+  };
+  JournalWriter(std::string path, AppendExisting resume_at);
+
   ~JournalWriter() override;
 
   JournalWriter(const JournalWriter&) = delete;
@@ -51,6 +64,12 @@ class JournalWriter final : public EventEncoderSink {
 
   // Clean end of run: flushes the tail and appends the kRunEnd footer.
   void finalize(double clock);
+
+  // Appends a kExternal record (a live service command) and flushes: a
+  // command is acknowledged to the client only once it is durable, so a
+  // restarted daemon can replay every acked command from the journal.
+  void append_external(double time, std::uint64_t seq,
+                       std::string_view command);
 
   // Crash injection: throw SimulationHalted after the k-th commit record
   // has been written and flushed. 0 disables (default).

@@ -1,0 +1,90 @@
+#include "service/codec.h"
+
+#include "api/live.h"
+
+namespace venn::service {
+
+std::optional<std::string> frame_error(const std::string& line) {
+  if (line.empty()) return "empty request";
+  if (line.size() > kMaxLineBytes) {
+    return "request exceeds " + std::to_string(kMaxLineBytes) + " bytes";
+  }
+  for (const char c : line) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u < 0x20 || u > 0x7e) {
+      return "request contains non-printable byte 0x" +
+             [](unsigned v) {
+               constexpr char hex[] = "0123456789abcdef";
+               return std::string{hex[(v >> 4) & 0xf], hex[v & 0xf]};
+             }(u);
+    }
+  }
+  return std::nullopt;
+}
+
+std::string first_token(const std::string& line) {
+  const std::size_t begin = line.find_first_not_of(' ');
+  if (begin == std::string::npos) return {};
+  const std::size_t end = line.find(' ', begin);
+  return line.substr(begin, end == std::string::npos ? end : end - begin);
+}
+
+bool is_admin_verb(const std::string& verb) {
+  return verb == "ping" || verb == "version" || verb == "status" ||
+         verb == "seq" || verb == "drain" || verb == "shutdown";
+}
+
+RequestKind classify(const std::string& line) {
+  if (frame_error(line)) return RequestKind::kInvalid;
+  const std::string verb = first_token(line);
+  if (is_admin_verb(verb)) return RequestKind::kAdmin;
+  if (api::TrafficCommand::is_traffic_verb(verb)) return RequestKind::kTraffic;
+  return RequestKind::kInvalid;
+}
+
+namespace {
+
+// Replies are one line by contract; flatten anything that would break it.
+std::string flatten(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string ok_reply(const std::string& payload) {
+  return payload.empty() ? "ok" : "ok " + flatten(payload);
+}
+
+std::string err_reply(const std::string& message) {
+  return "err " + flatten(message.empty() ? "unspecified" : message);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(u >> 4) & 0xf];
+          out += hex[u & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace venn::service

@@ -1,0 +1,57 @@
+// Wire codec of the coordinator service: newline-framed request/reply text
+// over a local stream socket (src/service/server.h) or the in-process
+// dispatch path (src/service/daemon.h — same bytes, no socket).
+//
+// Requests are single lines, at most kMaxLineBytes bytes, printable ASCII.
+// The first token routes them:
+//
+//   traffic  — api::TrafficCommand verbs (advance/checkin/checkout/submit/
+//              admit/respond/snapshot-now): journaled on acceptance,
+//              acknowledged only once durable.
+//   admin    — ping / version / status / seq / drain / shutdown: control
+//              surface, never journaled.
+//
+// Replies are single lines: "ok" (optionally "ok <payload>") or
+// "err <message>". A malformed request yields an err reply (or, for frames
+// that violate the framing itself — oversized, non-ASCII — a closed
+// connection); it must never crash the daemon or reach the journal, which
+// the codec fuzz tests pin.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace venn::service {
+
+// Hard cap on one request line (excluding the trailing newline). Covers
+// every canonical traffic command with room to spare; anything longer is a
+// framing violation.
+inline constexpr std::size_t kMaxLineBytes = 4096;
+
+enum class RequestKind {
+  kTraffic,  // an api::TrafficCommand verb
+  kAdmin,    // ping / version / status / seq / drain / shutdown
+  kInvalid,  // framing violation or unknown verb
+};
+
+// Framing check: non-empty, within kMaxLineBytes, printable ASCII + space
+// only. Returns the violation, or nullopt when the frame is acceptable.
+[[nodiscard]] std::optional<std::string> frame_error(const std::string& line);
+
+// First token of a line (empty for an all-blank line).
+[[nodiscard]] std::string first_token(const std::string& line);
+
+[[nodiscard]] bool is_admin_verb(const std::string& verb);
+
+// Classifies a frame-valid line by its verb.
+[[nodiscard]] RequestKind classify(const std::string& line);
+
+// Reply constructors: one line, no embedded newlines (messages are
+// flattened defensively).
+[[nodiscard]] std::string ok_reply(const std::string& payload = {});
+[[nodiscard]] std::string err_reply(const std::string& message);
+
+// Minimal JSON string escaping for the status payload.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace venn::service

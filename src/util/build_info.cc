@@ -1,0 +1,34 @@
+#include "util/build_info.h"
+
+// The macros come from CMake (see the set_property(SOURCE ...) block);
+// building outside CMake still compiles, just unidentified.
+#ifndef VENN_GIT_DESCRIBE
+#define VENN_GIT_DESCRIBE "unknown"
+#endif
+#ifndef VENN_BUILD_TYPE
+#define VENN_BUILD_TYPE "unknown"
+#endif
+
+namespace venn {
+
+const char* build_git_describe() { return VENN_GIT_DESCRIBE; }
+const char* build_type() { return VENN_BUILD_TYPE; }
+
+const char* build_compiler() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown-compiler";
+#endif
+}
+
+const std::string& build_info_line() {
+  static const std::string line = std::string("venn ") + build_git_describe() +
+                                  " (" + build_type() + ", " +
+                                  build_compiler() + ")";
+  return line;
+}
+
+}  // namespace venn

@@ -1,0 +1,18 @@
+// Build identification: git describe, build type and compiler, baked in at
+// configure time (CMake sets VENN_GIT_DESCRIBE / VENN_BUILD_TYPE on this
+// translation unit only, so touching them rebuilds one file). Surfaced by
+// `venn_sim_cli --version`, the daemon's startup log and its status JSON.
+#pragma once
+
+#include <string>
+
+namespace venn {
+
+[[nodiscard]] const char* build_git_describe();
+[[nodiscard]] const char* build_type();
+[[nodiscard]] const char* build_compiler();
+
+// One line: "venn <describe> (<build-type>, <compiler>)".
+[[nodiscard]] const std::string& build_info_line();
+
+}  // namespace venn
