@@ -105,8 +105,6 @@ Coordinator::Coordinator(sim::Engine& engine, ResourceManager& manager,
     for (const auto& d : devices_) acc += 1.0 / d.speed();
     mean_exec_factor_ = acc / static_cast<double>(devices_.size());
   }
-  idle_pos_.assign(devices_.size(), 0);
-
   // Sharded execution: adopt the engine's worker pool (if any) and lay the
   // immutable contiguous device partition over the fleet. shard_of_ is
   // materialized per device so segment accounting and ownership checks are
@@ -126,9 +124,17 @@ Coordinator::Coordinator(sim::Engine& engine, ResourceManager& manager,
     }
   }
 
+  // Struct-of-arrays hot state: one dense column per field the scheduling
+  // loops touch. Devices become views over the participation column (their
+  // budget API now reads/writes hot_.participation_day), and the
+  // eligibility index below maintains hot_.signature in place.
+  hot_.init(std::span<const Device>(devices_), shards);
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    devices_[d].bind_participation_slot(&hot_.participation_day[d]);
+  }
+
   if (cfg_.use_index) {
-    index_ = std::make_unique<EligibilityIndex>(
-        std::span<const Device>(devices_));
+    index_ = std::make_unique<EligibilityIndex>(hot_);
     if (workers_ != nullptr) index_->set_workers(workers_);
   }
   // The pending-entry cache and the eligibility index are one feature: the
@@ -140,25 +146,25 @@ Coordinator::Coordinator(sim::Engine& engine, ResourceManager& manager,
 }
 
 void Coordinator::idle_insert(std::size_t d) {
-  if (idle_pos_[d] != 0) return;
+  if (hot_.idle_pos[d] != 0) return;
   idle_vec_.push_back(d);
-  idle_pos_[d] = idle_vec_.size();
+  hot_.idle_pos[d] = static_cast<std::uint32_t>(idle_vec_.size());
   ++segment_size_[shard_of(d)];
 }
 
 void Coordinator::idle_erase(std::size_t d) {
-  const std::size_t pos = idle_pos_[d];
+  const std::uint32_t pos = hot_.idle_pos[d];
   if (pos == 0) return;
   const std::size_t last = idle_vec_.back();
   idle_vec_[pos - 1] = last;
-  idle_pos_[last] = pos;
+  hot_.idle_pos[last] = pos;
   idle_vec_.pop_back();
-  idle_pos_[d] = 0;
+  hot_.idle_pos[d] = 0;
   --segment_size_[shard_of(d)];
 }
 
 void Coordinator::retire_idle(std::size_t d) {
-  if (idle_pos_[d] == 0) return;
+  if (hot_.idle_pos[d] == 0) return;
   if (cfg_.journal != nullptr) {
     cfg_.journal->on_checkout(engine_.now(), d);
   }
@@ -201,14 +207,18 @@ double Coordinator::supply_rate(const Requirement& req) const {
     return checkins / span;
   }
 
-  // The `index=0` fallback pays a fleet scan per supply query. With a
-  // worker pool, the scan splits by device shard and merges shard-ordered;
-  // every merged quantity is exact (eligible counts are integers, session
-  // check-in sums are integer-valued doubles, the span is a max), so the
-  // sharded scan returns the very double the serial one does — a property
-  // the shard differential tests assert at every shard count.
+  // The `index=0` fallback pays a fleet scan per supply query — over the
+  // hot store's dense spec/session columns, never touching a Device
+  // object. With a worker pool, the scan splits by device shard and merges
+  // shard-ordered; every merged quantity is exact (eligible counts are
+  // integers, session check-in sums are integer-valued doubles, the span
+  // is a max), so the sharded scan returns the very double the serial one
+  // does — a property the shard differential tests assert at every shard
+  // count.
   const bool shard_scan =
       workers_ != nullptr && devices_.size() >= kShardedScanMinFleet;
+  const DeviceSpec* specs = hot_.spec.data();
+  const std::size_t nd = hot_.size();
 
   if (cfg_.churn != nullptr) {
     // Analytic rate from the churn model — used whether or not sessions
@@ -216,20 +226,20 @@ double Coordinator::supply_rate(const Requirement& req) const {
     std::size_t eligible = 0;
     if (shard_scan) {
       ++sstats_.sharded_supply_scans;
-      const FleetPartition partition(devices_.size(), workers_->shards());
+      const FleetPartition& partition = hot_.partition;
       std::vector<std::size_t> partial(workers_->shards(), 0);
       workers_->run_shards([&](std::size_t s) {
         std::size_t n = 0;
         const std::size_t end = partition.end(s);
         for (std::size_t d = partition.begin(s); d < end; ++d) {
-          n += req.eligible(devices_[d].spec()) ? 1 : 0;
+          n += req.eligible(specs[d]) ? 1 : 0;
         }
         partial[s] = n;
       });
       for (const std::size_t n : partial) eligible += n;
     } else {
-      for (const auto& d : devices_) {
-        eligible += req.eligible(d.spec()) ? 1 : 0;
+      for (std::size_t d = 0; d < nd; ++d) {
+        eligible += req.eligible(specs[d]) ? 1 : 0;
       }
     }
     const double rate = static_cast<double>(eligible) *
@@ -238,7 +248,12 @@ double Coordinator::supply_rate(const Requirement& req) const {
   }
 
   // Daily-averaged check-in rate of eligible devices: one check-in per
-  // session, averaged over the span the sessions cover.
+  // session, averaged over the span the sessions cover. The per-device
+  // session quantities are the precomputed columns (count, last end) — a
+  // device with no sessions holds last_end 0, which a max against >= 0
+  // treats exactly like the legacy skip.
+  const double* session_counts = hot_.session_checkins.data();
+  const SimTime* last_ends = hot_.session_last_end.data();
   double checkins = 0.0;
   SimTime span = 0.0;
   if (shard_scan) {
@@ -247,18 +262,15 @@ double Coordinator::supply_rate(const Requirement& req) const {
       double checkins = 0.0;
       SimTime span = 0.0;
     };
-    const FleetPartition partition(devices_.size(), workers_->shards());
+    const FleetPartition& partition = hot_.partition;
     std::vector<Partial> partial(workers_->shards());
     workers_->run_shards([&](std::size_t s) {
       Partial p;
       const std::size_t end = partition.end(s);
       for (std::size_t i = partition.begin(s); i < end; ++i) {
-        const Device& d = devices_[i];
-        if (!d.sessions().empty()) {
-          p.span = std::max(p.span, d.sessions().back().end);
-        }
-        if (!req.eligible(d.spec())) continue;
-        p.checkins += static_cast<double>(d.sessions().size());
+        p.span = std::max(p.span, last_ends[i]);
+        if (!req.eligible(specs[i])) continue;
+        p.checkins += session_counts[i];
       }
       partial[s] = p;
     });
@@ -267,12 +279,10 @@ double Coordinator::supply_rate(const Requirement& req) const {
       span = std::max(span, p.span);
     }
   } else {
-    for (const auto& d : devices_) {
-      if (!d.sessions().empty()) {
-        span = std::max(span, d.sessions().back().end);
-      }
-      if (!req.eligible(d.spec())) continue;
-      checkins += static_cast<double>(d.sessions().size());
+    for (std::size_t i = 0; i < nd; ++i) {
+      span = std::max(span, last_ends[i]);
+      if (!req.eligible(specs[i])) continue;
+      checkins += session_counts[i];
     }
   }
   if (span <= 0.0 || checkins <= 0.0) return 1e-9;
@@ -290,19 +300,12 @@ double Coordinator::solo_jct_estimate(const trace::JobSpec& spec) const {
   double mean_session = kHour;
   if (cfg_.churn != nullptr) {
     mean_session = cfg_.churn->mean_session_seconds();
-  } else if (index_) {
-    // The index accumulated the identical device-order sums once at
-    // construction; the sessions never change after that.
-    if (index_->has_sessions()) mean_session = index_->mean_session_seconds();
-  } else {
-    double session_time = 0.0, session_count = 0.0;
-    for (const auto& d : devices_) {
-      for (const auto& s : d.sessions()) {
-        session_time += s.duration();
-        session_count += 1.0;
-      }
-    }
-    if (session_count > 0.0) mean_session = session_time / session_count;
+  } else if (hot_.session_count > 0.0) {
+    // The hot store accumulated the identical device-order sums once at
+    // construction; the sessions never change after that (both index
+    // modes read the same aggregates — the index's accessors are views of
+    // the very same fields).
+    mean_session = hot_.session_time / hot_.session_count;
   }
   const double pool = rate * mean_session;
   const double excess = std::max(0.0, static_cast<double>(spec.demand) - pool);
@@ -414,7 +417,7 @@ bool Coordinator::external_checkout(std::size_t dev) {
     ext_session_end_[dev] = -1.0;
     any = true;
   }
-  if (idle_pos_[dev] != 0) {
+  if (hot_.idle_pos[dev] != 0) {
     retire_idle(dev);  // journals the check-out
     any = true;
   }
@@ -608,11 +611,13 @@ void Coordinator::sweep_idle_pool(SimTime now) {
   }
   // Both modes visit the pool in the same lazily-drawn Fisher-Yates
   // permutation, realized through SweepOrder (shared with the sharded
-  // pipeline, so the two sweep flavors cannot drift). The index mode keeps
-  // the implicit displaced-map snapshot — a sweep costs O(devices
-  // visited), not O(pool), and the usual early break keeps "visited" tiny.
-  // The fallback materializes the snapshot up front: it will visit every
-  // position anyway, and a flat copy beats a hash map there. idle_vec_
+  // pipeline, so the two sweep flavors cannot drift). The index mode
+  // starts on the implicit displaced-map snapshot — a sweep costs
+  // O(devices visited), not O(pool), and the usual early break keeps
+  // "visited" tiny — then materializes a flat snapshot once the sweep
+  // proves long (same switch-over as the sharded pipeline; a flat copy
+  // beats a hash-map lookup per draw from then on). The fallback
+  // materializes up front: it will visit every position anyway. idle_vec_
   // itself must not change mid-sweep for either snapshot to stay valid, so
   // erases of assigned devices are deferred to the end of the loop. The
   // deferral is safe because nothing else mutates the pool while the loop
@@ -622,36 +627,70 @@ void Coordinator::sweep_idle_pool(SimTime now) {
   SweepOrder order(idle_vec_, /*flat_upfront=*/!index_);
   std::vector<std::size_t> assigned;
   const std::size_t n = idle_vec_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t j = i + sweep_rng.index(n - i);
-    const std::size_t d = order.draw(i, j);
-    ++hstats_.sweep_visits;
-    if (index_) {
+  if (index_) {
+    // Hoisted filter state. The wants mask and the aligned-bits prefix can
+    // only change inside manager_.offer / handle_outcome — a skipped visit
+    // calls neither — so both are refreshed only after an offer lands
+    // instead of through two out-of-line calls per visit, and the skip
+    // test itself is one AND over the hot store's contiguous signature
+    // column. When every manager requirement bit is proven aligned, the
+    // offer also passes the cached signature down (masked to the manager's
+    // bit space — provably the very bits signature_of would recompute).
+    const std::uint64_t* sig = hot_.signature.data();
+    std::uint64_t wants = manager_.wants_mask();
+    std::uint64_t aligned = aligned_requirement_mask();
+    std::size_t mgr_bits = manager_.signatures().size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!order.materialized() && i >= kSnapshotAfter) order.materialize();
+      const std::size_t j = i + sweep_rng.index(n - i);
+      const std::size_t d = order.draw(i, j);
+      ++hstats_.sweep_visits;
       // Offers past this point are provably no-ops once nothing wants
       // devices (empty candidate set, no randomness consumed), so stopping
       // — or skipping a device whose cached signature misses every pending
       // group — is byte-identical to scanning on.
-      const std::uint64_t wants = manager_.wants_mask();
       if (wants == 0) break;
       // The index normally mirrors the manager's requirement registration
       // order (it registers each job's requirement during the solo-JCT
       // estimate that precedes manager registration), but that is a
       // convention, not a structural guarantee — a solo_jct_estimate probe
       // for a category that never becomes a job would shift the index's
-      // bits. Verify the two spaces requirement-by-requirement (each bit
-      // checked once, then cached) and disable the skip for any wanted bit
-      // not yet proven aligned, rather than risk a false negative.
-      const std::uint64_t aligned = aligned_requirement_mask();
-      if ((wants & ~aligned) == 0 && (index_->signature(d) & wants) == 0) {
+      // bits. The two spaces are verified requirement-by-requirement (each
+      // bit checked once, then cached) and the skip is disabled for any
+      // wanted bit not yet proven aligned, rather than risk a false
+      // negative.
+      if ((wants & ~aligned) == 0 && (sig[d] & wants) == 0) {
         ++hstats_.sweep_skips;
         continue;
       }
+      ++hstats_.sweep_offers;
+      const auto outcome =
+          aligned_bits_ >= mgr_bits
+              ? manager_.offer(devices_[d],
+                               sig[d] & (mgr_bits >= 64
+                                             ? ~0ULL
+                                             : (1ULL << mgr_bits) - 1),
+                               now)
+              : manager_.offer(devices_[d], now);
+      if (outcome) {
+        assigned.push_back(d);
+        handle_outcome(d, *outcome);
+        wants = manager_.wants_mask();
+        aligned = aligned_requirement_mask();
+        mgr_bits = manager_.signatures().size();
+      }
     }
-    ++hstats_.sweep_offers;
-    const auto outcome = manager_.offer(devices_[d], now);
-    if (outcome) {
-      assigned.push_back(d);
-      handle_outcome(d, *outcome);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = i + sweep_rng.index(n - i);
+      const std::size_t d = order.draw(i, j);
+      ++hstats_.sweep_visits;
+      ++hstats_.sweep_offers;
+      const auto outcome = manager_.offer(devices_[d], now);
+      if (outcome) {
+        assigned.push_back(d);
+        handle_outcome(d, *outcome);
+      }
     }
   }
   for (const std::size_t d : assigned) idle_erase(d);
@@ -661,10 +700,21 @@ void Coordinator::sweep_idle_pool_sharded(SimTime now, Rng& sweep_rng) {
   const std::size_t n = idle_vec_.size();
   ++sstats_.sharded_sweeps;
 
+  // Hoisted filter state, same discipline as the serial pass: the wants
+  // mask and the aligned-bits prefix can only change inside
+  // manager_.offer / handle_outcome (skipped visits call neither), so
+  // both are refreshed only after an offer lands. Between offers the
+  // merge loop below is therefore a branch-light scan over contiguous
+  // uint64 arrays.
+  const std::uint64_t* sig = hot_.signature.data();
+  std::uint64_t wants = index_ != nullptr ? manager_.wants_mask() : 0;
+  std::uint64_t aligned = index_ != nullptr ? aligned_requirement_mask() : 0;
+  std::size_t mgr_bits = manager_.signatures().size();
+
   // Fast path mirroring the serial pass's first iteration: when no request
   // wants devices, the serial sweep visits exactly one device and breaks.
   // Matching that counter here avoids snapshotting the pool for a no-op.
-  if (index_ != nullptr && manager_.wants_mask() == 0) {
+  if (index_ != nullptr && wants == 0) {
     ++hstats_.sweep_visits;
     return;
   }
@@ -697,14 +747,16 @@ void Coordinator::sweep_idle_pool_sharded(SimTime now, Rng& sweep_rng) {
     }
 
     // --- execute: parallel filter against a wants-mask snapshot -----------
-    // Pure phase: workers read immutable batch entries and cached index
-    // signatures, and write disjoint slices of `masked`. The verdict
-    // (signature ∩ wants0) stays exact for any later live mask that is a
-    // subset of the snapshot, because registered bits never flip inside
-    // wants0's universe mid-sweep.
-    const std::uint64_t wants0 = index_ != nullptr ? manager_.wants_mask() : 0;
-    const bool filtered = index_ != nullptr && wants0 != 0 &&
-                          (wants0 & ~aligned_requirement_mask()) == 0;
+    // Pure phase: workers gather from the hot store's contiguous signature
+    // column through immutable batch entries and write disjoint slices of
+    // `masked`. The verdict (signature ∩ wants0) stays exact for any later
+    // live mask that is a subset of the snapshot, because registered bits
+    // never flip inside wants0's universe mid-sweep. The full masked
+    // value — not one verdict bit — is stored: wants can *shrink*
+    // mid-merge (a round fills), and the remaining bits must still decide.
+    const std::uint64_t wants0 = wants;
+    const bool filtered =
+        index_ != nullptr && wants0 != 0 && (wants0 & ~aligned) == 0;
     if (filtered) {
       ++sstats_.filter_batches;
       masked.resize(end - i);
@@ -713,7 +765,7 @@ void Coordinator::sweep_idle_pool_sharded(SimTime now, Rng& sweep_rng) {
         const std::size_t e = workers_->range_end(end - i, s);
         std::uint64_t hits = 0;
         for (std::size_t k = b; k < e; ++k) {
-          const std::uint64_t m = index_->signature(batch_dev[k]) & wants0;
+          const std::uint64_t m = sig[batch_dev[k]] & wants0;
           masked[k] = m;
           hits += m != 0 ? 1 : 0;
         }
@@ -725,34 +777,64 @@ void Coordinator::sweep_idle_pool_sharded(SimTime now, Rng& sweep_rng) {
 
     // --- merge: replay the canonical offer sequence serially --------------
     // Identical observables to the serial pass: per-visit counters, the
-    // wants==0 early stop, the aligned-bits skip rule, offer order.
-    for (std::size_t k = i; k < end; ++k) {
-      const std::size_t d = batch_dev[k - i];
-      ++hstats_.sweep_visits;
-      if (index_ != nullptr) {
-        const std::uint64_t wants = manager_.wants_mask();
+    // wants==0 early stop, the aligned-bits skip rule, offer order. The
+    // wants mask is constant between offers, so consecutive skips collapse
+    // into one contiguous scan over masked[] (or the signature column)
+    // with a single bulk counter update — the vectorizable inner loop the
+    // SoA layout exists for.
+    std::size_t k = i;
+    if (index_ != nullptr) {
+      while (k < end) {
         if (wants == 0) {
+          // The serial pass visits exactly one more device, then breaks.
+          ++hstats_.sweep_visits;
           for (const std::size_t a : assigned) idle_erase(a);
           return;
         }
-        if ((wants & ~aligned_requirement_mask()) == 0) {
+        if ((wants & ~aligned) == 0) {
           // A mask that gained a bit since the snapshot (a round opened
-          // mid-merge) invalidates the batch verdict for that entry; fall
-          // back to the live signature, exactly like the serial pass.
-          const bool skip = (filtered && (wants & ~wants0) == 0)
-                                ? (masked[k - i] & wants) == 0
-                                : (index_->signature(d) & wants) == 0;
-          if (skip) {
-            ++hstats_.sweep_skips;
-            continue;
+          // mid-merge) invalidates the batch verdict; fall back to the
+          // live signature column, exactly like the serial pass.
+          const std::size_t run0 = k;
+          if (filtered && (wants & ~wants0) == 0) {
+            while (k < end && (masked[k - i] & wants) == 0) ++k;
+          } else {
+            while (k < end && (sig[batch_dev[k - i]] & wants) == 0) ++k;
           }
+          hstats_.sweep_visits += k - run0;
+          hstats_.sweep_skips += k - run0;
+          if (k >= end) break;
+        }
+        const std::size_t d = batch_dev[k - i];
+        ++hstats_.sweep_visits;
+        ++hstats_.sweep_offers;
+        const auto outcome =
+            aligned_bits_ >= mgr_bits
+                ? manager_.offer(devices_[d],
+                                 sig[d] & (mgr_bits >= 64
+                                               ? ~0ULL
+                                               : (1ULL << mgr_bits) - 1),
+                                 now)
+                : manager_.offer(devices_[d], now);
+        ++k;
+        if (outcome) {
+          assigned.push_back(d);
+          handle_outcome(d, *outcome);
+          wants = manager_.wants_mask();
+          aligned = aligned_requirement_mask();
+          mgr_bits = manager_.signatures().size();
         }
       }
-      ++hstats_.sweep_offers;
-      const auto outcome = manager_.offer(devices_[d], now);
-      if (outcome) {
-        assigned.push_back(d);
-        handle_outcome(d, *outcome);
+    } else {
+      for (; k < end; ++k) {
+        const std::size_t d = batch_dev[k - i];
+        ++hstats_.sweep_visits;
+        ++hstats_.sweep_offers;
+        const auto outcome = manager_.offer(devices_[d], now);
+        if (outcome) {
+          assigned.push_back(d);
+          handle_outcome(d, *outcome);
+        }
       }
     }
     i = end;
@@ -1090,7 +1172,7 @@ std::size_t Coordinator::release_stragglers(Job* job, RequestId rid,
       // means this InFlight entry (possibly deferred past a sweep pass)
       // went stale, and the silent no-op insert would corrupt the
       // released device's segment accounting story. Throw instead.
-      if (idle_pos_[entry.dev] != 0) {
+      if (hot_.idle_pos[entry.dev] != 0) {
         throw std::logic_error(
             "Coordinator: straggler release found the device already parked "
             "(stale in-flight entry; re-park would be misattributed to "
@@ -1210,9 +1292,12 @@ journal::StateSnapshot Coordinator::capture_snapshot() {
     add("idle-pool", e);
   }
   {
+    // Participation budgets from the hot store's dense column — the very
+    // slots the devices' budget API reads and writes (they are views over
+    // it), so the bytes are identical to a per-device walk.
     journal::Encoder e;
     e.u64(static_cast<std::uint64_t>(devices_.size()));
-    for (const auto& d : devices_) e.i32(d.last_participation_day());
+    for (const std::int32_t day : hot_.participation_day) e.i32(day);
     add("devices", e);
   }
   {

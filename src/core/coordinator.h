@@ -144,6 +144,11 @@ class Coordinator {
               std::vector<Device> devices, std::vector<trace::JobSpec> specs,
               CoordinatorConfig cfg = {});
 
+  // Non-movable: the devices are bound as views over the hot-state store's
+  // participation column (stable addresses for the run's lifetime).
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
   // Schedules all trace events and runs the engine until every job finishes
   // or the horizon is reached. Equivalent to setup() + run_until(horizon).
   void run();
@@ -218,6 +223,11 @@ class Coordinator {
 
   // The eligibility index, or nullptr with `use_index=false`. For tests.
   [[nodiscard]] const EligibilityIndex* index() const { return index_.get(); }
+
+  // The struct-of-arrays hot-state store backing the sweep filter, the
+  // `index=0` supply scans and the participation budgets. For tests (the
+  // shard differential wall's SoA-vs-live property checks read it).
+  [[nodiscard]] const FleetHotState& hot_state() const { return hot_; }
 
   // --- sharded execution ------------------------------------------------
   // Shard count in effect (the engine's worker pool, 1 when serial).
@@ -357,12 +367,19 @@ class Coordinator {
   std::vector<std::unique_ptr<Job>> jobs_;
   std::unordered_map<JobId, Job*> by_id_;
 
-  // Idle pool as a dense vector + position map: O(1) insert / erase /
-  // membership without hashing, and an O(k) lazy-Fisher-Yates draw of the
-  // first k sweep positions. Vector order is an implementation detail but
-  // fully deterministic (it depends only on the event sequence).
+  // Struct-of-arrays hot state (device/fleet_partition.h): eligibility
+  // signatures (written by the index), idle-pool positions, participation
+  // budgets (Device objects are views over that column), dense spec and
+  // session columns for the `index=0` supply scans. Initialized in the
+  // constructor; array addresses are stable for the run.
+  FleetHotState hot_;
+
+  // Idle pool as a dense vector + position map (hot_.idle_pos): O(1)
+  // insert / erase / membership without hashing, and an O(k)
+  // lazy-Fisher-Yates draw of the first k sweep positions. Vector order is
+  // an implementation detail but fully deterministic (it depends only on
+  // the event sequence).
   std::vector<std::size_t> idle_vec_;   // members, arbitrary order
-  std::vector<std::size_t> idle_pos_;   // device -> position+1; 0 = absent
   void idle_insert(std::size_t d);
   void idle_erase(std::size_t d);
   // Session-end retirement of a pool entry — the journal's check-out

@@ -1,37 +1,27 @@
 #include "core/elig_index.h"
 
-#include <algorithm>
 #include <stdexcept>
 
 #include "sim/worker_pool.h"
 
 namespace venn {
 
-EligibilityIndex::EligibilityIndex(std::span<const Device> devices) {
-  signatures_.assign(devices.size(), 0);
-  specs_.reserve(devices.size());
-  session_counts_.reserve(devices.size());
+EligibilityIndex::EligibilityIndex(std::span<const Device> devices)
+    : owned_(std::make_unique<FleetHotState>()), hot_(owned_.get()) {
+  owned_->init(devices, /*shards=*/1);
+  seed_zero_bucket();
+}
 
-  // Session statistics accumulate in device order, matching the legacy scan
-  // loops bit for bit (double sums are order-sensitive; counts are integers
-  // and therefore exact either way).
-  for (const auto& d : devices) {
-    specs_.push_back(&d.spec());
-    session_counts_.push_back(static_cast<double>(d.sessions().size()));
-    if (!d.sessions().empty()) {
-      session_span_ = std::max(session_span_, d.sessions().back().end);
-    }
-    for (const auto& s : d.sessions()) {
-      session_time_ += s.duration();
-      session_count_ += 1.0;
-    }
-  }
+EligibilityIndex::EligibilityIndex(FleetHotState& hot) : hot_(&hot) {
+  seed_zero_bucket();
+}
 
+void EligibilityIndex::seed_zero_bucket() {
   // Everything starts in the signature-0 bucket; requirement registrations
   // move devices to their atoms incrementally.
   Atom& zero = atoms_[0];
-  zero.device_count = devices.size();
-  for (double c : session_counts_) zero.session_checkins += c;
+  zero.device_count = hot_->size();
+  for (double c : hot_->session_checkins) zero.session_checkins += c;
 }
 
 std::size_t EligibilityIndex::register_requirement(const Requirement& req) {
@@ -47,24 +37,30 @@ std::size_t EligibilityIndex::register_requirement(const Requirement& req) {
 
   // The one full pass this structure ever pays per distinct requirement:
   // flip the new bit on eligible devices and move them between buckets.
+  // Dense column scans (spec + signature side by side in the hot store)
+  // instead of chasing per-device pointers.
   const std::uint64_t mask = 1ULL << bit;
   if (pool_ != nullptr) {
     rebucket_sharded(req, mask);
     return bit;
   }
-  for (std::size_t d = 0; d < signatures_.size(); ++d) {
+  const DeviceSpec* specs = hot_->spec.data();
+  std::uint64_t* sigs = hot_->signature.data();
+  const double* checkins = hot_->session_checkins.data();
+  const std::size_t n = hot_->size();
+  for (std::size_t d = 0; d < n; ++d) {
     ++mstats_.device_rescans;
-    if (!req.eligible(*specs_[d])) continue;
-    const std::uint64_t old_sig = signatures_[d];
+    if (!req.eligible(specs[d])) continue;
+    const std::uint64_t old_sig = sigs[d];
     const std::uint64_t new_sig = old_sig | mask;
-    signatures_[d] = new_sig;
+    sigs[d] = new_sig;
 
     Atom& from = atoms_.at(old_sig);
     --from.device_count;
-    from.session_checkins -= session_counts_[d];
+    from.session_checkins -= checkins[d];
     Atom& to = atoms_[new_sig];
     ++to.device_count;
-    to.session_checkins += session_counts_[d];
+    to.session_checkins += checkins[d];
     if (from.device_count == 0) atoms_.erase(old_sig);
   }
   return bit;
@@ -72,24 +68,27 @@ std::size_t EligibilityIndex::register_requirement(const Requirement& req) {
 
 void EligibilityIndex::rebucket_sharded(const Requirement& req,
                                         std::uint64_t mask) {
-  // Parallel phase: each shard's slice of the signature array is private —
-  // the eligibility predicate reads immutable specs, the new-bit flip
-  // writes only slice-local entries, and bucket movements are aggregated
-  // per source signature into a shard-local delta map.
-  const std::size_t n = signatures_.size();
+  // Parallel phase: each shard's slice of the signature column is private —
+  // the eligibility predicate reads the immutable spec column, the new-bit
+  // flip writes only slice-local entries, and bucket movements are
+  // aggregated per source signature into a shard-local delta map.
+  const std::size_t n = hot_->size();
   const std::size_t shards = pool_->shards();
   const FleetPartition partition(n, shards);
+  const DeviceSpec* specs = hot_->spec.data();
+  std::uint64_t* sigs = hot_->signature.data();
+  const double* checkins = hot_->session_checkins.data();
   std::vector<std::unordered_map<std::uint64_t, Atom>> deltas(shards);
   pool_->run_shards([&](std::size_t s) {
     auto& local = deltas[s];
     const std::size_t end = partition.end(s);
     for (std::size_t d = partition.begin(s); d < end; ++d) {
-      if (!req.eligible(*specs_[d])) continue;
-      const std::uint64_t old_sig = signatures_[d];
-      signatures_[d] = old_sig | mask;
+      if (!req.eligible(specs[d])) continue;
+      const std::uint64_t old_sig = sigs[d];
+      sigs[d] = old_sig | mask;
       Atom& delta = local[old_sig];
       ++delta.device_count;
-      delta.session_checkins += session_counts_[d];
+      delta.session_checkins += checkins[d];
     }
   });
 

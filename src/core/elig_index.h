@@ -18,6 +18,16 @@
 //     legacy scan used, so index-backed estimates are byte-identical to the
 //     scan path (`--no-index` / `index=0`), which tests assert.
 //
+// Storage note: the per-device columns the index maintains — the signature
+// cache, the dense spec copy the rebucket predicate reads, the per-device
+// session counts — live in the fleet's struct-of-arrays FleetHotState
+// (device/fleet_partition.h), not in this class. The coordinator owns that
+// store and shares it by reference, so the sweep filter can AND the very
+// same contiguous `signature` array against the manager's wants mask with
+// no per-device indirection; a standalone index (tests, benches) owns a
+// private store instead. Either way the index is the sole writer of the
+// signature column.
+//
 // Requirement bit indices are assigned in first-seen order, exactly like
 // `SignatureSpace::register_requirement`; when the coordinator registers
 // each job's requirement here immediately before the resource manager
@@ -33,6 +43,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -63,11 +74,18 @@ class EligibilityIndex {
     std::uint64_t device_rescans = 0;  // device visits across registrations
   };
 
-  // Builds the index over a fixed population. Devices are identified by
-  // their position in `devices` for the index's lifetime; specs and session
-  // vectors must not change afterwards (sessions may be absent for
-  // streaming-churn populations).
+  // Builds the index over a fixed population with a privately owned
+  // hot-state store. Devices are identified by their position in `devices`
+  // for the index's lifetime; specs and session vectors must not change
+  // afterwards (sessions may be absent for streaming-churn populations).
   explicit EligibilityIndex(std::span<const Device> devices);
+
+  // Builds the index over an externally owned, already-initialized store
+  // (the coordinator's FleetHotState). The index becomes the sole writer of
+  // `hot.signature` and reads `hot.spec` / `hot.session_checkins`; `hot`
+  // must outlive the index and must have been init'ed over the same device
+  // population.
+  explicit EligibilityIndex(FleetHotState& hot);
 
   // Registers `req` (idempotent), returns its bit index. A new distinct
   // requirement rebuckets the population once — O(devices) per *distinct*
@@ -94,10 +112,12 @@ class EligibilityIndex {
   // Cached signature of the device at `dev_idx` over the registered
   // requirements (bit g set iff requirement g is satisfied).
   [[nodiscard]] std::uint64_t signature(std::size_t dev_idx) const {
-    return signatures_[dev_idx];
+    return hot_->signature[dev_idx];
   }
 
-  [[nodiscard]] std::size_t num_devices() const { return signatures_.size(); }
+  [[nodiscard]] std::size_t num_devices() const {
+    return hot_->signature.size();
+  }
 
   // Eligible-device count for requirement bit `group`: O(#atoms).
   [[nodiscard]] std::size_t eligible_count(std::size_t group) const;
@@ -106,16 +126,20 @@ class EligibilityIndex {
   // bit `group` (the legacy scan's check-in numerator): O(#atoms).
   [[nodiscard]] double eligible_session_checkins(std::size_t group) const;
 
-  // --- population session statistics (computed once at construction) ------
+  // --- population session statistics (accumulated once at store init) -----
   // Latest session end over all devices (the scan path's averaging span).
-  [[nodiscard]] SimTime session_span() const { return session_span_; }
+  [[nodiscard]] SimTime session_span() const { return hot_->session_span; }
   // Total session time / count over all devices, accumulated in device
   // order like the scan path.
-  [[nodiscard]] double total_session_seconds() const { return session_time_; }
-  [[nodiscard]] double total_session_count() const { return session_count_; }
-  [[nodiscard]] bool has_sessions() const { return session_count_ > 0.0; }
+  [[nodiscard]] double total_session_seconds() const {
+    return hot_->session_time;
+  }
+  [[nodiscard]] double total_session_count() const {
+    return hot_->session_count;
+  }
+  [[nodiscard]] bool has_sessions() const { return hot_->session_count > 0.0; }
   [[nodiscard]] double mean_session_seconds() const {
-    return session_time_ / session_count_;
+    return hot_->session_time / hot_->session_count;
   }
 
   // Atom buckets keyed by signature (signature 0 = devices eligible for no
@@ -129,18 +153,17 @@ class EligibilityIndex {
   }
 
  private:
+  // Seeds the signature-0 bucket from the store's columns (everything
+  // starts eligible for no requirement).
+  void seed_zero_bucket();
+
   // The sharded flavor of register_requirement's rebucket pass.
   void rebucket_sharded(const Requirement& req, std::uint64_t mask);
 
   std::vector<Requirement> reqs_;
-  std::vector<std::uint64_t> signatures_;       // per device
-  std::vector<const DeviceSpec*> specs_;        // per device (not owned)
-  std::vector<double> session_counts_;          // per device, integer-valued
+  std::unique_ptr<FleetHotState> owned_;  // standalone-construction fallback
+  FleetHotState* hot_ = nullptr;          // the store (owned_ or external)
   std::unordered_map<std::uint64_t, Atom> atoms_;
-
-  SimTime session_span_ = 0.0;
-  double session_time_ = 0.0;
-  double session_count_ = 0.0;
 
   sim::WorkerPool* pool_ = nullptr;  // not owned; null = serial rebuckets
 

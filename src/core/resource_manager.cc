@@ -95,11 +95,6 @@ void ResourceManager::refresh_queue_cache() const {
   wants_dirty_ = false;
 }
 
-std::uint64_t ResourceManager::wants_mask() const {
-  if (wants_dirty_) refresh_queue_cache();
-  return wants_mask_;
-}
-
 std::size_t ResourceManager::num_pending_jobs() const {
   return pending_view().size();
 }
@@ -157,7 +152,15 @@ DeviceView ResourceManager::device_view(const Device& dev) const {
 
 std::optional<AssignOutcome> ResourceManager::try_assign(const Device& dev,
                                                          SimTime now) {
-  const DeviceView view = device_view(dev);
+  return try_assign(dev, sigs_.signature_of(dev.spec()), now);
+}
+
+std::optional<AssignOutcome> ResourceManager::try_assign(
+    const Device& dev, std::uint64_t signature, SimTime now) {
+  DeviceView view;
+  view.id = dev.id();
+  view.spec = dev.spec();
+  view.signature = signature;
   ++hstats_.offers;
 
   std::vector<PendingJob> candidates;

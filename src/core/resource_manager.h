@@ -80,6 +80,19 @@ class ResourceManager {
   [[nodiscard]] std::optional<AssignOutcome> offer(const Device& dev,
                                                    SimTime now);
 
+  // Presigned re-offer: `signature` is the device's eligibility signature
+  // over THIS manager's requirement space, precomputed by the caller (the
+  // coordinator's sweep passes it from the hot store's signature column
+  // once every requirement bit is proven aligned — see
+  // Coordinator::aligned_requirement_mask). Must equal
+  // signatures().signature_of(dev.spec()) bit for bit; skips only the
+  // per-offer recomputation, nothing else.
+  [[nodiscard]] std::optional<AssignOutcome> offer(const Device& dev,
+                                                   std::uint64_t signature,
+                                                   SimTime now) {
+    return try_assign(dev, signature, now);
+  }
+
   // ----- policy notifications passed through ------------------------------
   // `staleness` (round commits between assignment and response; 0 under
   // synchronous protocols) reaches observers; the policy sees the same
@@ -110,11 +123,16 @@ class ResourceManager {
   // ----- hot-path queries -------------------------------------------------
   // Bitmask over job groups with at least one request that still wants
   // devices. O(1) when the queue is unchanged since the last query
-  // (recomputed lazily over the registered jobs otherwise). An offer for a
-  // device whose eligibility signature misses this mask is provably a no-op
-  // — the candidate set is empty and no randomness is consumed — which lets
-  // the coordinator's idle-pool sweep skip or stop early byte-identically.
-  [[nodiscard]] std::uint64_t wants_mask() const;
+  // (recomputed lazily over the registered jobs otherwise; defined inline
+  // so the sweep loops' refresh-after-offer reads compile to a flag test
+  // and a load). An offer for a device whose eligibility signature misses
+  // this mask is provably a no-op — the candidate set is empty and no
+  // randomness is consumed — which lets the coordinator's idle-pool sweep
+  // skip or stop early byte-identically.
+  [[nodiscard]] std::uint64_t wants_mask() const {
+    if (wants_dirty_) refresh_queue_cache();
+    return wants_mask_;
+  }
   [[nodiscard]] bool wants_devices() const { return wants_mask() != 0; }
 
   // With the cache on (default; the coordinator syncs it to its `use_index`
@@ -157,6 +175,11 @@ class ResourceManager {
   };
 
   std::optional<AssignOutcome> try_assign(const Device& dev, SimTime now);
+  // Core assignment with a caller-supplied signature (the presigned offer
+  // path); the two-argument flavor recomputes it from the device's spec.
+  std::optional<AssignOutcome> try_assign(const Device& dev,
+                                          std::uint64_t signature,
+                                          SimTime now);
   void notify_queue_change(SimTime now);
   [[nodiscard]] PendingJob make_pending(const JobEntry& e) const;
 

@@ -6,8 +6,22 @@
 // task fails (ephemerality). Each device participates in at most one CL job
 // per day (paper §5.1: "Each unique device trace is limited to one CL job
 // per day for realism").
+//
+// Layout note: Device carries the COLD per-device state (id, spec, the
+// materialized session vector). The hot state the scheduling loops touch
+// per visit — eligibility signature, idle-pool position, the
+// one-job-per-day budget — lives in the struct-of-arrays FleetHotState
+// (device/fleet_partition.h). The participation budget specifically is
+// accessed through this class's API either way: a standalone Device stores
+// it inline, while a fleet Device is *bound* to its FleetHotState slot
+// (bind_participation_slot) and becomes a view over the shared column, so
+// snapshots and hot loops can read the dense int32 array while every call
+// site keeps the same Device-level vocabulary.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "device/eligibility.h"
@@ -34,6 +48,37 @@ class Device {
   // here, so sessions() stays empty for the device's whole lifetime.
   Device(DeviceId id, DeviceSpec spec) : Device(id, spec, {}) {}
 
+  // Copies and moves re-point the budget at the destination's own inline
+  // slot (carrying the value): a binding into some other fleet's hot-state
+  // column must not follow the object around.
+  Device(const Device& o)
+      : id_(o.id_),
+        spec_(o.spec_),
+        sessions_(o.sessions_),
+        own_day_(o.last_participation_day()) {}
+  Device(Device&& o) noexcept
+      : id_(o.id_),
+        spec_(o.spec_),
+        sessions_(std::move(o.sessions_)),
+        own_day_(o.last_participation_day()) {}
+  Device& operator=(const Device& o) {
+    if (this == &o) return *this;
+    id_ = o.id_;
+    spec_ = o.spec_;
+    sessions_ = o.sessions_;
+    own_day_ = o.last_participation_day();
+    day_ = &own_day_;
+    return *this;
+  }
+  Device& operator=(Device&& o) noexcept {
+    id_ = o.id_;
+    spec_ = o.spec_;
+    sessions_ = std::move(o.sessions_);
+    own_day_ = o.last_participation_day();
+    day_ = &own_day_;
+    return *this;
+  }
+
   [[nodiscard]] DeviceId id() const { return id_; }
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
   [[nodiscard]] const std::vector<Session>& sessions() const {
@@ -55,14 +100,29 @@ class Device {
                                          Rng& rng) const;
 
   // --- one-job-per-day bookkeeping -------------------------------------
+  // Sentinel for "never participated / budget refunded". INT32_MIN rather
+  // than -1: with floor day semantics, day -1 is a legitimate
+  // participation day (sessions jittered before t=0), and a -1 sentinel
+  // would make its refund a no-op.
+  static constexpr std::int32_t kNeverParticipated =
+      std::numeric_limits<std::int32_t>::min();
+
+  // Makes this Device a view over the fleet's shared participation-day
+  // column: all budget reads/writes go through `slot` (which must outlive
+  // the device or any later rebind). The current inline value is migrated
+  // into the slot so binding is state-preserving at any point.
+  void bind_participation_slot(std::int32_t* slot) {
+    *slot = own_day_;
+    day_ = slot;
+  }
+
   [[nodiscard]] bool participated_on_day(int day) const {
-    return last_participation_day_ == day;
+    return *day_ == day;
   }
-  // Raw budget state, for coordinator state snapshots (-1 = never/refunded).
-  [[nodiscard]] int last_participation_day() const {
-    return last_participation_day_;
-  }
-  void mark_participation(int day) { last_participation_day_ = day; }
+  // Raw budget state, for coordinator state snapshots
+  // (kNeverParticipated = never/refunded).
+  [[nodiscard]] int last_participation_day() const { return *day_; }
+  void mark_participation(int day) { *day_ = day; }
 
   // Straggler release (over-selection protocols): a device cut off
   // mid-computation did not actually spend its participation — refund the
@@ -70,19 +130,24 @@ class Device {
   // one-job-per-day rules. No-op if the device has since been charged for
   // a different day.
   void refund_participation(int day) {
-    if (last_participation_day_ == day) last_participation_day_ = -1;
+    if (*day_ == day) *day_ = kNeverParticipated;
   }
 
-  // Day index of a simulation time.
+  // Day index of a simulation time, floor semantics: day_of(-0.5) == -1
+  // and day_of(k*kDay) == k exactly. (Truncation toward zero would fold
+  // days -1..0 onto day 0 and corrupt one-job-per-day budgeting for
+  // sessions jittered before t=0 — see the churn models' negative-jitter
+  // note in src/workload/churn.cc.)
   [[nodiscard]] static int day_of(SimTime t) {
-    return static_cast<int>(t / kDay);
+    return static_cast<int>(std::floor(t / kDay));
   }
 
  private:
   DeviceId id_;
   DeviceSpec spec_;
   std::vector<Session> sessions_;  // sorted, non-overlapping
-  int last_participation_day_ = -1;
+  std::int32_t own_day_ = kNeverParticipated;  // budget of an unbound device
+  std::int32_t* day_ = &own_day_;  // the active slot (inline or fleet SoA)
 };
 
 }  // namespace venn

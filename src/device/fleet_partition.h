@@ -1,4 +1,6 @@
-// FleetPartition: the immutable device→shard map of sharded execution.
+// FleetPartition: the immutable device→shard map of sharded execution —
+// and FleetHotState, the struct-of-arrays store of the per-device state the
+// scheduling hot path actually touches.
 //
 // Sharded fleet execution partitions the device population into
 // `shards` contiguous index ranges — shard s owns
@@ -13,11 +15,58 @@
 // (coordinator segment accounting, straggler-release ownership checks,
 // index rebuckets) agrees by construction, and a given shard count always
 // decomposes the fleet the same way.
+//
+// FleetHotState is the layout half of the same story. `Device` objects
+// carry cold state (id, spec, the materialized session vector) and are
+// ~80 bytes plus a heap allocation each; iterating them for the per-visit
+// sweep filter, the per-registration index rebucket or the `index=0`
+// supply scans strides over memory the loop mostly does not read. The hot
+// state those loops DO read — the cached eligibility signature, the
+// idle-pool position (the availability flag), the one-job-per-day
+// participation budget, the spec scores and the per-device session
+// statistics — lives here instead, one dense array per field, indexed by
+// device position:
+//
+//   * `signature[d]`   — the ≤64-bit requirement bitmask the eligibility
+//                        index maintains (core/elig_index.cc writes it on
+//                        registration rebuckets; the sweep filter ANDs it
+//                        against the manager's wants mask). Contiguous
+//                        uint64s, so the batched signature∩wants pass is a
+//                        branch-light scan the compiler can vectorize.
+//   * `idle_pos[d]`    — idle-pool position + 1; 0 = not parked. The
+//                        coordinator's dense pool keeps its vector of
+//                        members; this is the membership/position side.
+//   * `participation_day[d]` — last day the device participated
+//                        (Device::kNeverParticipated = never/refunded; -1
+//                        is a real day under floor semantics). Device
+//                        objects become views over
+//                        this array (Device::bind_participation_slot), so
+//                        the budget API is unchanged while snapshots and
+//                        hot loops read one int32 array.
+//   * `spec[d]`, `session_checkins[d]`, `session_last_end[d]` — the exact
+//                        per-device quantities the `index=0` supply scans
+//                        read, densely packed so the fleet scan never
+//                        touches a Device object.
+//
+// The arrays are plain data with no invariants of their own: the
+// coordinator owns the store, the eligibility index writes the signature
+// column, and every consumer indexes by the same device position the
+// partition shards over. Aggregate session statistics are accumulated in
+// device order at init, matching the legacy Device-walk loops bit for bit
+// (double sums are order-sensitive; tests assert byte-identity).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "device/eligibility.h"
+#include "util/ids.h"
 
 namespace venn {
+
+class Device;
 
 struct FleetPartition {
   std::size_t num_devices = 0;
@@ -41,6 +90,38 @@ struct FleetPartition {
   [[nodiscard]] std::size_t shard_of(std::size_t d) const {
     return ((d + 1) * shards - 1) / num_devices;
   }
+};
+
+// Struct-of-arrays hot state of one device fleet. See the file comment for
+// the field-by-field story. Owned by the Coordinator; shared by reference
+// with the EligibilityIndex (which maintains `signature`) and read by the
+// sweep filter and the `index=0` supply scans.
+class FleetHotState {
+ public:
+  FleetHotState() = default;
+
+  // Lays out the arrays for `devices` under `shards` contiguous shards and
+  // accumulates the population session statistics in device order (the
+  // legacy scan order — byte-identical double sums).
+  void init(std::span<const Device> devices, std::size_t shards);
+
+  [[nodiscard]] std::size_t size() const { return spec.size(); }
+
+  FleetPartition partition;
+
+  // --- hot columns, indexed by device position --------------------------
+  std::vector<std::uint64_t> signature;   // eligibility signature cache
+  std::vector<std::uint32_t> idle_pos;    // pool position + 1; 0 = absent
+  std::vector<std::int32_t> participation_day;  // last day participated
+  std::vector<DeviceSpec> spec;           // dense spec copy (scan filters)
+  std::vector<double> session_checkins;   // materialized sessions, integer-
+                                          // valued (the scan's numerator)
+  std::vector<SimTime> session_last_end;  // last session end; 0 = none
+
+  // --- population session aggregates (device-order accumulation) --------
+  SimTime session_span = 0.0;   // max session_last_end over the fleet
+  double session_time = 0.0;    // total session seconds
+  double session_count = 0.0;   // total session count (integer-valued)
 };
 
 }  // namespace venn

@@ -11,15 +11,51 @@ namespace venn {
 Summary::Summary(std::span<const double> samples)
     : samples_(samples.begin(), samples.end()), sorted_(false) {}
 
+Summary::Summary(const Summary& other) {
+  std::lock_guard<std::mutex> lk(other.sort_mutex_);
+  samples_ = other.samples_;
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+}
+
+Summary& Summary::operator=(const Summary& other) {
+  if (this == &other) return *this;
+  // scoped_lock's deadlock-avoidance covers cross-assignment between two
+  // shared summaries.
+  std::scoped_lock lk(sort_mutex_, other.sort_mutex_);
+  samples_ = other.samples_;
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  return *this;
+}
+
+Summary::Summary(Summary&& other) noexcept {
+  std::lock_guard<std::mutex> lk(other.sort_mutex_);
+  samples_ = std::move(other.samples_);
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  other.sorted_.store(true, std::memory_order_relaxed);
+}
+
+Summary& Summary::operator=(Summary&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lk(sort_mutex_, other.sort_mutex_);
+  samples_ = std::move(other.samples_);
+  sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  other.sorted_.store(true, std::memory_order_relaxed);
+  return *this;
+}
+
 void Summary::add(double x) {
   samples_.push_back(x);
-  sorted_ = false;
+  sorted_.store(false, std::memory_order_release);
 }
 
 void Summary::merge(const Summary& other) {
   samples_.insert(samples_.end(), other.samples_.begin(),
                   other.samples_.end());
-  sorted_ = false;
+  sorted_.store(false, std::memory_order_release);
 }
 
 double Summary::sum() const {
@@ -52,11 +88,15 @@ double Summary::max() const {
 }
 
 void Summary::ensure_sorted() const {
-  if (!sorted_) {
-    auto& mut = const_cast<std::vector<double>&>(samples_);
-    std::sort(mut.begin(), mut.end());
-    sorted_ = true;
-  }
+  // Double-checked lazy sort: the acquire fast path makes already-sorted
+  // queries lock-free, and the mutex serializes the one sorting thread
+  // against other concurrent readers (the const_cast-with-plain-flag
+  // predecessor was a data race exactly there).
+  if (sorted_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lk(sort_mutex_);
+  if (sorted_.load(std::memory_order_relaxed)) return;
+  std::sort(samples_.begin(), samples_.end());
+  sorted_.store(true, std::memory_order_release);
 }
 
 double Summary::percentile(double p) const {

@@ -5,7 +5,9 @@
 // this header provides those primitives over plain double samples.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -13,10 +15,27 @@
 namespace venn {
 
 // Accumulates samples; all queries are O(n log n) worst case (sorting lazily).
+//
+// Thread-safety contract: writes (add/merge/assignment) must be externally
+// serialized, but once writing is done, any number of threads may query the
+// same Summary concurrently — percentile/median lazily sort under an
+// internal mutex guarded by an atomic flag, so concurrent readers (e.g.
+// SweepRunner result aggregation fanning a shared result out to reporting
+// threads) are race-free. samples() returns the raw vector and must not be
+// read concurrently with the first percentile query (the lazy sort reorders
+// it in place).
 class Summary {
  public:
   Summary() = default;
   explicit Summary(std::span<const double> samples);
+
+  // Copy/move are explicit because the sort mutex and flag are not
+  // copyable; they take the source's mutex so copying from a Summary that
+  // other threads are querying observes a consistent sample order.
+  Summary(const Summary& other);
+  Summary& operator=(const Summary& other);
+  Summary(Summary&& other) noexcept;
+  Summary& operator=(Summary&& other) noexcept;
 
   void add(double x);
   void merge(const Summary& other);
@@ -39,8 +58,12 @@ class Summary {
  private:
   void ensure_sorted() const;
 
-  std::vector<double> samples_;
-  mutable bool sorted_ = true;
+  // The lazy sort mutates samples_ from const queries, so concurrent
+  // readers synchronize on sort_mutex_; sorted_ is the double-checked fast
+  // path (acquire pairs with the sorting thread's release).
+  mutable std::vector<double> samples_;
+  mutable std::mutex sort_mutex_;
+  mutable std::atomic<bool> sorted_{true};
 };
 
 // An empirical CDF over the given samples, evaluated at `points` equally

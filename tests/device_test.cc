@@ -131,6 +131,58 @@ TEST(Device, ParticipationOncePerDay) {
   EXPECT_EQ(Device::day_of(kDay), 1);
 }
 
+TEST(Device, DayOfUsesFloorSemantics) {
+  // Negative times (churn jitter can place a session start before t=0)
+  // must land on day -1, not be folded onto day 0 by trunc-toward-zero —
+  // otherwise a pre-horizon participation would consume the day-0 budget.
+  EXPECT_EQ(Device::day_of(-0.5), -1);
+  EXPECT_EQ(Device::day_of(-1.0), -1);
+  EXPECT_EQ(Device::day_of(-kDay + 1.0), -1);
+  EXPECT_EQ(Device::day_of(-kDay), -1);
+  EXPECT_EQ(Device::day_of(-kDay - 1.0), -2);
+  // Exact day boundaries belong to the starting day, positive or negative.
+  EXPECT_EQ(Device::day_of(2.0 * kDay), 2);
+  EXPECT_EQ(Device::day_of(2.0 * kDay - 1.0), 1);
+  EXPECT_EQ(Device::day_of(7.0 * kDay), 7);
+  EXPECT_EQ(Device::day_of(-2.0 * kDay), -2);
+}
+
+TEST(Device, NegativeTimeBudgetIsDistinctFromDayZero) {
+  // A device that participated on day -1 (a session jittered before t=0)
+  // must still have its day-0 budget.
+  Device d(DeviceId(0), {0.5, 0.5}, {});
+  d.mark_participation(Device::day_of(-1.0));
+  EXPECT_TRUE(d.participated_on_day(-1));
+  EXPECT_FALSE(d.participated_on_day(0));
+  // And the refund path keys on the same floor day.
+  d.refund_participation(Device::day_of(-0.5));
+  EXPECT_FALSE(d.participated_on_day(-1));
+}
+
+TEST(Device, ParticipationSlotBindingIsAView) {
+  // A bound device reads and writes the external slot (the fleet hot
+  // store's dense column), migrating its current value on bind; copies
+  // re-point at their own inline slot carrying the value.
+  Device d(DeviceId(0), {0.5, 0.5}, {});
+  d.mark_participation(3);
+  std::int32_t slot = -1;
+  d.bind_participation_slot(&slot);
+  EXPECT_EQ(slot, 3);  // bind migrated the inline value
+  d.mark_participation(5);
+  EXPECT_EQ(slot, 5);
+  slot = 7;
+  EXPECT_TRUE(d.participated_on_day(7));
+
+  const Device copy = d;  // must not alias `slot`
+  slot = 9;
+  EXPECT_EQ(copy.last_participation_day(), 7);
+  Device assigned(DeviceId(1), {0.1, 0.1}, {});
+  assigned = d;
+  EXPECT_EQ(assigned.last_participation_day(), 9);
+  slot = 11;
+  EXPECT_EQ(assigned.last_participation_day(), 9);
+}
+
 TEST(TierProfile, NotReadyUntilEnoughSamples) {
   TierProfile p(3);
   EXPECT_FALSE(p.ready());

@@ -16,6 +16,7 @@
 // silently stopped sharding cannot turn this wall vacuous.
 #include <gtest/gtest.h>
 
+#include "protocol/builtins.h"
 #include "venn/venn.h"
 
 namespace venn {
@@ -274,6 +275,119 @@ TEST(ShardDifferential, ShardedSweepPipelineEngages) {
       EXPECT_GT(filtered, 0u);
     }
     EXPECT_TRUE(coord.validate_idle_segments());
+  }
+}
+
+// SoA-filter-vs-live-signature property. The sweep's batched skip verdict
+// reads the hot store's cached signature column: skip device d iff
+// (hot.signature[d] & wants) == 0 on bits proven aligned with the
+// manager's requirement space; the fallback recomputes the signature live
+// from the spec per offer (SignatureSpace::signature_of). The two must
+// agree under exactly the dynamic conditions that invalidate caches:
+//   * the wants mask GROWS mid-sweep — staggered job arrivals register new
+//     requirement bits between (and during) sweeps, and a successful offer
+//     can re-open a queue the filter snapshot considered satisfied;
+//   * straggler re-parks — the overcommit protocol cuts devices off
+//     mid-compute and re-parks them with their day budget refunded, so
+//     filtered pool segments churn while rounds are in flight.
+// Run the same scenario at shards {1, 4, 8} in both index modes, assert
+// those conditions actually occurred, then check per device that the
+// cached column reproduces the live signature bit for bit on the aligned
+// prefix (recomputed here the same way Coordinator::aligned_requirement_mask
+// proves it) — which implies verdict equality for every wants mask the
+// sweep can see. The participation column must likewise match the Device
+// views bound over it.
+TEST(ShardDifferential, SoaFilterVerdictMatchesLiveSignatureFallback) {
+  for (const bool use_index : {true, false}) {
+    for (const std::size_t shards : {1UL, 4UL, 8UL}) {
+      const std::string label = std::string(use_index ? "index" : "scan") +
+                                " shards=" + std::to_string(shards);
+      ScenarioSpec sc;
+      sc.seed = 97;
+      sc.num_devices = 6'000;
+      sc.num_jobs = 10;
+      sc.horizon = 2.0 * kDay;
+      sc.job_trace.min_demand = 3;
+      sc.job_trace.max_demand = 12;
+      sc.set("churn", "weibull");
+      sc.use_index = use_index;
+
+      const auto inputs = api::build_inputs(sc);
+      const auto gens = workload::build_generators(sc.arrival_gen, sc.mix_gen,
+                                                   sc.churn_gen, sc.seed);
+      sim::Engine engine(Rng::derive(sc.seed, "engine"));
+      engine.set_shards(shards);
+      ResourceManager manager(PolicyRegistry::instance().create(
+          "venn", {}, Rng::derive(sc.seed, "scheduler")));
+      const protocol::OvercommitProtocol overcommit(1.5);
+      CoordinatorConfig ccfg;
+      ccfg.horizon = sc.horizon;
+      ccfg.seed = sc.seed;
+      ccfg.churn = gens.churn.get();
+      ccfg.use_index = use_index;
+      ccfg.protocol = &overcommit;
+      Coordinator coord(engine, manager, inputs.devices, inputs.jobs, ccfg);
+      coord.run();
+
+      // The dynamic conditions engaged, or the property below is vacuous:
+      // requirements were registered (wants-mask growth), stragglers were
+      // released back into the pool, and at shards > 1 the batched filter
+      // pipeline actually ran.
+      const SignatureSpace& sigs = manager.signatures();
+      ASSERT_GT(sigs.size(), 0u) << label;
+      EXPECT_GT(coord.protocol_stats().stragglers_released, 0u) << label;
+      if (shards > 1) {
+        EXPECT_GT(coord.shard_stats().sharded_sweeps, 0u) << label;
+        if (use_index) {
+          EXPECT_GT(coord.shard_stats().filter_batches, 0u) << label;
+        }
+      }
+
+      const FleetHotState& hot = coord.hot_state();
+      ASSERT_EQ(hot.size(), sc.num_devices) << label;
+
+      if (use_index) {
+        const EligibilityIndex* idx = coord.index();
+        ASSERT_NE(idx, nullptr) << label;
+        // Recompute the aligned prefix exactly like the coordinator does.
+        std::size_t aligned = 0;
+        const std::size_t n = std::min(idx->num_requirements(), sigs.size());
+        while (aligned < n &&
+               idx->requirement(aligned) == sigs.requirement(aligned)) {
+          ++aligned;
+        }
+        // In this scenario every manager requirement came through the
+        // register-with-index-first path, so the whole space must align —
+        // otherwise the sweep silently degraded to plain offering and the
+        // equality below would not cover the filter at all.
+        ASSERT_EQ(aligned, sigs.size()) << label;
+        const std::uint64_t amask =
+            aligned >= 64 ? ~0ULL : (1ULL << aligned) - 1;
+        for (std::size_t d = 0; d < hot.size(); ++d) {
+          const std::uint64_t live = sigs.signature_of(hot.spec[d]);
+          ASSERT_EQ(hot.signature[d] & amask, live & amask)
+              << label << " device " << d;
+        }
+      } else {
+        // Scan mode: no index writes the signature column; the sweep's
+        // verdicts come from the live fallback only and the column must
+        // have stayed untouched.
+        for (std::size_t d = 0; d < hot.size(); ++d) {
+          ASSERT_EQ(hot.signature[d], 0u) << label << " device " << d;
+        }
+      }
+
+      // The participation column is the backing store of the Device views;
+      // after refunds (straggler releases above) every slot is either the
+      // sentinel or a real day inside the run.
+      const int last_day = Device::day_of(sc.horizon);
+      for (std::size_t d = 0; d < hot.size(); ++d) {
+        const std::int32_t day = hot.participation_day[d];
+        ASSERT_TRUE(day == Device::kNeverParticipated ||
+                    (day >= -1 && day <= last_day))
+            << label << " device " << d << " day " << day;
+      }
+    }
   }
 }
 

@@ -1,0 +1,118 @@
+// Concurrent-reader regression tests for Summary's lazy percentile sort.
+//
+// The original ensure_sorted() const_cast the sample vector and sorted it
+// under a plain bool flag — two threads querying percentiles of a shared
+// Summary (the SweepRunner aggregation pattern) raced on both the flag and
+// the vector. These tests hammer exactly that pattern; under
+// -fsanitize=thread (the CI tsan job) the old implementation reports a data
+// race deterministically, and the fixed one must stay silent.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace venn {
+namespace {
+
+Summary make_unsorted(std::size_t n) {
+  Summary s;
+  // Descending, so the lazy sort has real work to do.
+  for (std::size_t i = 0; i < n; ++i) {
+    s.add(static_cast<double>(n - i));
+  }
+  return s;
+}
+
+TEST(StatsConcurrentTest, ConcurrentPercentileReadersAgree) {
+  const std::size_t kSamples = 10'000;
+  const Summary shared = make_unsorted(kSamples);
+
+  // All readers start at once on a never-yet-sorted Summary: every thread
+  // races into the first ensure_sorted().
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 200;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<double> medians(kThreads, 0.0);
+  std::vector<double> p95s(kThreads, 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      double median = 0.0, p95 = 0.0;
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        median = shared.median();
+        p95 = shared.percentile(95.0);
+      }
+      medians[t] = median;
+      p95s[t] = p95;
+    });
+  }
+  while (ready.load() < kThreads) {
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_DOUBLE_EQ(medians[t], medians[0]);
+    EXPECT_DOUBLE_EQ(p95s[t], p95s[0]);
+  }
+  // Samples 1..N descending sorts to 1..N: the interpolated median of
+  // [1, 10000] is (1 + 10000) / 2.
+  EXPECT_DOUBLE_EQ(medians[0], 5000.5);
+}
+
+TEST(StatsConcurrentTest, ConcurrentCopiesDuringQueriesAreConsistent) {
+  const std::size_t kSamples = 4'096;
+  const Summary shared = make_unsorted(kSamples);
+  const double expected_median = shared.median();  // also pre-sorts
+
+  // Half the threads query, half copy (the result-aggregation fan-out);
+  // copies taken mid-hammer must be internally consistent.
+  constexpr int kThreads = 8;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  std::vector<double> results(kThreads, 0.0);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      if (t % 2 == 0) {
+        results[t] = shared.percentile(50.0);
+      } else {
+        const Summary copy = shared;
+        results[t] = copy.median();
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_DOUBLE_EQ(results[t], expected_median);
+  }
+}
+
+TEST(StatsConcurrentTest, WriteAfterQueryResortsCorrectly) {
+  // Single-threaded sanity for the flag transitions around the new atomic:
+  // add() after a sorted query must invalidate and re-sort.
+  Summary s;
+  s.add(3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(100.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 100.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+}  // namespace
+}  // namespace venn
