@@ -75,6 +75,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "orchestrator/metrics.h"
+#include "util/parse.h"
 
 using namespace venn;
 
@@ -332,7 +334,11 @@ void write_json(const std::string& path, double horizon_days,
 // is our own (write_json above), so no general JSON parsing is needed.
 // Index/scan cells carry "events_per_sec"; shard cells carry
 // "visits_per_sec" (sweep throughput — a different metric, deliberately
-// not published under the events key).
+// not published under the events key). The lookup delegates to
+// orchestrator::find_cell_metric, which bounds the key search to the
+// matched cell object: an unbounded search (the pre-PR 9 code) silently
+// read the NEXT cell's value when a cell lacked the key — e.g. an old
+// baseline without "visits_per_sec" — and gated against the wrong number.
 bool baseline_metric(const std::string& text, std::size_t devices,
                      std::size_t jobs, const std::string& mode,
                      const char* metric_key, double* out) {
@@ -340,13 +346,7 @@ bool baseline_metric(const std::string& text, std::size_t devices,
   std::snprintf(needle, sizeof(needle),
                 "\"devices\": %zu, \"jobs\": %zu, \"mode\": \"%s\"", devices,
                 jobs, mode.c_str());
-  const auto cell_pos = text.find(needle);
-  if (cell_pos == std::string::npos) return false;
-  const std::string key = std::string("\"") + metric_key + "\": ";
-  const auto key_pos = text.find(key, cell_pos);
-  if (key_pos == std::string::npos) return false;
-  *out = std::strtod(text.c_str() + key_pos + key.size(), nullptr);
-  return true;
+  return orchestrator::find_cell_metric(text, needle, metric_key, out);
 }
 
 bool baseline_events_per_sec(const std::string& text, const CellResult& c,
@@ -577,30 +577,43 @@ int main(int argc, char** argv) {
   int repeats = 3;
   double min_shard_speedup = -1.0;  // <0: 1.2 on full runs, off on --quick
   double max_journal_overhead = 0.10;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--quick") {
-      quick = true;
-    } else if (arg.rfind("--min-shard-speedup=", 0) == 0) {
-      min_shard_speedup = std::atof(arg.c_str() + 20);
-    } else if (arg.rfind("--max-journal-overhead=", 0) == 0) {
-      max_journal_overhead = std::atof(arg.c_str() + 23);
-    } else if (arg.rfind("--out=", 0) == 0) {
-      out_path = arg.substr(6);
-    } else if (arg.rfind("--baseline=", 0) == 0) {
-      baseline_path = arg.substr(11);
-    } else if (arg.rfind("--tolerance=", 0) == 0) {
-      tolerance = std::atof(arg.c_str() + 12);
-    } else if (arg.rfind("--horizon-days=", 0) == 0) {
-      horizon_days = std::atof(arg.c_str() + 15);
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
-    } else if (arg.rfind("--repeats=", 0) == 0) {
-      repeats = std::max(1, std::atoi(arg.c_str() + 10));
-    } else {
-      std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
-      return 2;
+  // Numeric flags go through the hardened util/parse.h helpers (the same
+  // semantics ScenarioSpec key=value parsing uses): the unchecked
+  // atoi/atof/strtod(..., nullptr) calls they replace silently turned
+  // --repeats=abc into 1 and --tolerance=x into 0.0 — the latter
+  // effectively disabling the regression gate on a typo.
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--quick") {
+        quick = true;
+      } else if (arg.rfind("--min-shard-speedup=", 0) == 0) {
+        min_shard_speedup =
+            internal::parse_double("--min-shard-speedup", arg.substr(20));
+      } else if (arg.rfind("--max-journal-overhead=", 0) == 0) {
+        max_journal_overhead =
+            internal::parse_positive("--max-journal-overhead", arg.substr(23));
+      } else if (arg.rfind("--out=", 0) == 0) {
+        out_path = arg.substr(6);
+      } else if (arg.rfind("--baseline=", 0) == 0) {
+        baseline_path = arg.substr(11);
+      } else if (arg.rfind("--tolerance=", 0) == 0) {
+        tolerance = internal::parse_prob("--tolerance", arg.substr(12));
+      } else if (arg.rfind("--horizon-days=", 0) == 0) {
+        horizon_days =
+            internal::parse_positive("--horizon-days", arg.substr(15));
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        seed = internal::parse_u64("--seed", arg.substr(7));
+      } else if (arg.rfind("--repeats=", 0) == 0) {
+        repeats = std::max(1, internal::parse_int("--repeats", arg.substr(10)));
+      } else {
+        std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
+        return 2;
+      }
     }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
   }
 
   bench::header("Scheduler hot path — eligibility index vs full fleet scan",

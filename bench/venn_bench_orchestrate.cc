@@ -1,0 +1,189 @@
+// venn_bench_orchestrate — cross-process experiment orchestrator.
+//
+// Reads a JSON experiment config (bench/experiments/*.json) describing a
+// (scenario × policy × protocol × seed) matrix plus named bench binaries,
+// fork/execs the runs with bounded process concurrency, records per-run
+// provenance (meta.json: full command, build-info line, start/end, wall
+// time, exit code) with captured stdout/stderr under
+// <out_root>/<exp>/runs/<run_id>/, then aggregates every run into one
+// runs.csv and emits a self-contained static report.html (inline tables +
+// SVG plots, no external deps). One command regenerates the paper's full
+// artifact:
+//
+//   venn_bench_orchestrate --config bench/experiments/paper.json
+//
+// Usage:
+//   venn_bench_orchestrate --config=PATH [options]
+//     --config PATH     experiment JSON (required)
+//     --jobs N          max concurrent processes (overrides config)
+//     --bin-dir PATH    binary directory (overrides config)
+//     --out-root PATH   output root (overrides config)
+//     --dry_run         print the planned runs (with resume decisions
+//                       when combined with --resume) and exit
+//     --resume          skip runs whose meta.json records the same
+//                       command with exit code 0
+//     --fail_fast       stop launching new runs on the first failure
+//     --aggregate-only  skip execution; re-aggregate an existing run tree
+//     --quiet           suppress per-run progress lines
+//     --version         print the build identification line
+//
+// Output layout:
+//   <out_root>/<exp>/runs/<run_id>/{meta.json, stdout.txt, stderr.txt, ...}
+//   <out_root>/<exp>/aggregate/runs.csv
+//   <out_root>/<exp>/report/report.html
+//
+// Exit status: 0 when every executed run succeeded (skips are fine),
+// 1 when any run failed or any run directory held malformed metadata,
+// 2 on a config/CLI error.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <string>
+
+#include "orchestrator/aggregate.h"
+#include "orchestrator/config.h"
+#include "orchestrator/report.h"
+#include "orchestrator/runner.h"
+#include "util/build_info.h"
+#include "util/parse.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --config=PATH [--jobs=N] [--bin-dir=PATH]\n"
+               "       [--out-root=PATH] [--dry_run] [--resume] "
+               "[--fail_fast]\n"
+               "       [--aggregate-only] [--quiet] [--version]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace venn::orchestrator;
+  namespace fs = std::filesystem;
+
+  std::string config_path;
+  std::string bin_dir_override;
+  std::string out_root_override;
+  int jobs_override = 0;
+  bool dry_run = false, resume = false, fail_fast = false;
+  bool aggregate_only = false, quiet = false;
+
+  // Flags follow the sweep-runner convention (--dry_run/--resume/
+  // --fail_fast); numeric values go through the hardened util/parse.h
+  // helpers so garbage fails loudly instead of silently becoming 0.
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&](const char* flag) -> std::string {
+        const std::size_t n = std::strlen(flag);
+        if (arg.size() > n + 1 && arg[n] == '=') return arg.substr(n + 1);
+        if (arg.size() == n && i + 1 < argc) return argv[++i];
+        throw std::invalid_argument(std::string("missing value for ") + flag);
+      };
+      if (arg == "--version") {
+        std::printf("%s\n", venn::build_info_line().c_str());
+        return 0;
+      } else if (arg == "--dry_run" || arg == "--dry-run") {
+        dry_run = true;
+      } else if (arg == "--resume") {
+        resume = true;
+      } else if (arg == "--fail_fast" || arg == "--fail-fast") {
+        fail_fast = true;
+      } else if (arg == "--aggregate-only") {
+        aggregate_only = true;
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else if (arg.rfind("--config", 0) == 0) {
+        config_path = value("--config");
+      } else if (arg.rfind("--jobs", 0) == 0) {
+        jobs_override =
+            venn::internal::parse_int("--jobs", value("--jobs"));
+        if (jobs_override < 1 || jobs_override > 256) {
+          throw std::invalid_argument("--jobs must be in [1, 256]");
+        }
+      } else if (arg.rfind("--bin-dir", 0) == 0) {
+        bin_dir_override = value("--bin-dir");
+      } else if (arg.rfind("--out-root", 0) == 0) {
+        out_root_override = value("--out-root");
+      } else {
+        std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
+        return usage(argv[0]);
+      }
+    }
+    if (config_path.empty()) {
+      std::fprintf(stderr, "missing --config\n");
+      return usage(argv[0]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  try {
+    ExperimentConfig cfg = load_config(config_path);
+    if (!bin_dir_override.empty()) cfg.bin_dir = bin_dir_override;
+    if (!out_root_override.empty()) cfg.out_root = out_root_override;
+
+    RunnerOptions opts;
+    opts.jobs = jobs_override;
+    opts.resume = resume;
+    opts.fail_fast = fail_fast;
+    opts.quiet = quiet;
+
+    if (dry_run) {
+      std::fputs(render_plan(cfg, opts).c_str(), stdout);
+      return 0;
+    }
+
+    RunnerReport report;
+    if (!aggregate_only) {
+      if (!quiet) {
+        std::printf("experiment %s: %zu runs, jobs=%d, out=%s\n",
+                    cfg.name.c_str(), cfg.runs.size(),
+                    opts.jobs > 0 ? opts.jobs : cfg.jobs,
+                    cfg.exp_dir().c_str());
+      }
+      report = execute_runs(cfg, opts);
+    }
+
+    const std::string exp_dir = fs::absolute(cfg.exp_dir()).string();
+    const AggregateResult agg = aggregate_runs(exp_dir);
+    fs::create_directories(exp_dir + "/aggregate");
+    fs::create_directories(exp_dir + "/report");
+    write_runs_csv(exp_dir + "/aggregate/runs.csv", agg.records);
+    write_report_html(exp_dir + "/report/report.html", cfg.name, agg.records);
+
+    for (const std::string& bad : agg.malformed_runs) {
+      std::fprintf(stderr, "WARNING: malformed run metadata in %s\n",
+                   bad.c_str());
+    }
+    if (!quiet) {
+      std::printf(
+          "aggregated %zu runs -> %s/aggregate/runs.csv, "
+          "%s/report/report.html\n",
+          agg.records.size(), exp_dir.c_str(), exp_dir.c_str());
+      if (!aggregate_only) {
+        std::printf("executed %zu, skipped %zu, failed %zu\n",
+                    report.executed, report.skipped, report.failed);
+      }
+    }
+    if (!aggregate_only) {
+      for (const RunOutcome& o : report.outcomes) {
+        if (o.status == RunStatus::kFailed) {
+          std::fprintf(stderr, "FAILED: %s (exit %d) — see %s/stderr.txt\n",
+                       o.spec.id.c_str(), o.exit_code, o.run_dir.c_str());
+        }
+      }
+      if (!report.ok()) return 1;
+    }
+    return agg.malformed_runs.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

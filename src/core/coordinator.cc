@@ -1167,12 +1167,17 @@ std::size_t Coordinator::release_stragglers(Job* job, RequestId rid,
       // Shard-local pool ownership: the re-park must land in the segment
       // of the device's home shard, which idle_insert guarantees
       // structurally (it keys segment accounting off the immutable
-      // partition). The falsifiable invariant is disjointness: a straggler
-      // was computing, so it cannot already be parked — a pool entry here
-      // means this InFlight entry (possibly deferred past a sweep pass)
-      // went stale, and the silent no-op insert would corrupt the
-      // released device's segment accounting story. Throw instead.
+      // partition). The disjointness invariant — a computing straggler
+      // cannot already be parked — holds only within the assignment's own
+      // day: the midnight-budget rule (see attempt_checkin) re-parks a
+      // device whose computation spans a day boundary, so a release after
+      // that boundary legitimately finds the pool entry already there,
+      // with its retire timer armed by whoever parked it. Keep that entry.
+      // Same-day, a pool entry can only mean this InFlight entry went
+      // stale, and the silent no-op insert would corrupt the released
+      // device's segment accounting story. Throw instead.
       if (hot_.idle_pos[entry.dev] != 0) {
+        if (Device::day_of(now) > Device::day_of(entry.started)) continue;
         throw std::logic_error(
             "Coordinator: straggler release found the device already parked "
             "(stale in-flight entry; re-park would be misattributed to "

@@ -1,0 +1,149 @@
+#include "orchestrator/aggregate.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "orchestrator/json.h"
+#include "orchestrator/metrics.h"
+
+namespace venn::orchestrator {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string meta_string(const Json& meta, const std::string& key) {
+  const Json* v = meta.find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : std::string{};
+}
+
+double meta_number(const Json& meta, const std::string& key, double fallback) {
+  const Json* v = meta.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+bool parse_record(const fs::path& run_dir, RunRecord* out) {
+  const std::string meta_text = read_file(run_dir / "meta.json");
+  if (meta_text.empty()) return false;
+  Json meta;
+  try {
+    meta = Json::parse(meta_text, (run_dir / "meta.json").string());
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (!meta.is_object()) return false;
+
+  out->run_id = meta_string(meta, "run_id");
+  if (out->run_id.empty()) out->run_id = run_dir.filename().string();
+  out->kind = meta_string(meta, "kind");
+  out->scenario = meta_string(meta, "scenario");
+  out->policy = meta_string(meta, "policy");
+  out->protocol = meta_string(meta, "protocol");
+  out->binary = meta_string(meta, "binary");
+  out->build_info = meta_string(meta, "build_info");
+  if (const Json* seed = meta.find("seed"); seed != nullptr && seed->is_number()) {
+    out->has_seed = true;
+    out->seed = static_cast<std::uint64_t>(seed->as_number());
+  }
+  out->exit_code = static_cast<int>(meta_number(meta, "exit_code", -1.0));
+  out->wall_s = meta_number(meta, "wall_time_s", 0.0);
+  out->start_unix = static_cast<long long>(meta_number(meta, "start_unix", 0.0));
+  out->end_unix = static_cast<long long>(meta_number(meta, "end_unix", 0.0));
+
+  const std::string stdout_text = read_file(run_dir / "stdout.txt");
+  if (!stdout_text.empty()) {
+    out->has_avg_jct =
+        scrape_labeled_double(stdout_text, "avg JCT", &out->avg_jct);
+    out->has_finished = scrape_labeled_fraction(
+        stdout_text, "finished", &out->finished_jobs, &out->total_jobs);
+  }
+  return true;
+}
+
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+AggregateResult aggregate_runs(const std::string& exp_dir) {
+  AggregateResult result;
+  const fs::path runs_root = fs::path(exp_dir) / "runs";
+  std::error_code ec;
+  if (!fs::is_directory(runs_root, ec)) return result;
+  for (const auto& entry : fs::directory_iterator(runs_root)) {
+    if (!entry.is_directory()) continue;
+    RunRecord record;
+    if (parse_record(entry.path(), &record)) {
+      result.records.push_back(std::move(record));
+    } else {
+      result.malformed_runs.push_back(entry.path().string());
+    }
+  }
+  std::sort(result.records.begin(), result.records.end(),
+            [](const RunRecord& a, const RunRecord& b) {
+              return a.run_id < b.run_id;
+            });
+  std::sort(result.malformed_runs.begin(), result.malformed_runs.end());
+  return result;
+}
+
+std::string runs_csv(const std::vector<RunRecord>& records) {
+  std::string out =
+      "run_id,kind,scenario,policy,protocol,seed,binary,exit_code,"
+      "wall_time_s,start_unix,end_unix,avg_jct_s,finished_jobs,total_jobs,"
+      "build_info\n";
+  char buf[64];
+  for (const RunRecord& r : records) {
+    out += csv_field(r.run_id) + "," + csv_field(r.kind) + "," +
+           csv_field(r.scenario) + "," + csv_field(r.policy) + "," +
+           csv_field(r.protocol) + ",";
+    if (r.has_seed) out += std::to_string(r.seed);
+    out += "," + csv_field(r.binary) + "," + std::to_string(r.exit_code) + ",";
+    std::snprintf(buf, sizeof(buf), "%.6f", r.wall_s);
+    out += buf;
+    out += "," + std::to_string(r.start_unix) + "," +
+           std::to_string(r.end_unix) + ",";
+    if (r.has_avg_jct) {
+      std::snprintf(buf, sizeof(buf), "%.6f", r.avg_jct);
+      out += buf;
+    }
+    out += ",";
+    if (r.has_finished) {
+      out += std::to_string(r.finished_jobs) + "," +
+             std::to_string(r.total_jobs);
+    } else {
+      out += ",";
+    }
+    out += "," + csv_field(r.build_info) + "\n";
+  }
+  return out;
+}
+
+void write_runs_csv(const std::string& path,
+                    const std::vector<RunRecord>& records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << runs_csv(records);
+}
+
+}  // namespace venn::orchestrator

@@ -1,0 +1,53 @@
+// Aggregation pass: fold every completed run under <exp_dir>/runs/ into
+// one flat table (runs.csv), one row per run, merging meta.json
+// provenance with headline metrics scraped from the captured stdout
+// (venn_sim_cli's "avg JCT <n> s" and "finished <a>/<b>" lines, when
+// present). Runs whose meta.json is missing or unparsable are reported as
+// malformed rather than silently dropped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace venn::orchestrator {
+
+struct RunRecord {
+  std::string run_id;
+  std::string kind;  // "matrix" | "bench" | "" (pre-schema meta)
+  std::string scenario;
+  std::string policy;
+  std::string protocol;
+  bool has_seed = false;
+  std::uint64_t seed = 0;
+  std::string binary;
+  std::string build_info;
+  int exit_code = 0;
+  double wall_s = 0.0;
+  long long start_unix = 0;
+  long long end_unix = 0;
+  // Scraped from stdout.txt when the run printed them.
+  bool has_avg_jct = false;
+  double avg_jct = 0.0;
+  bool has_finished = false;
+  std::uint64_t finished_jobs = 0;
+  std::uint64_t total_jobs = 0;
+};
+
+struct AggregateResult {
+  std::vector<RunRecord> records;            // sorted by run_id
+  std::vector<std::string> malformed_runs;   // run dirs with bad meta.json
+};
+
+// Scans <exp_dir>/runs/*/ for meta.json + stdout.txt.
+AggregateResult aggregate_runs(const std::string& exp_dir);
+
+// RFC-4180-style CSV (fields quoted when they contain comma/quote/newline);
+// empty cells for metrics a run did not report.
+std::string runs_csv(const std::vector<RunRecord>& records);
+
+// Writes runs_csv to <path>; throws std::runtime_error when unwritable.
+void write_runs_csv(const std::string& path,
+                    const std::vector<RunRecord>& records);
+
+}  // namespace venn::orchestrator

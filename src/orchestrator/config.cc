@@ -1,0 +1,256 @@
+#include "orchestrator/config.h"
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "orchestrator/json.h"
+
+namespace venn::orchestrator {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& origin, const std::string& what) {
+  throw std::invalid_argument(origin + ": " + what);
+}
+
+// Run ids and experiment names become directory names; keep them to a
+// conservative filesystem-safe alphabet so a config cannot traverse paths.
+void check_id(const std::string& origin, const std::string& what,
+              const std::string& id) {
+  if (id.empty()) fail(origin, what + " must not be empty");
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) {
+      fail(origin, what + " \"" + id +
+                       "\" contains characters outside [A-Za-z0-9._-]");
+    }
+  }
+  if (id == "." || id == "..") fail(origin, what + " \"" + id + "\" is reserved");
+}
+
+void check_known_keys(const std::string& origin, const std::string& where,
+                      const Json& obj, const std::set<std::string>& known) {
+  for (const auto& [key, value] : obj.members()) {
+    (void)value;
+    if (known.count(key) == 0) {
+      fail(origin, "unknown key \"" + key + "\" in " + where);
+    }
+  }
+}
+
+std::string get_string(const std::string& origin, const std::string& where,
+                       const Json& v) {
+  if (!v.is_string()) fail(origin, where + ": expected a string");
+  return v.as_string();
+}
+
+std::vector<std::string> get_string_array(const std::string& origin,
+                                          const std::string& where,
+                                          const Json& v) {
+  if (!v.is_array()) fail(origin, where + ": expected an array of strings");
+  std::vector<std::string> out;
+  out.reserve(v.items().size());
+  for (const Json& item : v.items()) {
+    if (!item.is_string()) {
+      fail(origin, where + ": expected an array of strings");
+    }
+    out.push_back(item.as_string());
+  }
+  return out;
+}
+
+int get_int(const std::string& origin, const std::string& where,
+            const Json& v) {
+  if (!v.is_number()) fail(origin, where + ": expected a number");
+  const double d = v.as_number();
+  if (d != std::floor(d) || d < -2147483648.0 || d > 2147483647.0) {
+    fail(origin, where + ": expected an integer");
+  }
+  return static_cast<int>(d);
+}
+
+struct MatrixAxis {
+  std::string name;
+  std::vector<std::string> args;
+};
+
+void expand_matrix(const std::string& origin, const Json& matrix,
+                   ExperimentConfig* cfg) {
+  check_known_keys(origin, "matrix", matrix,
+                   {"binary", "common_args", "scenarios", "policies",
+                    "protocols", "seeds"});
+  const Json* binary = matrix.find("binary");
+  if (binary == nullptr) fail(origin, "matrix: missing \"binary\"");
+  const std::string bin = get_string(origin, "matrix.binary", *binary);
+
+  std::vector<std::string> common;
+  if (const Json* v = matrix.find("common_args")) {
+    common = get_string_array(origin, "matrix.common_args", *v);
+  }
+
+  std::vector<MatrixAxis> scenarios;
+  if (const Json* v = matrix.find("scenarios")) {
+    if (!v->is_array()) fail(origin, "matrix.scenarios: expected an array");
+    for (const Json& s : v->items()) {
+      if (!s.is_object()) {
+        fail(origin, "matrix.scenarios: expected objects with name/args");
+      }
+      check_known_keys(origin, "matrix.scenarios entry", s, {"name", "args"});
+      const Json* name = s.find("name");
+      if (name == nullptr) fail(origin, "matrix.scenarios entry: missing \"name\"");
+      MatrixAxis axis;
+      axis.name = get_string(origin, "matrix.scenarios name", *name);
+      check_id(origin, "scenario name", axis.name);
+      if (const Json* args = s.find("args")) {
+        axis.args = get_string_array(origin, "matrix.scenarios args", *args);
+      }
+      scenarios.push_back(std::move(axis));
+    }
+  }
+  if (scenarios.empty()) scenarios.push_back({"default", {}});
+
+  std::vector<std::string> policies{"venn"};
+  if (const Json* v = matrix.find("policies")) {
+    policies = get_string_array(origin, "matrix.policies", *v);
+    for (const std::string& p : policies) check_id(origin, "policy", p);
+  }
+  std::vector<std::string> protocols{"sync"};
+  if (const Json* v = matrix.find("protocols")) {
+    protocols = get_string_array(origin, "matrix.protocols", *v);
+    for (const std::string& p : protocols) check_id(origin, "protocol", p);
+  }
+  std::vector<std::uint64_t> seeds{42};
+  if (const Json* v = matrix.find("seeds")) {
+    if (!v->is_array()) fail(origin, "matrix.seeds: expected an array");
+    seeds.clear();
+    for (const Json& s : v->items()) {
+      if (!s.is_number()) fail(origin, "matrix.seeds: expected numbers");
+      const double d = s.as_number();
+      if (d != std::floor(d) || d < 0.0 || d > 1.8e19) {
+        fail(origin, "matrix.seeds: expected non-negative integers");
+      }
+      seeds.push_back(static_cast<std::uint64_t>(d));
+    }
+  }
+  if (policies.empty() || protocols.empty() || seeds.empty()) {
+    fail(origin, "matrix axes must not be empty");
+  }
+
+  for (const MatrixAxis& sc : scenarios) {
+    for (const std::string& pol : policies) {
+      for (const std::string& proto : protocols) {
+        for (const std::uint64_t seed : seeds) {
+          RunSpec run;
+          run.id = sc.name + "-" + pol + "-" + proto + "-s" +
+                   std::to_string(seed);
+          run.kind = "matrix";
+          run.binary = bin;
+          run.args = common;
+          run.args.insert(run.args.end(), sc.args.begin(), sc.args.end());
+          run.args.push_back("--policy=" + pol);
+          run.args.push_back("--protocol=" + proto);
+          run.args.push_back("--seed=" + std::to_string(seed));
+          run.scenario = sc.name;
+          run.policy = pol;
+          run.protocol = proto;
+          run.seed = seed;
+          run.has_seed = true;
+          cfg->runs.push_back(std::move(run));
+        }
+      }
+    }
+  }
+}
+
+void expand_benches(const std::string& origin, const Json& benches,
+                    ExperimentConfig* cfg) {
+  if (!benches.is_array()) fail(origin, "benches: expected an array");
+  for (const Json& b : benches.items()) {
+    if (!b.is_object()) fail(origin, "benches: expected objects");
+    check_known_keys(origin, "benches entry", b,
+                     {"name", "binary", "args", "optional"});
+    const Json* name = b.find("name");
+    if (name == nullptr) fail(origin, "benches entry: missing \"name\"");
+    RunSpec run;
+    run.id = get_string(origin, "bench name", *name);
+    check_id(origin, "bench name", run.id);
+    run.kind = "bench";
+    run.binary = run.id;
+    if (const Json* v = b.find("binary")) {
+      run.binary = get_string(origin, "bench binary", *v);
+    }
+    if (const Json* v = b.find("args")) {
+      run.args = get_string_array(origin, "bench args", *v);
+    }
+    if (const Json* v = b.find("optional")) {
+      if (!v->is_bool()) fail(origin, "bench optional: expected a boolean");
+      run.optional = v->as_bool();
+    }
+    cfg->runs.push_back(std::move(run));
+  }
+}
+
+}  // namespace
+
+ExperimentConfig parse_config(const std::string& text,
+                              const std::string& origin) {
+  const Json doc = Json::parse(text, origin);
+  if (!doc.is_object()) fail(origin, "config must be a JSON object");
+  check_known_keys(origin, "config", doc,
+                   {"name", "out_root", "bin_dir", "jobs", "matrix",
+                    "benches"});
+
+  ExperimentConfig cfg;
+  const Json* name = doc.find("name");
+  if (name == nullptr) fail(origin, "missing \"name\"");
+  cfg.name = get_string(origin, "name", *name);
+  check_id(origin, "experiment name", cfg.name);
+
+  if (const Json* v = doc.find("out_root")) {
+    cfg.out_root = get_string(origin, "out_root", *v);
+    if (cfg.out_root.empty()) fail(origin, "out_root must not be empty");
+  }
+  if (const Json* v = doc.find("bin_dir")) {
+    cfg.bin_dir = get_string(origin, "bin_dir", *v);
+    if (cfg.bin_dir.empty()) fail(origin, "bin_dir must not be empty");
+  }
+  if (const Json* v = doc.find("jobs")) {
+    cfg.jobs = get_int(origin, "jobs", *v);
+    if (cfg.jobs < 1 || cfg.jobs > 256) {
+      fail(origin, "jobs must be in [1, 256]");
+    }
+  }
+
+  if (const Json* matrix = doc.find("matrix")) {
+    if (!matrix->is_object()) fail(origin, "matrix: expected an object");
+    expand_matrix(origin, *matrix, &cfg);
+  }
+  if (const Json* benches = doc.find("benches")) {
+    expand_benches(origin, *benches, &cfg);
+  }
+  if (cfg.runs.empty()) {
+    fail(origin, "config defines no runs (need \"matrix\" and/or \"benches\")");
+  }
+
+  std::set<std::string> seen;
+  for (const RunSpec& run : cfg.runs) {
+    if (!seen.insert(run.id).second) {
+      fail(origin, "duplicate run id \"" + run.id + "\"");
+    }
+  }
+  return cfg;
+}
+
+ExperimentConfig load_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read config " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return parse_config(ss.str(), path);
+}
+
+}  // namespace venn::orchestrator

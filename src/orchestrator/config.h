@@ -1,0 +1,81 @@
+// Experiment configuration for venn_bench_orchestrate.
+//
+// A config (bench/experiments/*.json) names an output root, a binary
+// directory, a bounded process-concurrency default, a
+// (scenario × policy × protocol × seed) matrix over one simulator binary,
+// and a list of named bench binaries (the per-figure/table artifact
+// reproductions). Parsing is strict in the repo's house style: unknown
+// keys, wrong types, duplicate run ids and empty matrix axes all throw
+// std::invalid_argument naming the offending key — a typo'd config must
+// fail loudly before any process is forked.
+//
+// Schema (all keys optional unless noted):
+//   {
+//     "name": "paper",                    // required: experiment name
+//     "out_root": "bench_runs",           // runs land under <out_root>/<name>/
+//     "bin_dir": "build",                 // where binaries live
+//     "jobs": 4,                          // max concurrent processes
+//     "matrix": {                         // expanded as a cartesian product
+//       "binary": "venn_sim_cli",         // required when matrix present
+//       "common_args": ["--devices=6000"],
+//       "scenarios": [{"name": "weibull", "args": ["--churn=weibull"]}],
+//       "policies": ["venn", "fifo"],     // --policy=<p>
+//       "protocols": ["sync"],            // --protocol=<p>
+//       "seeds": [1, 2]                   // --seed=<s>
+//     },
+//     "benches": [                        // one run per named binary
+//       {"name": "fig03", "binary": "fig03_toy_example",
+//        "args": [], "optional": false}
+//     ]
+//   }
+//
+// Matrix runs get id "<scenario>-<policy>-<protocol>-s<seed>" and command
+//   <bin_dir>/<binary> <common_args> <scenario.args>
+//       --policy=<p> --protocol=<proto> --seed=<s>
+// Bench runs get id "<name>" and command <bin_dir>/<binary> <args>.
+// "optional": true marks a bench whose binary may legitimately be absent
+// (e.g. fig10_overhead when google-benchmark is not installed); it is
+// skipped instead of failed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace venn::orchestrator {
+
+struct RunSpec {
+  std::string id;       // unique, filesystem-safe
+  std::string kind;     // "matrix" | "bench"
+  std::string binary;   // name, resolved against bin_dir at execution
+  std::vector<std::string> args;  // argv[1..]
+  // Matrix provenance tags (empty / unset for bench runs).
+  std::string scenario;
+  std::string policy;
+  std::string protocol;
+  std::uint64_t seed = 0;
+  bool has_seed = false;
+  bool optional = false;
+};
+
+struct ExperimentConfig {
+  std::string name;
+  std::string out_root = "bench_runs";
+  std::string bin_dir = "build";
+  int jobs = 2;
+  std::vector<RunSpec> runs;  // matrix expansion first, then benches
+
+  // <out_root>/<name> — every run directory and aggregate lives below it.
+  std::string exp_dir() const { return out_root + "/" + name; }
+};
+
+// Parses and validates a config document. `origin` names the source in
+// error messages (usually the file path).
+ExperimentConfig parse_config(const std::string& text,
+                              const std::string& origin);
+
+// Reads the file and delegates to parse_config; throws std::runtime_error
+// when the file cannot be read.
+ExperimentConfig load_config(const std::string& path);
+
+}  // namespace venn::orchestrator

@@ -1,0 +1,79 @@
+// Minimal JSON value + recursive-descent parser + serializer for the
+// experiment orchestrator (configs, per-run meta.json provenance). The
+// repo carries no external dependencies, so this implements the subset of
+// RFC 8259 the orchestrator needs: all six value types, string escapes
+// (incl. \uXXXX to UTF-8), and strict errors that name the byte offset.
+//
+// Objects preserve insertion order (a vector of pairs, not a map) so
+// serialized meta.json files are stable and diffable, and duplicate keys
+// are rejected at parse time — a config with two "jobs" keys is a typo,
+// not a last-writer-wins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace venn::orchestrator {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  // Parses exactly one JSON document; trailing non-whitespace is an error.
+  // Throws std::invalid_argument naming `origin` and the byte offset.
+  static Json parse(const std::string& text,
+                    const std::string& origin = "json");
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Checked accessors: throw std::invalid_argument on type mismatch (the
+  // config layer turns these into "key X: expected array" style errors).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;                 // array
+  const std::vector<std::pair<std::string, Json>>& members() const;  // object
+
+  // Object lookup; nullptr when absent (never for non-objects — throws).
+  const Json* find(const std::string& key) const;
+
+  // Mutators used when assembling meta.json / reports.
+  void push_back(Json v);                      // array
+  void set(const std::string& key, Json v);    // object (append or replace)
+
+  // Canonical serialization. indent=0 → compact one-line; indent>0 →
+  // pretty-printed with that many spaces per level. Numbers print via
+  // %.17g trimmed to the shortest round-trip form ("1" not "1.0000...").
+  std::string dump(int indent = 0) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+
+  void dump_to(std::string* out, int indent, int depth) const;
+};
+
+// Serializes a string with JSON escaping, including the surrounding
+// quotes. Exposed for the report writer's hand-assembled fragments.
+std::string json_quote(const std::string& s);
+
+}  // namespace venn::orchestrator

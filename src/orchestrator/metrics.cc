@@ -1,0 +1,66 @@
+#include "orchestrator/metrics.h"
+
+#include <cstdlib>
+
+namespace venn::orchestrator {
+
+namespace {
+
+// Parses a number starting at text[pos] (spaces skipped); false when no
+// digits are consumed. `end_out` receives the first unconsumed position.
+bool parse_number_at(const std::string& text, std::size_t pos, double* out,
+                     std::size_t* end_out) {
+  while (pos < text.size() && text[pos] == ' ') ++pos;
+  if (pos >= text.size()) return false;
+  const char* start = text.c_str() + pos;
+  char* end = nullptr;
+  const double v = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = v;
+  if (end_out != nullptr) *end_out = pos + static_cast<std::size_t>(end - start);
+  return true;
+}
+
+}  // namespace
+
+bool find_cell_metric(const std::string& text, const std::string& cell_needle,
+                      const std::string& metric_key, double* out) {
+  const auto cell_pos = text.find(cell_needle);
+  if (cell_pos == std::string::npos) return false;
+  // The needle matches inside a flat cell object (no nested braces in the
+  // bench output format), so the first '}' after it closes this cell.
+  // Without this bound, a cell lacking the key borrows the value from the
+  // NEXT cell that has it — exactly the silent-corruption bug this helper
+  // replaces.
+  const auto cell_end = text.find('}', cell_pos);
+  const std::string key = "\"" + metric_key + "\": ";
+  const auto key_pos = text.find(key, cell_pos);
+  if (key_pos == std::string::npos) return false;
+  if (cell_end != std::string::npos && key_pos > cell_end) return false;
+  return parse_number_at(text, key_pos + key.size(), out, nullptr);
+}
+
+bool scrape_labeled_double(const std::string& text, const std::string& label,
+                           double* out) {
+  const auto pos = text.find(label);
+  if (pos == std::string::npos) return false;
+  return parse_number_at(text, pos + label.size(), out, nullptr);
+}
+
+bool scrape_labeled_fraction(const std::string& text, const std::string& label,
+                             std::uint64_t* num, std::uint64_t* den) {
+  const auto pos = text.find(label);
+  if (pos == std::string::npos) return false;
+  double a = 0.0;
+  std::size_t after = 0;
+  if (!parse_number_at(text, pos + label.size(), &a, &after)) return false;
+  if (after >= text.size() || text[after] != '/') return false;
+  double b = 0.0;
+  if (!parse_number_at(text, after + 1, &b, nullptr)) return false;
+  if (a < 0.0 || b < 0.0) return false;
+  *num = static_cast<std::uint64_t>(a);
+  *den = static_cast<std::uint64_t>(b);
+  return true;
+}
+
+}  // namespace venn::orchestrator

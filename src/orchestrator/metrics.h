@@ -1,0 +1,41 @@
+// Text-scraping helpers shared by the orchestrator's aggregation pass and
+// the bench binaries' baseline gates.
+//
+// Two families:
+//  - find_cell_metric: lookup into the repo's own flat JSON bench output
+//    (one cell object per line, e.g. BENCH_hotpath.json). The search for
+//    the metric key is BOUNDED to the matched cell object — this is the
+//    fix for a real bug where a cell missing the key silently read the
+//    NEXT cell's value and gated a regression verdict against the wrong
+//    number (bench/hotpath_index.cc pre-PR 9).
+//  - scrape_labeled_*: pull "label <number>" / "label <a>/<b>" values out
+//    of captured run stdout (e.g. venn_sim_cli's "avg JCT %.0f s" and
+//    "finished %zu/%zu" lines) for runs.csv.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace venn::orchestrator {
+
+// Finds the first occurrence of `cell_needle` (the cell's identifying
+// prefix, e.g. "\"devices\": 1000, \"jobs\": 4, \"mode\": \"index\""),
+// then reads the number after `"<metric_key>": ` — but only within that
+// cell's object (up to the first '}' after the needle). Returns false
+// when the cell or the key is absent FROM THAT CELL, or when the value
+// after the key is not a number.
+bool find_cell_metric(const std::string& text, const std::string& cell_needle,
+                      const std::string& metric_key, double* out);
+
+// Finds the first occurrence of `label` and parses the number that
+// follows it (skipping spaces). Returns false when the label is absent or
+// not followed by a number.
+bool scrape_labeled_double(const std::string& text, const std::string& label,
+                           double* out);
+
+// Finds the first occurrence of `label` and parses "<num>/<den>" after it
+// (skipping spaces), e.g. "finished 12/30".
+bool scrape_labeled_fraction(const std::string& text, const std::string& label,
+                             std::uint64_t* num, std::uint64_t* den);
+
+}  // namespace venn::orchestrator

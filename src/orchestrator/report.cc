@@ -1,0 +1,225 @@
+#include "orchestrator/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace venn::orchestrator {
+
+namespace {
+
+// Colorblind-safe categorical palette (Okabe–Ito derived); series colors
+// cycle through it, failures always render in the alert color.
+const char* const kSeriesColors[] = {"#0072b2", "#e69f00", "#009e73",
+                                     "#cc79a7", "#56b4e9", "#d55e00"};
+constexpr const char* kBarColor = "#0072b2";
+constexpr const char* kFailColor = "#d55e00";
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+// Horizontal bar chart: one row per entry, label left, value right.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+  const char* color = kBarColor;
+};
+
+std::string svg_hbar_chart(const std::vector<Bar>& bars,
+                           const std::string& value_format) {
+  if (bars.empty()) return "<p class=\"empty\">no data</p>\n";
+  const int row_h = 22, label_w = 340, value_w = 90, chart_w = 520;
+  const int width = label_w + chart_w + value_w;
+  const int height = static_cast<int>(bars.size()) * row_h + 8;
+  double max_v = 0.0;
+  for (const Bar& b : bars) max_v = std::max(max_v, b.value);
+  if (max_v <= 0.0) max_v = 1.0;
+
+  std::string svg = "<svg viewBox=\"0 0 " + std::to_string(width) + " " +
+                    std::to_string(height) +
+                    "\" role=\"img\" xmlns=\"http://www.w3.org/2000/svg\">\n";
+  int y = 4;
+  for (const Bar& b : bars) {
+    const int w = std::max(
+        1, static_cast<int>(std::lround(b.value / max_v * chart_w)));
+    svg += "  <text x=\"" + std::to_string(label_w - 8) + "\" y=\"" +
+           std::to_string(y + 15) +
+           "\" text-anchor=\"end\" class=\"lbl\">" + html_escape(b.label) +
+           "</text>\n";
+    svg += "  <rect x=\"" + std::to_string(label_w) + "\" y=\"" +
+           std::to_string(y + 3) + "\" width=\"" + std::to_string(w) +
+           "\" height=\"" + std::to_string(row_h - 8) + "\" fill=\"" +
+           b.color + "\"/>\n";
+    svg += "  <text x=\"" + std::to_string(label_w + w + 6) + "\" y=\"" +
+           std::to_string(y + 15) + "\" class=\"val\">" +
+           fmt(value_format.c_str(), b.value) + "</text>\n";
+    y += row_h;
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string wall_time_section(const std::vector<RunRecord>& records) {
+  std::vector<Bar> bars;
+  bars.reserve(records.size());
+  for (const RunRecord& r : records) {
+    bars.push_back({r.run_id, r.wall_s,
+                    r.exit_code == 0 ? kBarColor : kFailColor});
+  }
+  std::sort(bars.begin(), bars.end(),
+            [](const Bar& a, const Bar& b) { return a.value > b.value; });
+  return "<h2>Wall time per run</h2>\n" + svg_hbar_chart(bars, "%.2fs");
+}
+
+// Mean avg-JCT by policy, one chart per protocol (matrix runs only,
+// averaged over scenarios and seeds).
+std::string jct_section(const std::vector<RunRecord>& records) {
+  struct Acc {
+    double sum = 0.0;
+    int n = 0;
+  };
+  std::map<std::string, std::map<std::string, Acc>> by_protocol;
+  for (const RunRecord& r : records) {
+    if (r.kind != "matrix" || !r.has_avg_jct || r.exit_code != 0) continue;
+    Acc& acc = by_protocol[r.protocol][r.policy];
+    acc.sum += r.avg_jct;
+    ++acc.n;
+  }
+  if (by_protocol.empty()) return {};
+
+  std::string out = "<h2>Mean avg JCT by policy (matrix runs)</h2>\n";
+  std::size_t color_idx = 0;
+  for (const auto& [protocol, policies] : by_protocol) {
+    std::vector<Bar> bars;
+    const char* color =
+        kSeriesColors[color_idx++ % (sizeof(kSeriesColors) /
+                                     sizeof(kSeriesColors[0]))];
+    for (const auto& [policy, acc] : policies) {
+      bars.push_back({policy, acc.sum / acc.n, color});
+    }
+    std::sort(bars.begin(), bars.end(),
+              [](const Bar& a, const Bar& b) { return a.value < b.value; });
+    out += "<h3>protocol = " + html_escape(protocol) + "</h3>\n";
+    out += svg_hbar_chart(bars, "%.0fs");
+  }
+  return out;
+}
+
+std::string table_section(const std::vector<RunRecord>& records) {
+  std::string out =
+      "<h2>All runs</h2>\n<table>\n<tr><th>run</th><th>kind</th>"
+      "<th>scenario</th><th>policy</th><th>protocol</th><th>seed</th>"
+      "<th>exit</th><th>wall (s)</th><th>avg JCT (s)</th>"
+      "<th>finished</th></tr>\n";
+  for (const RunRecord& r : records) {
+    out += "<tr" + std::string(r.exit_code != 0 ? " class=\"fail\"" : "") +
+           "><td>" + html_escape(r.run_id) + "</td><td>" +
+           html_escape(r.kind) + "</td><td>" + html_escape(r.scenario) +
+           "</td><td>" + html_escape(r.policy) + "</td><td>" +
+           html_escape(r.protocol) + "</td><td>" +
+           (r.has_seed ? std::to_string(r.seed) : "") + "</td><td>" +
+           std::to_string(r.exit_code) + "</td><td>" + fmt("%.2f", r.wall_s) +
+           "</td><td>" + (r.has_avg_jct ? fmt("%.0f", r.avg_jct) : "") +
+           "</td><td>" +
+           (r.has_finished ? std::to_string(r.finished_jobs) + "/" +
+                                 std::to_string(r.total_jobs)
+                           : "") +
+           "</td></tr>\n";
+  }
+  out += "</table>\n";
+  return out;
+}
+
+}  // namespace
+
+std::string report_html(const std::string& exp_name,
+                        const std::vector<RunRecord>& records) {
+  std::size_t ok = 0, failed = 0;
+  double total_wall = 0.0;
+  for (const RunRecord& r : records) {
+    (r.exit_code == 0 ? ok : failed) += 1;
+    total_wall += r.wall_s;
+  }
+  const std::string build =
+      records.empty() ? std::string{} : records.front().build_info;
+
+  std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm);
+
+  std::string html =
+      "<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+      "<title>venn bench report — " + html_escape(exp_name) + "</title>\n"
+      "<style>\n"
+      "  body { font: 14px/1.5 system-ui, sans-serif; color: #1a1a2e;\n"
+      "         max-width: 1100px; margin: 2em auto; padding: 0 1em; }\n"
+      "  h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 2em; }\n"
+      "  h3 { font-size: 0.95em; color: #555; }\n"
+      "  .tiles { display: flex; gap: 1em; flex-wrap: wrap; }\n"
+      "  .tile { border: 1px solid #d8d8e0; border-radius: 6px;\n"
+      "          padding: 0.6em 1.2em; }\n"
+      "  .tile b { display: block; font-size: 1.4em; }\n"
+      "  .tile.bad b { color: #d55e00; }\n"
+      "  svg { width: 100%; height: auto; }\n"
+      "  svg .lbl { font: 11px system-ui, sans-serif; fill: #1a1a2e; }\n"
+      "  svg .val { font: 11px system-ui, sans-serif; fill: #555; }\n"
+      "  table { border-collapse: collapse; width: 100%; }\n"
+      "  th, td { border-bottom: 1px solid #e4e4ea; padding: 4px 8px;\n"
+      "           text-align: left; font-size: 13px; }\n"
+      "  th { border-bottom: 2px solid #b8b8c4; }\n"
+      "  tr.fail td { background: #fdeee6; }\n"
+      "  .meta, .empty { color: #555; }\n"
+      "</style>\n</head>\n<body>\n";
+  html += "<h1>venn bench report — " + html_escape(exp_name) + "</h1>\n";
+  html += "<p class=\"meta\">generated " + std::string(stamp);
+  if (!build.empty()) html += " · " + html_escape(build);
+  html += "</p>\n";
+  html += "<div class=\"tiles\">\n";
+  html += "  <div class=\"tile\"><b>" + std::to_string(records.size()) +
+          "</b>runs</div>\n";
+  html += "  <div class=\"tile\"><b>" + std::to_string(ok) +
+          "</b>succeeded</div>\n";
+  html += "  <div class=\"tile" + std::string(failed > 0 ? " bad" : "") +
+          "\"><b>" + std::to_string(failed) + "</b>failed</div>\n";
+  html += "  <div class=\"tile\"><b>" + fmt("%.1fs", total_wall) +
+          "</b>total run wall</div>\n";
+  html += "</div>\n";
+  html += jct_section(records);
+  html += wall_time_section(records);
+  html += table_section(records);
+  html += "</body>\n</html>\n";
+  return html;
+}
+
+void write_report_html(const std::string& path, const std::string& exp_name,
+                       const std::vector<RunRecord>& records) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << report_html(exp_name, records);
+}
+
+}  // namespace venn::orchestrator

@@ -1,0 +1,23 @@
+// Static report generation: one self-contained report.html (inline CSS,
+// inline SVG, zero external requests — it renders from a file:// URL on
+// an airgapped machine) summarizing an aggregated experiment: status
+// tiles, a wall-time bar chart over every run, a mean-JCT-by-policy
+// grouped chart per protocol for matrix runs, and the full run table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "orchestrator/aggregate.h"
+
+namespace venn::orchestrator {
+
+// Renders the report document.
+std::string report_html(const std::string& exp_name,
+                        const std::vector<RunRecord>& records);
+
+// Writes report_html to <path>; throws std::runtime_error when unwritable.
+void write_report_html(const std::string& path, const std::string& exp_name,
+                       const std::vector<RunRecord>& records);
+
+}  // namespace venn::orchestrator

@@ -1,0 +1,322 @@
+#include "orchestrator/runner.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "orchestrator/json.h"
+#include "util/build_info.h"
+
+namespace venn::orchestrator {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string utc_string(std::time_t t) {
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+Json meta_json(const RunSpec& spec, const std::vector<std::string>& cmd,
+               std::time_t start_unix, std::time_t end_unix, double wall_s,
+               int exit_code) {
+  Json meta = Json::object();
+  meta.set("run_id", Json::string(spec.id));
+  meta.set("kind", Json::string(spec.kind));
+  meta.set("binary", Json::string(cmd.front()));
+  Json cmd_arr = Json::array();
+  for (const std::string& c : cmd) cmd_arr.push_back(Json::string(c));
+  meta.set("cmd", std::move(cmd_arr));
+  if (spec.kind == "matrix") {
+    meta.set("scenario", Json::string(spec.scenario));
+    meta.set("policy", Json::string(spec.policy));
+    meta.set("protocol", Json::string(spec.protocol));
+  }
+  if (spec.has_seed) {
+    meta.set("seed", Json::number(static_cast<double>(spec.seed)));
+  }
+  meta.set("build_info", Json::string(build_info_line()));
+  meta.set("start_unix", Json::number(static_cast<double>(start_unix)));
+  meta.set("end_unix", Json::number(static_cast<double>(end_unix)));
+  meta.set("start_utc", Json::string(utc_string(start_unix)));
+  meta.set("end_utc", Json::string(utc_string(end_unix)));
+  meta.set("wall_time_s", Json::number(wall_s));
+  meta.set("exit_code", Json::number(exit_code));
+  return meta;
+}
+
+// Write-then-rename so --resume never reads a half-written meta.json (an
+// unparsable file already falls back to "rerun", but a torn file that
+// happens to parse must not be able to record a command it didn't run).
+void write_meta(const std::string& run_dir, const Json& meta) {
+  const std::string tmp = run_dir + "/meta.json.tmp";
+  const std::string final_path = run_dir + "/meta.json";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write " + tmp);
+    out << meta.dump(2) << "\n";
+  }
+  fs::rename(tmp, final_path);
+}
+
+struct ActiveChild {
+  std::size_t run_index = 0;
+  pid_t pid = -1;
+  std::chrono::steady_clock::time_point start;
+  std::time_t start_unix = 0;
+};
+
+pid_t spawn_child(const std::vector<std::string>& cmd,
+                  const std::string& run_dir) {
+  const pid_t pid = fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("fork failed: ") +
+                             std::strerror(errno));
+  }
+  if (pid > 0) return pid;
+
+  // Child. Only async-signal-safe calls between fork and exec.
+  const std::string out_path = run_dir + "/stdout.txt";
+  const std::string err_path = run_dir + "/stderr.txt";
+  const int ofd = open(out_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int efd = open(err_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (ofd < 0 || efd < 0 || dup2(ofd, STDOUT_FILENO) < 0 ||
+      dup2(efd, STDERR_FILENO) < 0 || chdir(run_dir.c_str()) != 0) {
+    _exit(127);
+  }
+  if (ofd > STDERR_FILENO) close(ofd);
+  if (efd > STDERR_FILENO) close(efd);
+
+  std::vector<char*> argv;
+  argv.reserve(cmd.size() + 1);
+  for (const std::string& c : cmd) argv.push_back(const_cast<char*>(c.c_str()));
+  argv.push_back(nullptr);
+  execv(argv[0], argv.data());
+  dprintf(STDERR_FILENO, "exec %s failed: %s\n", argv[0],
+          std::strerror(errno));
+  _exit(127);
+}
+
+}  // namespace
+
+const char* run_status_name(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kFailed: return "FAILED";
+    case RunStatus::kSkippedResume: return "skipped (resume)";
+    case RunStatus::kSkippedMissing: return "skipped (missing binary)";
+    case RunStatus::kNotRun: return "not run (fail_fast)";
+  }
+  return "?";
+}
+
+std::string resolve_binary(const ExperimentConfig& cfg, const RunSpec& spec) {
+  fs::path bin(spec.binary);
+  if (!bin.is_absolute()) bin = fs::path(cfg.bin_dir) / bin;
+  return fs::absolute(bin).lexically_normal().string();
+}
+
+std::vector<std::string> run_command(const ExperimentConfig& cfg,
+                                     const RunSpec& spec) {
+  std::vector<std::string> cmd;
+  cmd.reserve(spec.args.size() + 1);
+  cmd.push_back(resolve_binary(cfg, spec));
+  cmd.insert(cmd.end(), spec.args.begin(), spec.args.end());
+  return cmd;
+}
+
+bool resume_satisfied(const std::string& meta_path,
+                      const std::vector<std::string>& cmd) {
+  std::ifstream in(meta_path);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  try {
+    const Json meta = Json::parse(ss.str(), meta_path);
+    const Json* exit_code = meta.find("exit_code");
+    if (exit_code == nullptr || exit_code->as_number() != 0.0) return false;
+    const Json* recorded = meta.find("cmd");
+    if (recorded == nullptr || !recorded->is_array()) return false;
+    const auto& items = recorded->items();
+    if (items.size() != cmd.size()) return false;
+    for (std::size_t i = 0; i < cmd.size(); ++i) {
+      if (!items[i].is_string() || items[i].as_string() != cmd[i]) {
+        return false;
+      }
+    }
+    return true;
+  } catch (const std::exception&) {
+    return false;  // unparsable meta: rerun, never trust it
+  }
+}
+
+std::string render_plan(const ExperimentConfig& cfg,
+                        const RunnerOptions& opts) {
+  const fs::path runs_root = fs::absolute(fs::path(cfg.exp_dir()) / "runs");
+  std::string out;
+  out += "experiment " + cfg.name + ": " + std::to_string(cfg.runs.size()) +
+         " runs, jobs=" +
+         std::to_string(opts.jobs > 0 ? opts.jobs : cfg.jobs) + "\n";
+  for (const RunSpec& spec : cfg.runs) {
+    const std::vector<std::string> cmd = run_command(cfg, spec);
+    std::string line = "  " + spec.id + ":";
+    if (opts.resume &&
+        resume_satisfied((runs_root / spec.id / "meta.json").string(), cmd)) {
+      line += " [skip, resume]";
+    }
+    for (const std::string& c : cmd) line += " " + c;
+    out += line + "\n";
+  }
+  return out;
+}
+
+RunnerReport execute_runs(const ExperimentConfig& cfg,
+                          const RunnerOptions& opts) {
+  const int jobs = opts.jobs > 0 ? opts.jobs : cfg.jobs;
+  const fs::path runs_root = fs::absolute(fs::path(cfg.exp_dir()) / "runs");
+  std::error_code ec;
+  fs::create_directories(runs_root, ec);
+  if (ec) {
+    throw std::runtime_error("cannot create " + runs_root.string() + ": " +
+                             ec.message());
+  }
+
+  RunnerReport report;
+  report.outcomes.resize(cfg.runs.size());
+  for (std::size_t i = 0; i < cfg.runs.size(); ++i) {
+    report.outcomes[i].spec = cfg.runs[i];
+  }
+
+  std::vector<ActiveChild> active;
+  std::size_t next = 0;
+  bool stop_launching = false;
+
+  const auto log = [&](const char* fmt, const std::string& id,
+                       const std::string& detail) {
+    if (opts.quiet) return;
+    std::printf(fmt, id.c_str(), detail.c_str());
+    std::fflush(stdout);
+  };
+
+  const auto reap_one = [&]() {
+    int status = 0;
+    const pid_t pid = waitpid(-1, &status, 0);
+    if (pid < 0) {
+      throw std::runtime_error(std::string("waitpid failed: ") +
+                               std::strerror(errno));
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const std::time_t end_unix = std::time(nullptr);
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      if (active[a].pid != pid) continue;
+      const std::size_t idx = active[a].run_index;
+      RunOutcome& outcome = report.outcomes[idx];
+      int exit_code = 0;
+      if (WIFEXITED(status)) {
+        exit_code = WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        exit_code = 128 + WTERMSIG(status);
+      }
+      outcome.exit_code = exit_code;
+      outcome.wall_s =
+          std::chrono::duration<double>(end - active[a].start).count();
+      outcome.status = exit_code == 0 ? RunStatus::kOk : RunStatus::kFailed;
+      write_meta(outcome.run_dir, meta_json(outcome.spec,
+                                            run_command(cfg, outcome.spec),
+                                            active[a].start_unix, end_unix,
+                                            outcome.wall_s, exit_code));
+      ++report.executed;
+      if (exit_code != 0) {
+        ++report.failed;
+        if (opts.fail_fast) stop_launching = true;
+      }
+      {
+        char detail[96];
+        std::snprintf(detail, sizeof(detail), "%s, exit %d, %.2fs",
+                      run_status_name(outcome.status), exit_code,
+                      outcome.wall_s);
+        log("  [done ] %s (%s)\n", outcome.spec.id, detail);
+      }
+      active.erase(active.begin() + static_cast<std::ptrdiff_t>(a));
+      return;
+    }
+    // A child we did not spawn (impossible in this single-threaded
+    // orchestrator): ignore it.
+  };
+
+  while (next < cfg.runs.size() || !active.empty()) {
+    while (!stop_launching && next < cfg.runs.size() &&
+           active.size() < static_cast<std::size_t>(jobs)) {
+      const std::size_t idx = next++;
+      const RunSpec& spec = cfg.runs[idx];
+      RunOutcome& outcome = report.outcomes[idx];
+      const std::vector<std::string> cmd = run_command(cfg, spec);
+      const std::string run_dir = (runs_root / spec.id).string();
+
+      if (opts.resume && resume_satisfied(run_dir + "/meta.json", cmd)) {
+        outcome.status = RunStatus::kSkippedResume;
+        outcome.run_dir = run_dir;
+        ++report.skipped;
+        log("  [skip ] %s (%s)\n", spec.id, "resume: meta.json up to date");
+        continue;
+      }
+      if (access(cmd.front().c_str(), X_OK) != 0) {
+        if (spec.optional) {
+          outcome.status = RunStatus::kSkippedMissing;
+          ++report.skipped;
+          log("  [skip ] %s (%s)\n", spec.id,
+              "optional binary not built: " + cmd.front());
+          continue;
+        }
+        fs::create_directories(run_dir);
+        std::ofstream(run_dir + "/stderr.txt", std::ios::trunc)
+            << "binary not found or not executable: " << cmd.front() << "\n";
+        std::ofstream(run_dir + "/stdout.txt", std::ios::trunc);
+        const std::time_t now = std::time(nullptr);
+        write_meta(run_dir, meta_json(spec, cmd, now, now, 0.0, 127));
+        outcome.status = RunStatus::kFailed;
+        outcome.exit_code = 127;
+        outcome.run_dir = run_dir;
+        ++report.executed;
+        ++report.failed;
+        if (opts.fail_fast) stop_launching = true;
+        log("  [FAIL ] %s (%s)\n", spec.id,
+            "binary not found: " + cmd.front());
+        continue;
+      }
+
+      fs::create_directories(run_dir);
+      outcome.run_dir = run_dir;
+      ActiveChild child;
+      child.run_index = idx;
+      child.start = std::chrono::steady_clock::now();
+      child.start_unix = std::time(nullptr);
+      child.pid = spawn_child(cmd, run_dir);
+      active.push_back(child);
+      log("  [start] %s (%s)\n", spec.id, cmd.front());
+    }
+    if (!active.empty()) {
+      reap_one();
+    } else if (stop_launching) {
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace venn::orchestrator

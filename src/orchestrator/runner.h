@@ -1,0 +1,85 @@
+// Cross-process run execution for venn_bench_orchestrate.
+//
+// Each RunSpec fork/execs its binary with stdout/stderr captured to
+// per-run files under <exp_dir>/runs/<run_id>/, the child chdir'ed into
+// the run directory (so bench artifacts like BENCH_hotpath.json land
+// beside the captured output), and a meta.json provenance record written
+// after the process is reaped: the full command, the orchestrator's
+// build-info line, start/end timestamps, wall time and exit code.
+// Concurrency is bounded: at most `jobs` children run at once, launched
+// in config order and reaped as they finish.
+//
+// --resume skips a run when its existing meta.json records the SAME
+// command with exit code 0 — a stale meta (different command, a previous
+// failure, or an unparsable file) reruns. --fail_fast stops launching new
+// runs after the first failure (in-flight runs are still reaped and
+// recorded). --dry_run is handled by the caller via render_plan.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "orchestrator/config.h"
+
+namespace venn::orchestrator {
+
+struct RunnerOptions {
+  int jobs = 0;  // 0: use the config's value
+  bool resume = false;
+  bool fail_fast = false;
+  bool quiet = false;
+};
+
+enum class RunStatus {
+  kOk,             // exit code 0
+  kFailed,         // nonzero exit, signal, or missing required binary
+  kSkippedResume,  // --resume found a matching completed meta.json
+  kSkippedMissing, // optional bench whose binary is absent
+  kNotRun,         // --fail_fast stopped the plan before this run
+};
+
+const char* run_status_name(RunStatus s);
+
+struct RunOutcome {
+  RunSpec spec;
+  RunStatus status = RunStatus::kNotRun;
+  int exit_code = 0;    // 128+signal when killed by a signal
+  double wall_s = 0.0;  // 0 for skipped / not-run
+  std::string run_dir;  // empty when no directory was created
+};
+
+struct RunnerReport {
+  std::vector<RunOutcome> outcomes;
+  std::size_t executed = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+  bool ok() const { return failed == 0; }
+};
+
+// Absolute path of the binary a spec resolves to: specs with an absolute
+// binary path are taken as-is, everything else resolves against bin_dir
+// (itself made absolute against the current directory).
+std::string resolve_binary(const ExperimentConfig& cfg, const RunSpec& spec);
+
+// The full command (argv[0] = resolved binary) a spec executes.
+std::vector<std::string> run_command(const ExperimentConfig& cfg,
+                                     const RunSpec& spec);
+
+// The --resume skip decision, exposed for tests: true iff `meta_path`
+// parses as a meta.json recording exactly `cmd` with exit_code 0.
+bool resume_satisfied(const std::string& meta_path,
+                      const std::vector<std::string>& cmd);
+
+// Human-readable --dry_run plan: one line per run with its id and full
+// command, plus resume decisions when opts.resume is set.
+std::string render_plan(const ExperimentConfig& cfg,
+                        const RunnerOptions& opts);
+
+// Executes the plan. Creates <exp_dir>/runs/<run_id>/ directories as
+// needed; never throws on individual run failure (recorded per outcome) —
+// throws std::runtime_error only on orchestrator-level errors (cannot
+// create directories, fork failure).
+RunnerReport execute_runs(const ExperimentConfig& cfg,
+                          const RunnerOptions& opts);
+
+}  // namespace venn::orchestrator

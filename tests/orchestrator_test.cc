@@ -1,0 +1,557 @@
+// Tests for the cross-process experiment orchestrator (src/orchestrator/):
+// JSON parsing, config expansion/validation, --resume skip/redo decisions
+// against matching vs stale meta.json, --dry_run plan rendering,
+// aggregation of a fixture run tree into runs.csv, report generation, an
+// end-to-end bounded-concurrency execution over /bin/sh, and the
+// bounded-cell baseline-metric lookup (the regression fix for the bench
+// gate reading the NEXT cell's value when a cell lacked the key).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "orchestrator/aggregate.h"
+#include "orchestrator/config.h"
+#include "orchestrator/json.h"
+#include "orchestrator/metrics.h"
+#include "orchestrator/report.h"
+#include "orchestrator/runner.h"
+
+namespace fs = std::filesystem;
+using namespace venn::orchestrator;
+
+namespace {
+
+// A fresh scratch directory per test, removed on teardown.
+class OrchestratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tmpl =
+        (fs::temp_directory_path() / "venn_orch_XXXXXX").string();
+    ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string path(const std::string& rel) const { return dir_ + "/" + rel; }
+
+  static void write_file(const std::string& path, const std::string& text) {
+    fs::create_directories(fs::path(path).parent_path());
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << path;
+    out << text;
+  }
+
+  static std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  std::string dir_;
+};
+
+// ------------------------------------------------------------------ JSON --
+
+TEST(OrchestratorJson, ParsesScalarsArraysObjects) {
+  const Json doc = Json::parse(
+      R"({"a": 1.5, "b": [true, null, "x\nA"], "c": {"d": -3}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.find("a")->as_number(), 1.5);
+  const auto& arr = doc.find("b")->items();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr[0].as_bool());
+  EXPECT_TRUE(arr[1].is_null());
+  EXPECT_EQ(arr[2].as_string(), "x\nA");
+  EXPECT_DOUBLE_EQ(doc.find("c")->find("d")->as_number(), -3.0);
+}
+
+TEST(OrchestratorJson, RoundTripsThroughDump) {
+  const char* text =
+      R"({"s": "he said \"hi\"", "n": 0.125, "arr": [1, 2], "obj": {}})";
+  const Json doc = Json::parse(text);
+  const Json again = Json::parse(doc.dump(2));
+  EXPECT_EQ(doc.dump(0), again.dump(0));
+  EXPECT_EQ(doc.find("s")->as_string(), "he said \"hi\"");
+}
+
+TEST(OrchestratorJson, RejectsMalformedDocuments) {
+  EXPECT_THROW(Json::parse("{\"a\": }"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1, 2,]"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{\"a\": 1} trailing"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{\"a\": 1, \"a\": 2}"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("01e999"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- config --
+
+constexpr const char* kSmallConfig = R"({
+  "name": "exp",
+  "out_root": "out",
+  "bin_dir": "/bin",
+  "jobs": 3,
+  "matrix": {
+    "binary": "venn_sim_cli",
+    "common_args": ["--devices=100"],
+    "scenarios": [
+      {"name": "a", "args": ["--churn=weibull"]},
+      {"name": "b"}
+    ],
+    "policies": ["venn", "fifo"],
+    "protocols": ["sync"],
+    "seeds": [1, 2]
+  },
+  "benches": [
+    {"name": "fig", "binary": "fig_bin", "args": ["--x=1"]},
+    {"name": "opt", "optional": true}
+  ]
+})";
+
+TEST(OrchestratorConfig, ExpandsMatrixAndBenches) {
+  const ExperimentConfig cfg = parse_config(kSmallConfig, "test");
+  EXPECT_EQ(cfg.name, "exp");
+  EXPECT_EQ(cfg.jobs, 3);
+  // 2 scenarios x 2 policies x 1 protocol x 2 seeds + 2 benches.
+  ASSERT_EQ(cfg.runs.size(), 8u + 2u);
+  const RunSpec& first = cfg.runs.front();
+  EXPECT_EQ(first.id, "a-venn-sync-s1");
+  EXPECT_EQ(first.kind, "matrix");
+  EXPECT_EQ(first.scenario, "a");
+  EXPECT_EQ(first.policy, "venn");
+  EXPECT_EQ(first.protocol, "sync");
+  EXPECT_TRUE(first.has_seed);
+  EXPECT_EQ(first.seed, 1u);
+  const std::vector<std::string> expect_args = {
+      "--devices=100", "--churn=weibull", "--policy=venn", "--protocol=sync",
+      "--seed=1"};
+  EXPECT_EQ(first.args, expect_args);
+
+  const RunSpec& bench = cfg.runs[8];
+  EXPECT_EQ(bench.id, "fig");
+  EXPECT_EQ(bench.kind, "bench");
+  EXPECT_EQ(bench.binary, "fig_bin");
+  EXPECT_FALSE(bench.optional);
+  EXPECT_TRUE(cfg.runs[9].optional);
+  EXPECT_EQ(cfg.runs[9].binary, "opt");  // binary defaults to the name
+}
+
+TEST(OrchestratorConfig, RejectsUnknownKeys) {
+  // Top level, matrix, scenario entry and bench entry each reject unknown
+  // keys by name.
+  EXPECT_THROW(
+      {
+        try {
+          parse_config(R"({"name": "x", "benches": [{"name": "b"}],
+                           "jbos": 2})",
+                       "test");
+        } catch (const std::invalid_argument& e) {
+          EXPECT_NE(std::string(e.what()).find("jbos"), std::string::npos);
+          throw;
+        }
+      },
+      std::invalid_argument);
+  EXPECT_THROW(parse_config(R"({"name": "x", "matrix": {
+                    "binary": "b", "polices": ["venn"]}})",
+                            "test"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_config(R"({"name": "x", "matrix": {"binary": "b",
+                    "scenarios": [{"name": "s", "arg": []}]}})",
+                            "test"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_config(R"({"name": "x", "benches": [
+                    {"name": "b", "option": true}]})",
+                            "test"),
+               std::invalid_argument);
+}
+
+TEST(OrchestratorConfig, RejectsMalformedMatrix) {
+  // Missing binary.
+  EXPECT_THROW(parse_config(R"({"name": "x", "matrix": {"seeds": [1]}})",
+                            "test"),
+               std::invalid_argument);
+  // Wrong types.
+  EXPECT_THROW(parse_config(R"({"name": "x", "matrix": {"binary": "b",
+                    "policies": "venn"}})",
+                            "test"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_config(R"({"name": "x", "matrix": {"binary": "b",
+                    "seeds": ["one"]}})",
+                            "test"),
+               std::invalid_argument);
+  // Empty axis.
+  EXPECT_THROW(parse_config(R"({"name": "x", "matrix": {"binary": "b",
+                    "policies": []}})",
+                            "test"),
+               std::invalid_argument);
+  // Path-traversing ids must be rejected before any directory is created.
+  EXPECT_THROW(parse_config(R"({"name": "x", "matrix": {"binary": "b",
+                    "scenarios": [{"name": "../evil"}]}})",
+                            "test"),
+               std::invalid_argument);
+  // No runs at all.
+  EXPECT_THROW(parse_config(R"({"name": "x"})", "test"),
+               std::invalid_argument);
+  // Duplicate run ids (bench name collides with itself).
+  EXPECT_THROW(parse_config(R"({"name": "x", "benches": [
+                    {"name": "b"}, {"name": "b"}]})",
+                            "test"),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- resume --
+
+class OrchestratorResumeTest : public OrchestratorTest {};
+
+TEST_F(OrchestratorResumeTest, SkipDecisionsAgainstStaleVsMatchingMeta) {
+  const std::vector<std::string> cmd = {"/bin/echo", "--a=1", "--b=2"};
+  const std::string meta_path = path("meta.json");
+
+  const auto write_meta = [&](const std::vector<std::string>& recorded,
+                              int exit_code) {
+    Json meta = Json::object();
+    Json arr = Json::array();
+    for (const auto& c : recorded) arr.push_back(Json::string(c));
+    meta.set("cmd", std::move(arr));
+    meta.set("exit_code", Json::number(exit_code));
+    write_file(meta_path, meta.dump(2));
+  };
+
+  // No meta at all: run.
+  EXPECT_FALSE(resume_satisfied(meta_path, cmd));
+  // Matching command, exit 0: skip.
+  write_meta(cmd, 0);
+  EXPECT_TRUE(resume_satisfied(meta_path, cmd));
+  // Prior failure: redo.
+  write_meta(cmd, 1);
+  EXPECT_FALSE(resume_satisfied(meta_path, cmd));
+  // Stale command (flag changed): redo.
+  write_meta({"/bin/echo", "--a=1", "--b=3"}, 0);
+  EXPECT_FALSE(resume_satisfied(meta_path, cmd));
+  // Stale command (arg added): redo.
+  write_meta({"/bin/echo", "--a=1"}, 0);
+  EXPECT_FALSE(resume_satisfied(meta_path, cmd));
+  // Unparsable meta: redo, never trust it.
+  write_file(meta_path, "{\"cmd\": [");
+  EXPECT_FALSE(resume_satisfied(meta_path, cmd));
+}
+
+// --------------------------------------------------------------- dry run --
+
+class OrchestratorPlanTest : public OrchestratorTest {};
+
+TEST_F(OrchestratorPlanTest, RendersPlanWithCommandsAndResumeDecisions) {
+  ExperimentConfig cfg = parse_config(kSmallConfig, "test");
+  cfg.out_root = path("out");
+  RunnerOptions opts;
+  const std::string plan = render_plan(cfg, opts);
+  // Header with run count and bounded concurrency.
+  EXPECT_NE(plan.find("experiment exp: 10 runs, jobs=3"), std::string::npos);
+  // Full command with the resolved absolute binary.
+  EXPECT_NE(plan.find("a-venn-sync-s1: /bin/venn_sim_cli --devices=100 "
+                      "--churn=weibull --policy=venn --protocol=sync "
+                      "--seed=1"),
+            std::string::npos);
+  EXPECT_EQ(plan.find("[skip, resume]"), std::string::npos);
+
+  // With --resume and a completed matching run on disk, the plan marks
+  // the skip.
+  const RunSpec& spec = cfg.runs.front();
+  Json meta = Json::object();
+  Json arr = Json::array();
+  for (const auto& c : run_command(cfg, spec)) arr.push_back(Json::string(c));
+  meta.set("cmd", std::move(arr));
+  meta.set("exit_code", Json::number(0));
+  write_file(cfg.exp_dir() + "/runs/" + spec.id + "/meta.json", meta.dump(2));
+  opts.resume = true;
+  const std::string resumed = render_plan(cfg, opts);
+  EXPECT_NE(resumed.find("a-venn-sync-s1: [skip, resume]"),
+            std::string::npos);
+  // Only that one run is marked.
+  EXPECT_EQ(resumed.find("[skip, resume]"),
+            resumed.rfind("[skip, resume]"));
+}
+
+// ----------------------------------------------------------- aggregation --
+
+class OrchestratorAggregateTest : public OrchestratorTest {};
+
+TEST_F(OrchestratorAggregateTest, FoldsFixtureRunTreeIntoRunsCsv) {
+  // Fixture tree: one matrix run with scraped metrics, one bench run
+  // without them, one malformed run (torn meta.json).
+  write_file(path("exp/runs/a-venn-sync-s1/meta.json"), R"({
+    "run_id": "a-venn-sync-s1", "kind": "matrix",
+    "binary": "/bin/venn_sim_cli",
+    "cmd": ["/bin/venn_sim_cli", "--seed=1"],
+    "scenario": "a", "policy": "venn", "protocol": "sync", "seed": 1,
+    "build_info": "venn test-build",
+    "start_unix": 100, "end_unix": 103, "wall_time_s": 2.5, "exit_code": 0
+  })");
+  write_file(path("exp/runs/a-venn-sync-s1/stdout.txt"),
+             "Venn             avg JCT      12345 s   finished 28/30   "
+             "aborts 0\n");
+  write_file(path("exp/runs/fig03/meta.json"), R"({
+    "run_id": "fig03", "kind": "bench", "binary": "/bin/fig03",
+    "cmd": ["/bin/fig03"], "build_info": "venn test-build",
+    "start_unix": 100, "end_unix": 101, "wall_time_s": 1.25, "exit_code": 1
+  })");
+  write_file(path("exp/runs/fig03/stdout.txt"), "no metrics here\n");
+  write_file(path("exp/runs/broken/meta.json"), "{\"run_id\": ");
+
+  const AggregateResult agg = aggregate_runs(path("exp"));
+  ASSERT_EQ(agg.records.size(), 2u);
+  ASSERT_EQ(agg.malformed_runs.size(), 1u);
+  EXPECT_NE(agg.malformed_runs[0].find("broken"), std::string::npos);
+
+  const RunRecord& matrix = agg.records[0];  // sorted by run_id
+  EXPECT_EQ(matrix.run_id, "a-venn-sync-s1");
+  EXPECT_EQ(matrix.policy, "venn");
+  EXPECT_TRUE(matrix.has_seed);
+  EXPECT_EQ(matrix.seed, 1u);
+  EXPECT_EQ(matrix.exit_code, 0);
+  EXPECT_DOUBLE_EQ(matrix.wall_s, 2.5);
+  ASSERT_TRUE(matrix.has_avg_jct);
+  EXPECT_DOUBLE_EQ(matrix.avg_jct, 12345.0);
+  ASSERT_TRUE(matrix.has_finished);
+  EXPECT_EQ(matrix.finished_jobs, 28u);
+  EXPECT_EQ(matrix.total_jobs, 30u);
+
+  const RunRecord& bench = agg.records[1];
+  EXPECT_EQ(bench.run_id, "fig03");
+  EXPECT_EQ(bench.exit_code, 1);
+  EXPECT_FALSE(bench.has_avg_jct);
+  EXPECT_FALSE(bench.has_finished);
+
+  const std::string csv = runs_csv(agg.records);
+  const std::string header = csv.substr(0, csv.find('\n'));
+  EXPECT_EQ(header,
+            "run_id,kind,scenario,policy,protocol,seed,binary,exit_code,"
+            "wall_time_s,start_unix,end_unix,avg_jct_s,finished_jobs,"
+            "total_jobs,build_info");
+  EXPECT_NE(csv.find("a-venn-sync-s1,matrix,a,venn,sync,1,/bin/venn_sim_cli,"
+                     "0,2.500000,100,103,12345.000000,28,30,venn test-build"),
+            std::string::npos);
+  EXPECT_NE(csv.find("fig03,bench,,,,,/bin/fig03,1,1.250000,100,101,,,,"
+                     "venn test-build"),
+            std::string::npos);
+
+  // The report renders from the same records, marks the failure, and is
+  // self-contained (no external fetches).
+  const std::string html = report_html("exp", agg.records);
+  EXPECT_NE(html.find("a-venn-sync-s1"), std::string::npos);
+  EXPECT_NE(html.find("class=\"fail\""), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  // Self-contained: no external stylesheets, scripts, or images.
+  EXPECT_EQ(html.find("<link"), std::string::npos);
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("src="), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+}
+
+TEST_F(OrchestratorAggregateTest, CsvEscapesSeparatorsAndQuotes) {
+  RunRecord r;
+  r.run_id = "weird";
+  r.kind = "bench";
+  r.binary = "/bin/has,comma";
+  r.build_info = "says \"hi\"";
+  const std::string csv = runs_csv({r});
+  EXPECT_NE(csv.find("\"/bin/has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"says \"\"hi\"\"\""), std::string::npos);
+}
+
+// ------------------------------------------------------------ end to end --
+
+class OrchestratorExecuteTest : public OrchestratorTest {};
+
+TEST_F(OrchestratorExecuteTest, ExecutesCapturesAndResumes) {
+  // Real fork/exec over /bin/sh: one succeeding run writing to both
+  // streams, one failing run. jobs=2 exercises the bounded-concurrency
+  // loop.
+  ExperimentConfig cfg = parse_config(R"({
+    "name": "e2e", "bin_dir": "/bin", "jobs": 2,
+    "benches": [
+      {"name": "good", "binary": "sh",
+       "args": ["-c", "echo out-line; echo err-line >&2"]},
+      {"name": "bad", "binary": "sh", "args": ["-c", "exit 3"]},
+      {"name": "absent", "binary": "no_such_binary_anywhere",
+       "optional": true}
+    ]
+  })",
+                                      "test");
+  cfg.out_root = path("runs_root");
+
+  RunnerOptions opts;
+  opts.quiet = true;
+  const RunnerReport report = execute_runs(cfg, opts);
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  EXPECT_EQ(report.executed, 2u);
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.skipped, 1u);
+  EXPECT_EQ(report.outcomes[0].status, RunStatus::kOk);
+  EXPECT_EQ(report.outcomes[1].status, RunStatus::kFailed);
+  EXPECT_EQ(report.outcomes[1].exit_code, 3);
+  EXPECT_EQ(report.outcomes[2].status, RunStatus::kSkippedMissing);
+
+  // Captured streams.
+  EXPECT_EQ(read_file(cfg.exp_dir() + "/runs/good/stdout.txt"),
+            "out-line\n");
+  EXPECT_EQ(read_file(cfg.exp_dir() + "/runs/good/stderr.txt"),
+            "err-line\n");
+
+  // meta.json provenance.
+  const Json meta = Json::parse(
+      read_file(cfg.exp_dir() + "/runs/good/meta.json"), "meta");
+  EXPECT_EQ(meta.find("run_id")->as_string(), "good");
+  EXPECT_EQ(meta.find("exit_code")->as_number(), 0.0);
+  EXPECT_EQ(meta.find("cmd")->items().size(), 3u);
+  EXPECT_EQ(meta.find("cmd")->items()[0].as_string(), "/bin/sh");
+  EXPECT_FALSE(meta.find("build_info")->as_string().empty());
+  EXPECT_GE(meta.find("end_unix")->as_number(),
+            meta.find("start_unix")->as_number());
+
+  // Resume: the successful run skips, the failed one reruns.
+  opts.resume = true;
+  const RunnerReport again = execute_runs(cfg, opts);
+  EXPECT_EQ(again.outcomes[0].status, RunStatus::kSkippedResume);
+  EXPECT_EQ(again.outcomes[1].status, RunStatus::kFailed);
+  EXPECT_EQ(again.executed, 1u);
+
+  // Aggregation over the real tree.
+  const AggregateResult agg = aggregate_runs(cfg.exp_dir());
+  ASSERT_EQ(agg.records.size(), 2u);
+  EXPECT_TRUE(agg.malformed_runs.empty());
+}
+
+TEST_F(OrchestratorExecuteTest, FailFastStopsLaunchingAfterFailure) {
+  // Serial (jobs=1) so the failure is observed before later runs launch.
+  ExperimentConfig cfg = parse_config(R"({
+    "name": "ff", "bin_dir": "/bin", "jobs": 1,
+    "benches": [
+      {"name": "boom", "binary": "sh", "args": ["-c", "exit 9"]},
+      {"name": "never", "binary": "sh", "args": ["-c", "echo nope"]}
+    ]
+  })",
+                                      "test");
+  cfg.out_root = path("runs_root");
+  RunnerOptions opts;
+  opts.quiet = true;
+  opts.fail_fast = true;
+  const RunnerReport report = execute_runs(cfg, opts);
+  EXPECT_EQ(report.outcomes[0].status, RunStatus::kFailed);
+  EXPECT_EQ(report.outcomes[1].status, RunStatus::kNotRun);
+  EXPECT_FALSE(fs::exists(cfg.exp_dir() + "/runs/never/meta.json"));
+
+  // A required (non-optional) missing binary is a recorded failure.
+  ExperimentConfig missing = parse_config(R"({
+    "name": "miss", "bin_dir": "/bin",
+    "benches": [{"name": "gone", "binary": "no_such_binary_anywhere"}]
+  })",
+                                          "test");
+  missing.out_root = path("runs_root2");
+  const RunnerReport mreport = execute_runs(missing, opts);
+  EXPECT_EQ(mreport.outcomes[0].status, RunStatus::kFailed);
+  EXPECT_EQ(mreport.outcomes[0].exit_code, 127);
+  EXPECT_NE(read_file(missing.exp_dir() + "/runs/gone/stderr.txt")
+                .find("not found"),
+            std::string::npos);
+}
+
+#ifdef VENN_BIN_DIR
+TEST_F(OrchestratorExecuteTest, RunsRealSimulatorMatrixCell) {
+  // A 1-cell matrix over the real venn_sim_cli from this build: the
+  // orchestrated run must produce scrapeable metrics end to end.
+  ExperimentConfig cfg = parse_config(R"({
+    "name": "real", "jobs": 1,
+    "matrix": {
+      "binary": "venn_sim_cli",
+      "common_args": ["--devices=300", "--jobs=3", "--horizon-days=6",
+                      "--churn=weibull"],
+      "policies": ["venn"],
+      "protocols": ["sync"],
+      "seeds": [5]
+    }
+  })",
+                                      "test");
+  cfg.bin_dir = VENN_BIN_DIR;
+  cfg.out_root = path("runs_root");
+  RunnerOptions opts;
+  opts.quiet = true;
+  const RunnerReport report = execute_runs(cfg, opts);
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  ASSERT_EQ(report.outcomes[0].status, RunStatus::kOk);
+
+  const AggregateResult agg = aggregate_runs(cfg.exp_dir());
+  ASSERT_EQ(agg.records.size(), 1u);
+  const RunRecord& r = agg.records[0];
+  EXPECT_EQ(r.run_id, "default-venn-sync-s5");
+  EXPECT_TRUE(r.has_avg_jct);
+  EXPECT_GT(r.avg_jct, 0.0);
+  EXPECT_TRUE(r.has_finished);
+  EXPECT_EQ(r.total_jobs, 3u);
+}
+#endif
+
+// ------------------------------------------------- baseline-metric bound --
+
+// The doctored-baseline regression for bench/hotpath_index's gate: the
+// first cell LACKS the metric key, the next cell has it. The unbounded
+// pre-fix search returned the next cell's 99999.0 here — a silently
+// corrupted regression verdict.
+TEST(OrchestratorMetrics, CellMetricLookupIsBoundedToTheCell) {
+  const std::string doctored =
+      "  \"cells\": [\n"
+      "    {\"devices\": 1000, \"jobs\": 4, \"mode\": \"index\", "
+      "\"wall_s\": 0.5},\n"
+      "    {\"devices\": 1000, \"jobs\": 16, \"mode\": \"index\", "
+      "\"wall_s\": 0.7, \"events_per_sec\": 99999.0}\n"
+      "  ]\n";
+  double v = -1.0;
+  // Key missing from the matched cell: must report absence, not borrow
+  // the 99999.0 from the next cell.
+  EXPECT_FALSE(find_cell_metric(
+      doctored, "\"devices\": 1000, \"jobs\": 4, \"mode\": \"index\"",
+      "events_per_sec", &v));
+  // The cell that has the key still resolves.
+  ASSERT_TRUE(find_cell_metric(
+      doctored, "\"devices\": 1000, \"jobs\": 16, \"mode\": \"index\"",
+      "events_per_sec", &v));
+  EXPECT_DOUBLE_EQ(v, 99999.0);
+  // Absent cell.
+  EXPECT_FALSE(find_cell_metric(
+      doctored, "\"devices\": 9, \"jobs\": 9, \"mode\": \"index\"",
+      "events_per_sec", &v));
+  // Key present but value is garbage: absence, not 0.0.
+  const std::string garbage =
+      "{\"devices\": 1, \"jobs\": 1, \"mode\": \"m\", "
+      "\"events_per_sec\": oops}";
+  EXPECT_FALSE(find_cell_metric(garbage,
+                                "\"devices\": 1, \"jobs\": 1, \"mode\": "
+                                "\"m\"",
+                                "events_per_sec", &v));
+}
+
+TEST(OrchestratorMetrics, ScrapesLabeledValuesFromRunStdout) {
+  const std::string text =
+      "Venn             avg JCT      51754 s   finished 30/30   aborts 2\n";
+  double jct = 0.0;
+  ASSERT_TRUE(scrape_labeled_double(text, "avg JCT", &jct));
+  EXPECT_DOUBLE_EQ(jct, 51754.0);
+  std::uint64_t num = 0, den = 0;
+  ASSERT_TRUE(scrape_labeled_fraction(text, "finished", &num, &den));
+  EXPECT_EQ(num, 30u);
+  EXPECT_EQ(den, 30u);
+  EXPECT_FALSE(scrape_labeled_double(text, "no such label", &jct));
+  EXPECT_FALSE(scrape_labeled_fraction("finished x/y", "finished", &num,
+                                       &den));
+}
+
+}  // namespace

@@ -196,6 +196,48 @@ TEST(ProtocolRun, OvercommitReleasesStragglerAndRefundsDayBudget) {
   EXPECT_EQ(released->size(), 1u);
 }
 
+TEST(ProtocolRun, OvercommitReleasesStragglerReparkedAcrossMidnight) {
+  // Regression: the midnight-budget rule re-parks a device whose
+  // computation spans a day boundary (attempt_checkin at the boundary —
+  // budget fresh, no open demand), so a straggler release after that
+  // boundary finds the device ALREADY in the idle pool. The release must
+  // keep that pool entry, not throw the same-day stale-entry invariant.
+  // Pre-fix this run died with "straggler release found the device
+  // already parked" — exactly the failure every paper-scale overcommit
+  // cell hit (long tasks assigned late in a day).
+  //
+  // Timeline: demand 2, K=1.5 selects all 3 devices at kDay-30. The two
+  // fast devices (exec 60 s) respond at kDay+30; the slow one is still
+  // computing. At kDay every device is re-parked by its day-boundary
+  // check-in. The commit at kDay+30 releases the slow straggler — parked,
+  // and assigned on the previous day.
+  const double speed_slow = Device(DeviceId(9), {0.5, 0.5}, {}).speed();
+  std::vector<Device> devices;
+  for (int i = 0; i < 2; ++i) {
+    devices.emplace_back(DeviceId(i), DeviceSpec{1.0, 1.0},
+                         std::vector<Session>{{0.0, 2.0 * kDay}});
+  }
+  devices.emplace_back(DeviceId(2), DeviceSpec{0.5, 0.5},
+                       std::vector<Session>{{0.0, 2.0 * kDay}});
+
+  const protocol::OvercommitProtocol oc(1.5);  // selection 3 for demand 2
+  const RunResult r = run_proto(
+      std::move(devices),
+      {one_job(1, 2, kDay - 30.0, 60.0, /*deadline=*/4000.0)}, oc);
+
+  ASSERT_EQ(r.finished_jobs(), 1u);
+  EXPECT_EQ(r.jobs[0].total_aborts, 0);
+  EXPECT_EQ(r.protocol.stragglers_released, 1u);
+  // The slow device computed from kDay-30 to the kDay+30 cutoff.
+  EXPECT_NEAR(r.protocol.wasted_work_s, 60.0, 1e-6);
+  EXPECT_EQ(r.protocol.commits, 1u);
+  // Sanity that the regression shape is real: the slow device was still
+  // computing at the commit, and the release happened on the day AFTER
+  // the assignment (the only case where a re-park is legal).
+  EXPECT_GT(60.0 / speed_slow, 60.0);
+  EXPECT_EQ(Device::day_of(kDay + 30.0), Device::day_of(kDay - 30.0) + 1);
+}
+
 TEST(ProtocolRun, OvercommitCommitsWhileAllocationStillPending) {
   // Demand 2 with K=1.5 asks for 3 devices but only 2 exist: the request
   // never fully allocates, yet both responses land at t=60 and the commit
