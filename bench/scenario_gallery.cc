@@ -107,6 +107,13 @@ int main(int argc, char** argv) {
       {"open-loop poisson × weibull, overcommit (streaming)",
        {"arrival=poisson", "mix=even", "churn=weibull", "open-loop=1",
         "stream=1", "protocol=overcommit"}},
+      // --- hierarchical-topology cells (src/topology/) -------------------
+      {"hier 4-region × diurnal, sync 30s",
+       {"arrival=poisson", "churn=diurnal", "topology=hier",
+        "topo.regions=4", "topo.sync_latency=30", "topo.phase_spread=8"}},
+      {"hier 3-region × weibull, overcommit, sync 120s",
+       {"arrival=bursty", "churn=weibull", "protocol=overcommit",
+        "topology=hier", "topo.regions=3", "topo.sync_latency=120"}},
   };
 
   std::printf("%-40s %12s %12s %9s %5s\n", "scenario", "random JCT",

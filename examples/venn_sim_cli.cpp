@@ -22,6 +22,10 @@
 //   execution keys  index (0|1, eligibility index vs full-scan fallback),
 //                   shards (1-64, sharded fleet execution on a bounded
 //                   worker pool; byte-identical at any value)
+//   topology keys   topology (flat|hier), topo.regions (2-64),
+//                   topo.sync_latency (region->global uplink seconds;
+//                   0 is byte-identical to flat), topo.phase_spread
+//                   (diurnal spread across regions, hours)
 //   durability keys journal (0|1, append-only event journal of the run),
 //                   journal.dir (where journal files land, default .),
 //                   snapshot_every (snapshot coordinator state every N
@@ -73,6 +77,15 @@ using namespace venn;
 namespace {
 
 void print_run(const RunResult& r) {
+  if (r.jobs.empty()) {
+    // Degenerate-but-legal run (horizon too short for any arrival, or a
+    // zero-job workload): there is no mean JCT. Omit the metric rather
+    // than crash — the orchestrator's aggregation already tolerates a
+    // missing "avg JCT" label and records the finished count.
+    std::printf("%-16s finished 0/0   aborts 0   (no jobs ran)\n",
+                r.scheduler.c_str());
+    return;
+  }
   std::printf("%-16s avg JCT %10.0f s   finished %zu/%zu   aborts %d\n",
               r.scheduler.c_str(), r.avg_jct(), r.finished_jobs(),
               r.jobs.size(), [&] {
@@ -244,6 +257,21 @@ int main(int argc, char** argv) {
           "pool;\n"
           "                byte-identical results at any shard count\n");
       std::printf(
+          "topology (scenario keys):\n"
+          "  topology=<flat|hier>    coordination topology (default flat: "
+          "one\n"
+          "                          global coordinator loop)\n"
+          "  topo.regions=<2-64>     regional edge coordinators, each owning "
+          "a\n"
+          "                          contiguous device range (hier; default "
+          "4)\n"
+          "  topo.sync_latency=<s>   region->global result uplink latency in\n"
+          "                          seconds (default 0; at 0 hier is byte-\n"
+          "                          identical to flat)\n"
+          "  topo.phase_spread=<h>   diurnal peak spread across regions in\n"
+          "                          hours - per-region timezones (default "
+          "0)\n");
+      std::printf(
           "durability (scenario keys):\n"
           "  journal=<0|1>        append-only event journal (default 0)\n"
           "  journal.dir=<path>   journal file directory (default .)\n"
@@ -291,6 +319,11 @@ int main(int argc, char** argv) {
         const PolicySpec spec{name, builder.current_policy().params};
         const RunResult r =
             (std::strcmp(name, "random") == 0) ? base : ex.run(spec);
+        if (base.jobs.empty() || r.jobs.empty()) {
+          // No jobs on this trace — there is no JCT ratio to report.
+          std::printf("  %-8s finished 0/0\n", r.scheduler.c_str());
+          continue;
+        }
         std::printf("  %-8s %10.0f s   %s vs random\n", r.scheduler.c_str(),
                     r.avg_jct(), format_ratio(improvement(base, r)).c_str());
         if (breakdown) print_breakdown(r);

@@ -10,6 +10,7 @@
 
 #include "journal/writer.h"
 #include "sim/engine.h"
+#include "topology/topology.h"
 #include "util/logging.h"
 
 namespace venn::api {
@@ -74,6 +75,22 @@ void validate_modes(const ScenarioSpec& s) {
   if (s.streaming && !s.churn_gen.configured()) {
     throw std::invalid_argument("stream=1 requires churn=<name>");
   }
+  // Same rule for the topology knobs: a `topo.*` override with
+  // topology=hier forgotten would otherwise silently model a flat run.
+  if (s.topology != "hier") {
+    if (s.topo_regions) {
+      throw std::invalid_argument(
+          "topo.regions is set but topology=hier is not");
+    }
+    if (s.topo_sync_latency) {
+      throw std::invalid_argument(
+          "topo.sync_latency is set but topology=hier is not");
+    }
+    if (s.topo_phase_spread) {
+      throw std::invalid_argument(
+          "topo.phase_spread is set but topology=hier is not");
+    }
+  }
   // Mirror the dotted-knob-without-family rule for the journal knobs: a
   // configured journal.dir / journal.halt-after with journaling off would
   // otherwise be dropped silently.
@@ -128,6 +145,34 @@ workload::GeneratorSet build_scenario_generators(const ScenarioSpec& s) {
   return workload::build_generators(arrival, mix, s.churn_gen, s.seed);
 }
 
+// Hierarchical topology: shift each device's availability sessions by its
+// region's diurnal phase offset (timezone spread across a geo-distributed
+// fleet). Sessions pushed wholly past the horizon are dropped. Skipped
+// entirely at phase_spread=0 — the zero-offset case must leave the world
+// bit-for-bit untouched (the flat-equivalence contract), and streaming
+// devices carry no materialized sessions (the coordinator applies the
+// offset as it pulls from the churn stream instead).
+void apply_region_phases(std::vector<Device>& devices,
+                         const topology::TopologySpec& topo, SimTime horizon) {
+  if (!topo.hier || topo.phase_spread_h == 0.0) return;
+  const topology::RegionMap map(devices.size(), topo.regions);
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    if (!devices[i].has_sessions()) continue;
+    const double off = topology::phase_offset(topo, map.region_of(i));
+    if (off == 0.0) continue;
+    std::vector<Session> shifted;
+    shifted.reserve(devices[i].sessions().size());
+    for (Session session : devices[i].sessions()) {
+      session.start += off;
+      session.end += off;
+      if (session.start >= horizon) break;  // sessions are ordered
+      shifted.push_back(session);
+    }
+    devices[i] =
+        Device(devices[i].id(), devices[i].spec(), std::move(shifted));
+  }
+}
+
 }  // namespace
 
 ExperimentInputs build_inputs(const ScenarioSpec& s) {
@@ -180,7 +225,9 @@ ExperimentInputs build_inputs(const ScenarioSpec& s,
   validate_modes(s);
   if (!s.uses_generators()) {
     // Legacy single-model path, byte-identical to pre-generator scenarios.
-    return venn::build_inputs(to_config(s));
+    ExperimentInputs in = venn::build_inputs(to_config(s));
+    apply_region_phases(in.devices, s.topology_spec(), s.horizon);
+    return in;
   }
 
   ExperimentInputs in;
@@ -211,6 +258,7 @@ ExperimentInputs build_inputs(const ScenarioSpec& s,
     in.devices.emplace_back(DeviceId(static_cast<std::int64_t>(i)), spec,
                             std::move(sessions));
   }
+  apply_region_phases(in.devices, s.topology_spec(), s.horizon);
 
   // Jobs: open-loop scenarios admit them at run time.
   if (s.open_loop) return in;

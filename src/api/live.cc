@@ -174,6 +174,7 @@ LiveSession::LiveSession(const Experiment& ex,
   }
   ccfg.journal = sink;
   ccfg.snapshot_every = ex.scenario().snapshot_every;
+  ccfg.topo = ex.scenario().topology_spec();
   coord_ = std::make_unique<Coordinator>(engine_, manager_,
                                          ex.inputs().devices, ex.inputs().jobs,
                                          ccfg);

@@ -111,6 +111,45 @@ bool ScenarioSpec::try_set(const std::string& key, const std::string& value) {
                                   "\"");
     }
     shards = n;
+  } else if (key == "topology") {
+    if (value != "flat" && value != "hier") {
+      throw std::invalid_argument("unknown topology \"" + value +
+                                  "\" (flat|hier)");
+    }
+    if (!topology.empty() && topology != value) {
+      // Same rule as `protocol=`: two different coordination topologies in
+      // one scenario is a conflict, not a last-writer-wins.
+      throw std::invalid_argument("conflicting values for topology: \"" +
+                                  topology + "\" vs \"" + value + "\"");
+    }
+    topology = value;
+  } else if (key == "topo.regions") {
+    const std::size_t n = parse_size(key, value);
+    if (n < 2 || n > 64) {
+      throw std::invalid_argument("topo.regions must be in [2, 64], got \"" +
+                                  value + "\"");
+    }
+    topo_regions = n;
+  } else if (key == "topo.sync_latency") {
+    const double v = parse_double(key, value);
+    if (v < 0.0) {
+      throw std::invalid_argument(
+          "topo.sync_latency (seconds) must be >= 0, got \"" + value + "\"");
+    }
+    topo_sync_latency = v;
+  } else if (key == "topo.phase_spread") {
+    const double v = parse_double(key, value);
+    if (v < 0.0) {
+      throw std::invalid_argument(
+          "topo.phase_spread (hours) must be >= 0, got \"" + value + "\"");
+    }
+    topo_phase_spread = v;
+  } else if (key.starts_with("topo.")) {
+    // Unlike the generator families there is no registry behind `topo.*`,
+    // so a typoed knob would otherwise be silently carried and never read.
+    throw std::invalid_argument(
+        "unknown topology key \"" + key +
+        "\" (topo.regions|topo.sync_latency|topo.phase_spread)");
   } else if (key == "journal") {
     journal_enabled = parse_long(key, value) != 0;
   } else if (key == "journal.dir") {
@@ -194,11 +233,33 @@ std::string ScenarioSpec::to_kv() const {
   out += "stream=" + std::string(streaming ? "1" : "0") + "\n";
   out += "index=" + std::string(use_index ? "1" : "0") + "\n";
   out += "shards=" + std::to_string(shards) + "\n";
+  // Topology shapes the world (phases, uplink latency), so a journaled
+  // hier run must replay hier. Only configured knobs are emitted; flat
+  // specs serialize byte-identically to pre-topology journals.
+  if (!topology.empty()) out += "topology=" + topology + "\n";
+  if (topo_phase_spread) {
+    out += "topo.phase_spread=" + fmt_double(*topo_phase_spread) + "\n";
+  }
+  if (topo_regions) {
+    out += "topo.regions=" + std::to_string(*topo_regions) + "\n";
+  }
+  if (topo_sync_latency) {
+    out += "topo.sync_latency=" + fmt_double(*topo_sync_latency) + "\n";
+  }
   // Part of the world: a replayed run must snapshot at the same cadence.
   // The journal plumbing knobs (journal / journal.dir / journal.halt-after)
   // are NOT — replay decides its own sinks.
   out += "snapshot_every=" + std::to_string(snapshot_every) + "\n";
   return out;
+}
+
+topology::TopologySpec ScenarioSpec::topology_spec() const {
+  topology::TopologySpec t;
+  t.hier = topology == "hier";
+  if (topo_regions) t.regions = *topo_regions;
+  if (topo_sync_latency) t.sync_latency = *topo_sync_latency;
+  if (topo_phase_spread) t.phase_spread_h = *topo_phase_spread;
+  return t;
 }
 
 bool PolicySpec::try_set(const std::string& key, const std::string& value) {

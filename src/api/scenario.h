@@ -23,6 +23,7 @@
 #include <string>
 
 #include "api/registry.h"
+#include "topology/topology.h"
 #include "trace/availability.h"
 #include "trace/hardware.h"
 #include "trace/job_trace.h"
@@ -91,6 +92,22 @@ struct ScenarioSpec {
   // and the default 1 runs the serial path with no pool at all.
   std::size_t shards = 1;
 
+  // Coordination topology (src/topology/). topology=flat (the default,
+  // spelled "" here) is the paper's single coordinator loop; topology=hier
+  // models regional edge coordinators, each owning a contiguous
+  // FleetPartition device range with its own diurnal phase, feeding the
+  // global coordinator with a configurable region→global sync latency.
+  // Like `protocol=`, re-setting `topology=` to a *different* value
+  // throws. The dotted `topo.*` knobs require topology=hier (orphans throw
+  // at build): topo.regions (regional coordinators, [2, 64], default 4),
+  // topo.sync_latency (uplink latency in seconds ≥ 0, default 0 — which is
+  // byte-identical to flat), topo.phase_spread (diurnal peak spread across
+  // regions in hours ≥ 0, default 0).
+  std::string topology;                     // "", "flat" or "hier"
+  std::optional<std::size_t> topo_regions;  // topo.regions
+  std::optional<double> topo_sync_latency;  // topo.sync_latency (s)
+  std::optional<double> topo_phase_spread;  // topo.phase_spread (h)
+
   // Durability (src/journal/). journal=1 mirrors every external event of
   // the run into an append-only journal file (off by default — journaling
   // is purely observational and a journaled run is byte-identical to an
@@ -113,10 +130,12 @@ struct ScenarioSpec {
   // interarrival-s, base-trace, task-s, task-cv, arrival, arrival.<key>,
   // mix, mix.<key>, churn, churn.<key>, protocol (sync|overcommit|async),
   // protocol.<key>, open-loop (0|1), stream (0|1), index (0|1), shards
-  // (1-64), journal (0|1), journal.dir, snapshot_every / snapshot-every,
-  // journal.halt-after. Returns false if the key is not a scenario key.
-  // Throws std::invalid_argument on a known key with a bad value, and on a
-  // `protocol=` value conflicting with one set earlier.
+  // (1-64), topology (flat|hier), topo.regions (2-64), topo.sync_latency,
+  // topo.phase_spread, journal (0|1), journal.dir, snapshot_every /
+  // snapshot-every, journal.halt-after. Returns false if the key is not a
+  // scenario key. Throws std::invalid_argument on a known key with a bad
+  // value, on an unknown `topo.*` key, and on a `protocol=` or `topology=`
+  // value conflicting with one set earlier.
   bool try_set(const std::string& key, const std::string& value);
 
   // As try_set, but an unknown key throws std::invalid_argument.
@@ -141,6 +160,10 @@ struct ScenarioSpec {
     return arrival_gen.configured() || mix_gen.configured() ||
            churn_gen.configured();
   }
+
+  // Resolved topology configuration (defaults applied). hier iff
+  // topology == "hier"; flat specs get an all-default (inactive) spec.
+  [[nodiscard]] topology::TopologySpec topology_spec() const;
 };
 
 struct PolicySpec {

@@ -124,6 +124,18 @@ Coordinator::Coordinator(sim::Engine& engine, ResourceManager& manager,
     }
   }
 
+  // Hierarchical topology: the immutable contiguous device→region
+  // partition (independent of the shard partition above — regions model
+  // geography, shards model execution), the region→global uplink latency,
+  // and per-region telemetry. Flat mode keeps one region and a 0.0 uplink;
+  // both are also exactly what hier mode resolves to at regions'
+  // boundaries (x + 0.0 == x), which is the zero-latency equivalence
+  // contract the topology differential wall pins.
+  regions_ = topology::RegionMap(devices_.size(),
+                                 cfg_.topo.hier ? cfg_.topo.regions : 1);
+  uplink_ = cfg_.topo.hier ? cfg_.topo.sync_latency : 0.0;
+  if (cfg_.topo.hier) tstats_.per_region.assign(regions_.regions(), {});
+
   // Struct-of-arrays hot state: one dense column per field the scheduling
   // loops touch. Devices become views over the participation column (their
   // budget API now reads/writes hot_.participation_day), and the
@@ -189,8 +201,68 @@ std::size_t Coordinator::resident_session_count() const {
   return n;
 }
 
+const std::vector<topology::RegionSupply>& Coordinator::region_supply(
+    const Requirement& req) const {
+  for (const auto& [cached, partials] : region_supply_cache_) {
+    if (cached == req) return partials;
+  }
+  // First sight of this requirement: scan each region's contiguous range
+  // of the hot columns once. The per-device inputs never change after
+  // construction, so the partials are a pure function of (req, fleet).
+  const std::size_t nregions = regions_.regions();
+  std::vector<topology::RegionSupply> partials(nregions);
+  const DeviceSpec* specs = hot_.spec.data();
+  const double* session_counts = hot_.session_checkins.data();
+  const SimTime* last_ends = hot_.session_last_end.data();
+  for (std::size_t r = 0; r < nregions; ++r) {
+    topology::RegionSupply& p = partials[r];
+    const std::size_t end = regions_.end(r);
+    for (std::size_t d = regions_.begin(r); d < end; ++d) {
+      p.span = std::max(p.span, last_ends[d]);
+      if (!req.eligible(specs[d])) continue;
+      ++p.eligible;
+      p.checkins += session_counts[d];
+    }
+  }
+  region_supply_cache_.emplace_back(req, std::move(partials));
+  return region_supply_cache_.back().second;
+}
+
 double Coordinator::supply_rate(const Requirement& req) const {
   ++hstats_.supply_queries;
+  if (cfg_.topo.hier) {
+    // Hierarchical topology: the global coordinator aggregates exact
+    // per-region partials (each regional coordinator reports its own
+    // eligible count / check-in sum / span) instead of consulting one
+    // flat fleet scan. The region-grouped sums equal the flat values
+    // EXACTLY — eligible counts are integers, per-device check-in counts
+    // are integer-valued doubles (so partial sums are associative), and
+    // the span is a max — which is what keeps hier byte-identical to flat
+    // at zero sync latency.
+    if (index_) {
+      // The flat index path registers the requirement as a side effect
+      // (signature column writes, alignment prefix); hier must do the
+      // same or the sweep filter would degrade relative to flat.
+      (void)index_->register_requirement(req);
+    }
+    const auto& partials = region_supply(req);
+    ++tstats_.cross_region_supply_aggs;
+    std::uint64_t eligible = 0;
+    double checkins = 0.0;
+    SimTime span = 0.0;
+    for (const topology::RegionSupply& p : partials) {
+      eligible += p.eligible;
+      checkins += p.checkins;
+      span = std::max(span, p.span);
+    }
+    if (cfg_.churn != nullptr) {
+      const double rate = static_cast<double>(eligible) *
+                          cfg_.churn->mean_sessions_per_day() / kDay;
+      return std::max(rate, 1e-9);
+    }
+    if (span <= 0.0 || checkins <= 0.0) return 1e-9;
+    return checkins / span;
+  }
   if (index_) {
     // Index path: eligible supply from the per-signature atom buckets —
     // O(#atoms) instead of a fleet scan, numerically identical to the scan
@@ -486,8 +558,21 @@ void Coordinator::admit_job() {
 void Coordinator::advance_device(std::size_t dev_idx) {
   auto& st = streams_[dev_idx];
   st.has_session = false;
+  // Hierarchical topology: the region's diurnal phase shifts every
+  // streamed session — the streaming twin of the materialized path's
+  // apply_region_phases (api/builder.cc), so stream=0 and stream=1 see
+  // the same shifted world. Exactly 0.0 at phase_spread=0, leaving the
+  // flat trajectory bit-for-bit untouched.
+  const double phase =
+      cfg_.topo.hier
+          ? topology::phase_offset(cfg_.topo, regions_.region_of(dev_idx))
+          : 0.0;
   while (st.stream) {
-    const auto s = st.stream->next();
+    auto s = st.stream->next();
+    if (s && phase != 0.0) {
+      s->start += phase;
+      s->end += phase;
+    }
     if (!s || s->start >= cfg_.horizon) {
       st.stream.reset();
       return;
@@ -878,6 +963,9 @@ void Coordinator::attempt_checkin(std::size_t dev_idx) {
   if (cfg_.journal != nullptr) {
     cfg_.journal->on_checkin(now, dev_idx, outcome.has_value());
   }
+  if (cfg_.topo.hier) {
+    ++tstats_.per_region[regions_.region_of(dev_idx)].checkins;
+  }
   if (outcome) {
     // The device may already be parked in the idle pool: a straggler
     // release re-parks a device that still has this day-boundary re-arm
@@ -905,6 +993,9 @@ void Coordinator::handle_outcome(std::size_t dev_idx,
     cfg_.journal->on_assignment(now, dev_idx, outcome.job, outcome.request,
                                 outcome.round);
   }
+  if (cfg_.topo.hier) {
+    ++tstats_.per_region[regions_.region_of(dev_idx)].assignments;
+  }
 
   // A device whose session outlasts today regains its participation budget
   // at the next day boundary.
@@ -925,12 +1016,23 @@ void Coordinator::handle_outcome(std::size_t dev_idx,
   const JobId jid = outcome.job;
   const int assigned_round = outcome.round;
   inflight_[jid].push_back({rid, dev_idx, now, assigned_round});
+  // Hierarchical topology: the result (or the end-of-session failure
+  // report) is held by the device's regional coordinator for `uplink_`
+  // seconds before the global coordinator sees it. The uplink rides the
+  // SAME scheduling call sites as flat (uplink_ is 0.0 there, and
+  // x + 0.0 == x for finite doubles), so zero-latency hier events land at
+  // bit-identical times in identical seq order — the equivalence
+  // contract. The success condition stays `now + exec <= session_end`:
+  // the device finishes computing locally before its session ends; only
+  // the report's delivery is delayed.
+  if (cfg_.topo.hier) ++tstats_.uplink_reports;
   if (now + exec <= session_end) {
-    engine_.after(exec, [this, jid, rid, dev_idx, assigned_round, exec] {
+    engine_.after(exec + uplink_,
+                  [this, jid, rid, dev_idx, assigned_round, exec] {
       on_response(jid, rid, dev_idx, assigned_round, exec);
     });
   } else {
-    engine_.at(session_end, [this, jid, rid, dev_idx] {
+    engine_.at(session_end + uplink_, [this, jid, rid, dev_idx] {
       // Untracked = the computation already resolved (straggler release or
       // an early external response); this timer is then a phantom.
       if (!inflight_remove(jid, rid, dev_idx)) return;
@@ -1011,6 +1113,9 @@ void Coordinator::on_response(JobId jid, RequestId rid, std::size_t dev_idx,
   RoundRequest& req = job->mutable_request();
   ++req.responses;
   ++pstats_.responses;
+  if (cfg_.topo.hier) {
+    ++tstats_.per_region[regions_.region_of(dev_idx)].responses;
+  }
   // Staleness: round commits between this device's assignment and its
   // response. Zero unless the protocol advances the round in place
   // (buffered aggregation).
@@ -1152,6 +1257,9 @@ std::size_t Coordinator::release_stragglers(Job* job, RequestId rid,
     entries.pop_back();
     ++released;
     ++pstats_.stragglers_released;
+    if (cfg_.topo.hier) {
+      ++tstats_.per_region[regions_.region_of(entry.dev)].stragglers_released;
+    }
     pstats_.wasted_work_s += now - entry.started;
     if (cfg_.journal != nullptr) {
       cfg_.journal->on_straggler_release(now, entry.dev, job->id());
@@ -1376,6 +1484,26 @@ journal::StateSnapshot Coordinator::capture_snapshot() {
     journal::Encoder e;
     e.str(os.str());
     add("mix-rng", e);
+  }
+  if (cfg_.topo.hier) {
+    // Hier runs carry their topology telemetry in the drift-check surface;
+    // only present in hier mode, so flat snapshots (and every pre-topology
+    // journal) are byte-unchanged. A journaled hier run replays hier
+    // (to_kv carries the topology knobs), so the section appears in both
+    // captures or neither.
+    journal::Encoder e;
+    e.u64(static_cast<std::uint64_t>(regions_.regions()));
+    e.f64(cfg_.topo.sync_latency);
+    e.f64(cfg_.topo.phase_spread_h);
+    e.u64(tstats_.cross_region_supply_aggs);
+    e.u64(tstats_.uplink_reports);
+    for (const topology::RegionCounters& rc : tstats_.per_region) {
+      e.u64(rc.checkins);
+      e.u64(rc.assignments);
+      e.u64(rc.responses);
+      e.u64(rc.stragglers_released);
+    }
+    add("topology", e);
   }
   if (ext_sessions_live()) {
     // Only present once the live service granted a session, so batch

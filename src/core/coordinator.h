@@ -79,6 +79,7 @@
 #include "journal/snapshot.h"
 #include "protocol/protocol.h"
 #include "sim/engine.h"
+#include "topology/topology.h"
 #include "trace/job_trace.h"
 #include "workload/arrival.h"
 #include "workload/churn.h"
@@ -134,6 +135,16 @@ struct CoordinatorConfig {
   // Capture a state snapshot into the sink every N protocol commits
   // (0 = off). Only meaningful with a journal sink installed.
   std::size_t snapshot_every = 0;
+
+  // Coordination topology (src/topology/). With `topo.hier`, the fleet is
+  // split into contiguous regional ranges: supply-rate queries aggregate
+  // exact per-region partials, per-region protocol activity is counted in
+  // TopologyStats, device results ride a region→global uplink of
+  // `topo.sync_latency` seconds, and (in streaming mode) each region's
+  // sessions are shifted by its diurnal phase offset. At sync_latency=0
+  // and phase_spread=0 a hier run is byte-identical to flat — the
+  // equivalence the topology differential wall enforces.
+  topology::TopologySpec topo;
 };
 
 class Coordinator {
@@ -272,6 +283,21 @@ class Coordinator {
     return *protocol_;
   }
 
+  // --- hierarchical topology --------------------------------------------
+  // Hier telemetry (cross-region supply aggregations, uplink reports,
+  // per-region protocol activity). Like ShardStats, deliberately OUTSIDE
+  // RunResult: the zero-latency equivalence contract compares hier results
+  // byte-for-byte against flat runs, which have no regions. Empty
+  // per_region in flat mode. The differential wall's vacuousness guards
+  // read these.
+  [[nodiscard]] const topology::TopologyStats& topology_stats() const {
+    return tstats_;
+  }
+  // The device→region map (regions=1 single range in flat mode).
+  [[nodiscard]] const topology::RegionMap& region_map() const {
+    return regions_;
+  }
+
   // --- durability -------------------------------------------------------
   // Serializes the coordinator's full mutable state — engine clock + RNG,
   // idle pool and segment accounting, per-device participation budgets,
@@ -351,6 +377,13 @@ class Coordinator {
   // requirement, computed once from the generated population.
   [[nodiscard]] double supply_rate(const Requirement& req) const;
 
+  // Hier mode: per-region supply partials for a requirement, computed on
+  // first sight (the per-device inputs are fixed at init) and re-aggregated
+  // across regions on every query. The region-grouped sums equal the flat
+  // scan exactly (integer counts, integer-valued double sums, maxima).
+  [[nodiscard]] const std::vector<topology::RegionSupply>& region_supply(
+      const Requirement& req) const;
+
   // Bitmask of requirement indices proven identical between the index's and
   // the manager's registration orders (a prefix; verified incrementally,
   // each bit once). The sweep skip only trusts index signatures on aligned
@@ -395,6 +428,17 @@ class Coordinator {
   std::vector<std::uint32_t> shard_of_;     // device -> home shard
   std::vector<std::size_t> segment_size_;   // per-shard idle-segment sizes
   mutable ShardStats sstats_;
+
+  // --- hierarchical topology state --------------------------------------
+  // Region partition (1 region in flat mode), the uplink latency every
+  // region→global result report rides (0.0 in flat mode — and x + 0.0 == x
+  // keeps zero-latency hier event times bit-identical to flat), hier
+  // telemetry, and the per-requirement region supply cache.
+  topology::RegionMap regions_;
+  double uplink_ = 0.0;
+  mutable topology::TopologyStats tstats_;
+  mutable std::vector<std::pair<Requirement, std::vector<topology::RegionSupply>>>
+      region_supply_cache_;
 
   std::size_t unfinished_jobs_ = 0;
   double mean_exec_factor_ = 1.0;  // population mean of 1/speed

@@ -6,6 +6,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -215,8 +216,14 @@ RunnerReport execute_runs(const ExperimentConfig& cfg,
 
   const auto reap_one = [&]() {
     int status = 0;
-    const pid_t pid = waitpid(-1, &status, 0);
-    if (pid < 0) {
+    pid_t pid = -1;
+    for (;;) {
+      pid = waitpid(-1, &status, 0);
+      if (pid >= 0) break;
+      // A signal (e.g. SIGALRM from a watchdog timer installed by the host
+      // process) interrupts the blocking wait; children are still running,
+      // so retry instead of aborting the whole matrix.
+      if (errno == EINTR) continue;
       throw std::runtime_error(std::string("waitpid failed: ") +
                                std::strerror(errno));
     }

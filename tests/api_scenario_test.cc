@@ -52,6 +52,24 @@ TEST(ScenarioSpec, KnownKeysParseAndApply) {
   EXPECT_EQ(sc.protocol_gen.name, "async");
   EXPECT_EQ(sc.protocol_gen.params.kv.at("buffer"), "64");
   EXPECT_EQ(sc.protocol_gen.params.kv.at("concurrency"), "96");
+
+  // Topology keys land on the dedicated spec fields.
+  sc.set("topology", "hier");
+  sc.set("topo.regions", "8");
+  sc.set("topo.sync_latency", "45");
+  sc.set("topo.phase_spread", "6");
+  EXPECT_EQ(sc.topology, "hier");
+  ASSERT_TRUE(sc.topo_regions.has_value());
+  EXPECT_EQ(*sc.topo_regions, 8u);
+  ASSERT_TRUE(sc.topo_sync_latency.has_value());
+  EXPECT_DOUBLE_EQ(*sc.topo_sync_latency, 45.0);
+  ASSERT_TRUE(sc.topo_phase_spread.has_value());
+  EXPECT_DOUBLE_EQ(*sc.topo_phase_spread, 6.0);
+  const auto topo = sc.topology_spec();
+  EXPECT_TRUE(topo.hier);
+  EXPECT_EQ(topo.regions, 8u);
+  EXPECT_DOUBLE_EQ(topo.sync_latency, 45.0);
+  EXPECT_DOUBLE_EQ(topo.phase_spread_h, 6.0);
 }
 
 TEST(ScenarioSpec, BadKeysAndValuesThrow) {
@@ -76,6 +94,14 @@ TEST(ScenarioSpec, BadKeysAndValuesThrow) {
   EXPECT_THROW(sc.set("seed", "999999999999999999999"),
                std::invalid_argument);
   EXPECT_THROW(sc.set("horizon-days", "1e999"), std::invalid_argument);
+  // Topology knobs: unknown mode, out-of-range region counts, negative
+  // latencies/spreads, and unknown topo.* keys all fail loudly.
+  EXPECT_THROW(sc.set("topology", "mesh"), std::invalid_argument);
+  EXPECT_THROW(sc.set("topo.regions", "0"), std::invalid_argument);
+  EXPECT_THROW(sc.set("topo.regions", "100"), std::invalid_argument);
+  EXPECT_THROW(sc.set("topo.sync_latency", "-5"), std::invalid_argument);
+  EXPECT_THROW(sc.set("topo.phase_spread", "-1"), std::invalid_argument);
+  EXPECT_THROW(sc.set("topo.unknown-knob", "1"), std::invalid_argument);
 }
 
 TEST(ScenarioSpec, ParseBiasHandlesNone) {

@@ -6,8 +6,10 @@
 // bounded-cell baseline-metric lookup (the regression fix for the bench
 // gate reading the NEXT cell's value when a cell lacked the key).
 #include <gtest/gtest.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -465,6 +467,56 @@ TEST_F(OrchestratorExecuteTest, FailFastStopsLaunchingAfterFailure) {
             std::string::npos);
 }
 
+namespace {
+void noop_alarm_handler(int) {}
+}  // namespace
+
+TEST_F(OrchestratorExecuteTest, SurvivesSignalsInterruptingReap) {
+  // Regression: reap_one treated ANY waitpid() failure as fatal, so a
+  // signal delivered to the orchestrating process while it blocked in
+  // waitpid (EINTR — e.g. a watchdog SIGALRM installed without SA_RESTART)
+  // aborted the whole matrix even though every child was healthy. Hammer
+  // the runner with a fast interval timer while children sleep long enough
+  // to guarantee the wait is interrupted mid-block.
+  struct sigaction sa{};
+  sa.sa_handler = noop_alarm_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: waitpid must see EINTR
+  struct sigaction old_sa{};
+  ASSERT_EQ(sigaction(SIGALRM, &sa, &old_sa), 0);
+  itimerval timer{};
+  timer.it_interval.tv_usec = 5'000;  // re-fire every 5ms
+  timer.it_value.tv_usec = 5'000;
+  ASSERT_EQ(setitimer(ITIMER_REAL, &timer, nullptr), 0);
+
+  ExperimentConfig cfg = parse_config(R"({
+    "name": "eintr", "bin_dir": "/bin", "jobs": 2,
+    "benches": [
+      {"name": "slow1", "binary": "sh", "args": ["-c", "sleep 0.3"]},
+      {"name": "slow2", "binary": "sh", "args": ["-c", "sleep 0.3"]},
+      {"name": "slow3", "binary": "sh", "args": ["-c", "sleep 0.3"]}
+    ]
+  })",
+                                      "test");
+  cfg.out_root = path("runs_root");
+  RunnerOptions opts;
+  opts.quiet = true;
+  RunnerReport report;
+  ASSERT_NO_THROW(report = execute_runs(cfg, opts));
+
+  itimerval off{};
+  setitimer(ITIMER_REAL, &off, nullptr);
+  sigaction(SIGALRM, &old_sa, nullptr);
+
+  ASSERT_EQ(report.outcomes.size(), 3u);
+  EXPECT_EQ(report.executed, 3u);
+  EXPECT_EQ(report.failed, 0u);
+  for (const RunOutcome& o : report.outcomes) {
+    EXPECT_EQ(o.status, RunStatus::kOk);
+    EXPECT_EQ(o.exit_code, 0);
+  }
+}
+
 #ifdef VENN_BIN_DIR
 TEST_F(OrchestratorExecuteTest, RunsRealSimulatorMatrixCell) {
   // A 1-cell matrix over the real venn_sim_cli from this build: the
@@ -497,6 +549,39 @@ TEST_F(OrchestratorExecuteTest, RunsRealSimulatorMatrixCell) {
   EXPECT_GT(r.avg_jct, 0.0);
   EXPECT_TRUE(r.has_finished);
   EXPECT_EQ(r.total_jobs, 3u);
+}
+
+TEST_F(OrchestratorExecuteTest, ZeroJobRunReportsFinishedZeroAndExitsClean) {
+  // Regression: avg_jct() throws on an empty run, and the CLI driver used
+  // to let that escape as a fatal error, so a --jobs=0 cell poisoned the
+  // whole experiment. The driver must exit 0, report finished 0/0, and
+  // omit the mean; aggregation already tolerates the missing metric.
+  ExperimentConfig cfg = parse_config(R"({
+    "name": "zero", "jobs": 1,
+    "benches": [
+      {"name": "nojobs", "binary": "venn_sim_cli",
+       "args": ["--devices=200", "--jobs=0", "--horizon-days=1"]}
+    ]
+  })",
+                                      "test");
+  cfg.bin_dir = VENN_BIN_DIR;
+  cfg.out_root = path("runs_root");
+  RunnerOptions opts;
+  opts.quiet = true;
+  const RunnerReport report = execute_runs(cfg, opts);
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_EQ(report.outcomes[0].status, RunStatus::kOk);
+  EXPECT_EQ(report.outcomes[0].exit_code, 0);
+  EXPECT_NE(read_file(cfg.exp_dir() + "/runs/nojobs/stdout.txt")
+                .find("finished 0/0"),
+            std::string::npos);
+
+  const AggregateResult agg = aggregate_runs(cfg.exp_dir());
+  ASSERT_EQ(agg.records.size(), 1u);
+  EXPECT_FALSE(agg.records[0].has_avg_jct);
+  ASSERT_TRUE(agg.records[0].has_finished);
+  EXPECT_EQ(agg.records[0].finished_jobs, 0u);
+  EXPECT_EQ(agg.records[0].total_jobs, 0u);
 }
 #endif
 

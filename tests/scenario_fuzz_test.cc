@@ -35,14 +35,15 @@ const std::vector<std::string>& known_keys() {
       "stream",      "index",        "shards",        "horizon-s",
       "interarrival-s",              "journal",       "journal.dir",
       "snapshot_every",              "snapshot-every",
-      "journal.halt-after",
+      "journal.halt-after",          "topology",      "topo.regions",
+      "topo.sync_latency",           "topo.phase_spread",
   };
   return keys;
 }
 
 const std::vector<std::string>& dotted_prefixes() {
   static const std::vector<std::string> prefixes = {
-      "arrival.", "mix.", "churn.", "protocol.", "journal."};
+      "arrival.", "mix.", "churn.", "protocol.", "journal.", "topo."};
   return prefixes;
 }
 
@@ -57,7 +58,8 @@ const std::vector<std::string>& value_pool() {
       "low",    "high",       "maybe",    "true",   "false",  "1.5.2",
       "18446744073709551615", "18446744073709551616", "-9223372036854775809",
       "65",     "64",         "63",       "\t1",    "1\n",    "é",
-      "key=value",            "..",       "a b",    "\"1\"",
+      "key=value",            "..",       "a b",    "\"1\"",  "hier",
+      "flat",
   };
   return values;
 }
@@ -128,6 +130,12 @@ void expect_specs_equal(const api::ScenarioSpec& a, const api::ScenarioSpec& b,
   EXPECT_EQ(a.streaming, b.streaming) << "corpus seed " << seed;
   EXPECT_EQ(a.use_index, b.use_index) << "corpus seed " << seed;
   EXPECT_EQ(a.shards, b.shards) << "corpus seed " << seed;
+  EXPECT_EQ(a.topology, b.topology) << "corpus seed " << seed;
+  EXPECT_EQ(a.topo_regions, b.topo_regions) << "corpus seed " << seed;
+  EXPECT_EQ(a.topo_sync_latency, b.topo_sync_latency)
+      << "corpus seed " << seed;
+  EXPECT_EQ(a.topo_phase_spread, b.topo_phase_spread)
+      << "corpus seed " << seed;
   EXPECT_EQ(a.journal_enabled, b.journal_enabled) << "corpus seed " << seed;
   EXPECT_EQ(a.journal_dir, b.journal_dir) << "corpus seed " << seed;
   EXPECT_EQ(a.snapshot_every, b.snapshot_every) << "corpus seed " << seed;
@@ -235,6 +243,10 @@ TEST(ScenarioFuzz, CanonicalKvRoundTripsExactly) {
   spec.set("churn", "weibull");
   spec.set("stream", "1");
   spec.set("shards", "4");
+  spec.set("topology", "hier");
+  spec.set("topo.regions", "5");
+  spec.set("topo.sync_latency", "33.5");
+  spec.set("topo.phase_spread", "7.25");
   spec.set("snapshot_every", "5");
 
   api::ScenarioSpec back;
@@ -268,6 +280,55 @@ TEST(ScenarioFuzz, ShardsKnobBounds) {
   EXPECT_THROW(spec.set("shards", "eight"), std::invalid_argument);
   EXPECT_THROW(spec.set("shards", "8.5"), std::invalid_argument);
   EXPECT_EQ(spec.shards, 1u);  // failed sets leave the value untouched
+}
+
+// The topology knobs: mode-validated, range-validated, conflicts and
+// unknown topo.* keys rejected with messages naming the offender.
+TEST(ScenarioFuzz, TopologyKnobBounds) {
+  api::ScenarioSpec spec;
+  EXPECT_TRUE(spec.topology.empty());
+  EXPECT_FALSE(spec.topo_regions.has_value());
+  EXPECT_THROW(spec.set("topology", "ring"), std::invalid_argument);
+  spec.set("topology", "hier");
+  EXPECT_EQ(spec.topology, "hier");
+  // Conflicting re-set names both values; same-value re-set is idempotent.
+  try {
+    spec.set("topology", "flat");
+    FAIL() << "conflicting topology should throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("hier"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("flat"), std::string::npos) << msg;
+  }
+  EXPECT_NO_THROW(spec.set("topology", "hier"));
+
+  spec.set("topo.regions", "2");
+  EXPECT_EQ(*spec.topo_regions, 2u);
+  spec.set("topo.regions", "64");
+  EXPECT_EQ(*spec.topo_regions, 64u);
+  EXPECT_THROW(spec.set("topo.regions", "1"), std::invalid_argument);
+  EXPECT_THROW(spec.set("topo.regions", "65"), std::invalid_argument);
+  EXPECT_THROW(spec.set("topo.regions", "four"), std::invalid_argument);
+  EXPECT_EQ(*spec.topo_regions, 64u);  // failed sets leave it untouched
+
+  spec.set("topo.sync_latency", "0");
+  EXPECT_EQ(*spec.topo_sync_latency, 0.0);
+  EXPECT_THROW(spec.set("topo.sync_latency", "-1"), std::invalid_argument);
+  EXPECT_THROW(spec.set("topo.sync_latency", "nan"), std::invalid_argument);
+  spec.set("topo.phase_spread", "8.5");
+  EXPECT_EQ(*spec.topo_phase_spread, 8.5);
+  EXPECT_THROW(spec.set("topo.phase_spread", "-0.1"), std::invalid_argument);
+  EXPECT_THROW(spec.set("topo.phase_spread", "inf"), std::invalid_argument);
+
+  // Unknown topo.* keys are recognized-but-rejected (not silently ignored
+  // like foreign keys) and the message names the key.
+  try {
+    spec.set("topo.fanout", "2");
+    FAIL() << "unknown topo.* key should throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("topo.fanout"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace
